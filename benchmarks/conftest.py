@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the scale
+returned by :func:`repro.experiments.default_scale` (laptop-sized by default;
+set ``REPRO_SCALE`` to grow toward the paper's original dimensions).  Because
+one experiment run takes seconds to minutes, every benchmark executes its
+experiment exactly once (``benchmark.pedantic`` with one round) and attaches
+the headline numbers to ``benchmark.extra_info`` so they appear in the
+pytest-benchmark report alongside the timing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, default_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale shared by every benchmark."""
+    return default_scale()
+
+
+@pytest.fixture()
+def run_once(benchmark) -> Callable:
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,48 @@
+"""Benchmark: design-choice ablations (vicinity size, landmark policy,
+address design, resolution load smoothing).
+
+These quantify the alternatives the paper discusses qualitatively:
+
+* larger vicinities buy lower first-packet stretch at higher state;
+* non-random landmark policies stay within the guarantees (§6);
+* the fixed-size block address of §4.2 indeed has a *larger* mean size than
+  the explicit-route design in practice, as the paper asserts;
+* multiple virtual points per landmark smooth the resolution database's load
+  imbalance (§4.5).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, scale, run_once):
+    result = run_once(ablations.run, scale)
+    report = ablations.format_report(result)
+    assert report
+
+    # [1] Vicinity size: state grows with the constant, stretch does not worsen.
+    by_factor = {row.scale_factor: row for row in result.vicinity}
+    assert by_factor[2.0].mean_state > by_factor[0.5].mean_state
+    assert by_factor[2.0].mean_first_stretch <= by_factor[0.5].mean_first_stretch + 0.05
+
+    # [2] Landmark policies: all respect the Õ(√n) budget and keep stretch
+    # within the first-packet bound.
+    for row in result.landmark_policies:
+        assert row.max_first_stretch <= 7.0 + 1e-9
+        assert row.num_landmarks <= 3 * result.landmark_policies[0].num_landmarks
+
+    # [3] Address design: the block scheme increases the mean address size,
+    # exactly as §4.2 claims.
+    address = result.address_design
+    assert address.block_mean_bytes > address.explicit_mean_bytes
+
+    # [4] Resolution load smoothing: more virtual nodes, less imbalance.
+    balance = {row.virtual_nodes: row.max_over_mean_load for row in result.resolution_balance}
+    assert balance[16] <= balance[1]
+
+    benchmark.extra_info["explicit_mean_bytes"] = round(address.explicit_mean_bytes, 2)
+    benchmark.extra_info["block_mean_bytes"] = round(address.block_mean_bytes, 2)
+    benchmark.extra_info["load_imbalance_1_vnode"] = round(balance[1], 2)
+    benchmark.extra_info["load_imbalance_16_vnodes"] = round(balance[16], 2)
+    benchmark.extra_info["vicinity_state_at_2x"] = round(by_factor[2.0].mean_state, 1)

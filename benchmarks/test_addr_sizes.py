@@ -1,0 +1,31 @@
+"""Benchmark: regenerate the §4.2 explicit-route (address) size measurement.
+
+Paper numbers on the CAIDA router-level map: mean 2.93 bytes (< IPv4), 95th
+percentile 5 bytes, max 10.625 bytes (< IPv6).  On the synthetic router-like
+topology the absolute values differ but the same ordering must hold: mean of
+a few bytes, everything comfortably below an IPv6 address.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import addr_sizes
+
+
+def test_addr_sizes(benchmark, scale, run_once):
+    result = run_once(addr_sizes.run, scale)
+    report = addr_sizes.format_report(result)
+    assert report
+
+    router = result.router_level
+    # Mean address route of a few bytes, below an IPv4 address's 4 bytes is
+    # not guaranteed on the synthetic graph, but it must be well below IPv6.
+    assert router.mean < 8.0
+    assert result.router_level_p95 < 16.0
+    assert router.maximum < 16.0
+    # The ring worst case is no better than the Internet-like mean.
+    assert result.ring.maximum >= router.mean
+
+    benchmark.extra_info["router_mean_bytes"] = round(router.mean, 2)
+    benchmark.extra_info["router_p95_bytes"] = round(result.router_level_p95, 2)
+    benchmark.extra_info["router_max_bytes"] = round(router.maximum, 2)
+    benchmark.extra_info["ring_max_bytes"] = round(result.ring.maximum, 2)

@@ -1,0 +1,35 @@
+"""Benchmark: churn maintenance cost (extension of Fig. 8).
+
+The paper defers continuous churn to future work; this extension measures the
+incremental cost of absorbing one link event in the converged model.  The
+property to check: a single link failure/recovery costs a small fraction of
+reconverging from scratch, which is what makes the protocol viable under
+dynamics.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import churn_cost
+
+
+def test_churn_cost(benchmark, scale, run_once):
+    result = run_once(churn_cost.run, scale)
+    report = churn_cost.format_report(result)
+    assert report
+
+    assert result.events > 0
+    assert result.full_reconvergence_entries > 0
+    # One link event costs well under 10% of a full reconvergence.
+    assert result.incremental_fraction < 0.10
+    # The affected-address count stays a small fraction of the network.
+    assert result.mean_addresses_changed <= 0.2 * result.num_nodes
+
+    benchmark.extra_info["mean_incremental_entries"] = round(
+        result.mean_incremental_entries, 1
+    )
+    benchmark.extra_info["incremental_fraction_pct"] = round(
+        result.incremental_fraction * 100.0, 3
+    )
+    benchmark.extra_info["mean_addresses_changed"] = round(
+        result.mean_addresses_changed, 2
+    )

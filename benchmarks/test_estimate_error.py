@@ -1,0 +1,39 @@
+"""Benchmark: regenerate the §5.2 n-estimate error-injection experiment.
+
+Paper numbers on the 1,024-node random graph: with 40% random error every
+node reaches every destination and mean stretch rises only 0.6% (1.253 ->
+1.261); with 60% error a single node missed a single group in one of five
+runs.  The shape to check: reachability stays essentially perfect and the
+stretch increase stays marginal even at 60% error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import estimate_error
+
+
+def test_estimate_error(benchmark, scale, run_once):
+    result = run_once(estimate_error.run, scale)
+    report = estimate_error.format_report(result)
+    assert report
+
+    assert result.error_levels[0] == 0.0
+    # Nothing becomes unreachable (the resolution fallback exists, and with
+    # these error levels it is almost never needed).
+    for level in result.error_levels:
+        assert result.unreachable_fraction[level] == 0.0
+        assert result.resolution_fallback_fraction[level] <= 0.05
+
+    # Stretch changes only marginally even at the largest error level.
+    worst_level = max(result.error_levels)
+    assert abs(result.stretch_increase(worst_level)) <= 0.10
+
+    benchmark.extra_info["mean_stretch_no_error"] = round(
+        result.mean_first_stretch[0.0], 3
+    )
+    benchmark.extra_info["mean_stretch_60pct_error"] = round(
+        result.mean_first_stretch[worst_level], 3
+    )
+    benchmark.extra_info["stretch_increase_pct_at_60"] = round(
+        result.stretch_increase(worst_level) * 100.0, 2
+    )

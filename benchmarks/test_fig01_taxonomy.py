@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 1 (protocol-property taxonomy)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_taxonomy
+
+
+def test_fig01_taxonomy(benchmark, scale, run_once):
+    result = run_once(fig01_taxonomy.run, scale)
+    report = fig01_taxonomy.format_report(result)
+    assert report
+
+    rows = {row.protocol: row for row in result.rows}
+    # The scalable protocols grow their state much more slowly than the
+    # Ω(n)-state baselines when n doubles.
+    assert rows["Disco"].state_growth_ratio < rows["Shortest-Path"].state_growth_ratio
+    assert rows["ND-Disco"].state_growth_ratio < rows["Path-Vector"].state_growth_ratio
+    # Stretch-bounded protocols stay within 3 on later packets.
+    for protocol in ("Disco", "ND-Disco", "S4", "Shortest-Path", "Path-Vector"):
+        assert rows[protocol].observed_max_later_stretch <= 3.0 + 1e-9
+
+    benchmark.extra_info["disco_state_growth"] = round(
+        rows["Disco"].state_growth_ratio, 3
+    )
+    benchmark.extra_info["vrr_max_later_stretch"] = round(
+        rows["VRR"].observed_max_later_stretch, 3
+    )

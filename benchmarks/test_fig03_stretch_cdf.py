@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Fig. 3 (stretch CDFs, Disco vs S4, three topologies).
+
+Paper shape: later-packet stretch is low for both protocols; S4's
+first-packet stretch has a long tail, dramatically so on the
+latency-annotated geometric graph (paper: S4 worst case 72, Disco ~2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig03_stretch_cdf
+
+
+def test_fig03_stretch_cdf(benchmark, scale, run_once):
+    result = run_once(fig03_stretch_cdf.run, scale)
+    report = fig03_stretch_cdf.format_report(result)
+    assert report
+
+    for panel_name, reports in result.panels().items():
+        disco = reports["Disco"]
+        s4 = reports["S4"]
+        # Later packets: both bounded by 3.
+        assert disco.later_summary.maximum <= 3.0 + 1e-9
+        assert s4.later_summary.maximum <= 3.0 + 1e-9
+        # First packets: Disco's mean beats S4's (no resolution detour).
+        assert disco.first_summary.mean < s4.first_summary.mean
+        benchmark.extra_info[f"{panel_name}_disco_first_max"] = round(
+            disco.first_summary.maximum, 2
+        )
+        benchmark.extra_info[f"{panel_name}_s4_first_max"] = round(
+            s4.first_summary.maximum, 2
+        )
+
+    # The latency-weighted geometric panel shows the dramatic gap: S4's
+    # worst-case first-packet stretch is many times Disco's.
+    geometric = result.panels()["geometric"]
+    assert (
+        geometric["S4"].first_summary.maximum
+        > 3.0 * geometric["Disco"].first_summary.maximum
+    )
+    # Disco's first packet stays within the Theorem-1 bound.
+    assert geometric["Disco"].first_summary.maximum <= 7.0 + 1e-9

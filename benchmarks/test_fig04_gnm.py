@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Fig. 4 (state / stretch / congestion on G(n,m)).
+
+Paper shape on the 1,024-node G(n,m) graph: VRR's state tail is far heavier
+than the compact protocols' (worse than path vector for a few nodes); VRR's
+stretch exceeds Disco's and S4's; congestion of the compact schemes stays
+close to shortest-path routing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_gnm_comparison
+
+
+def test_fig04_gnm_comparison(benchmark, scale, run_once):
+    result = run_once(fig04_gnm_comparison.run, scale)
+    report = fig04_gnm_comparison.format_report(result)
+    assert report
+
+    state = result.results.state
+    stretch = result.results.stretch
+    congestion = result.results.congestion
+
+    # State: Disco/ND-Disco balanced, VRR's max/mean ratio the worst.
+    def imbalance(name: str) -> float:
+        summary = state[name].entry_summary
+        return summary.maximum / max(summary.mean, 1e-9)
+
+    assert imbalance("VRR") > imbalance("Disco")
+    assert imbalance("VRR") > imbalance("S4")
+    assert imbalance("Disco") < 2.5
+
+    # Stretch: VRR above the compact-routing protocols; bounds hold.
+    assert stretch["VRR"].first_summary.mean > stretch["Disco"].first_summary.mean
+    assert stretch["Disco"].later_summary.maximum <= 3.0 + 1e-9
+    assert stretch["S4"].later_summary.maximum <= 3.0 + 1e-9
+    assert stretch["Path-Vector"].first_summary.mean == 1.0
+
+    # Congestion: compact routing close to shortest paths, VRR worse.
+    assert congestion["Disco"].max_usage() <= 5 * congestion["Path-Vector"].max_usage()
+    assert congestion["VRR"].summary.p99 >= congestion["Path-Vector"].summary.p99
+
+    benchmark.extra_info["vrr_state_imbalance"] = round(imbalance("VRR"), 2)
+    benchmark.extra_info["disco_state_imbalance"] = round(imbalance("Disco"), 2)
+    benchmark.extra_info["disco_first_mean_stretch"] = round(
+        stretch["Disco"].first_summary.mean, 3
+    )
+    benchmark.extra_info["vrr_mean_stretch"] = round(
+        stretch["VRR"].first_summary.mean, 3
+    )

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Fig. 5 (state / stretch / congestion, geometric graph).
+
+Paper shape on the 1,024-node geometric random graph with latencies: the
+first-packet stretch gap is the starkest here (paper maxima: Disco 2.4, S4
+30, VRR 39); state and congestion orderings match Fig. 4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig05_geometric_comparison
+
+
+def test_fig05_geometric_comparison(benchmark, scale, run_once):
+    result = run_once(fig05_geometric_comparison.run, scale)
+    report = fig05_geometric_comparison.format_report(result)
+    assert report
+
+    stretch = result.results.stretch
+    state = result.results.state
+
+    disco_first_max = stretch["Disco"].first_summary.maximum
+    s4_first_max = stretch["S4"].first_summary.maximum
+    vrr_max = stretch["VRR"].first_summary.maximum
+
+    # Disco's first-packet worst case stays small and within the bound; S4 and
+    # VRR blow up on the latency-annotated topology.
+    assert disco_first_max <= 7.0 + 1e-9
+    assert s4_first_max > 2.0 * disco_first_max
+    assert vrr_max > 2.0 * disco_first_max
+
+    # Later packets obey the compact-routing bound.
+    assert stretch["Disco"].later_summary.maximum <= 3.0 + 1e-9
+    assert stretch["S4"].later_summary.maximum <= 3.0 + 1e-9
+
+    # VRR state tail heavier than Disco's.
+    vrr_summary = state["VRR"].entry_summary
+    disco_summary = state["Disco"].entry_summary
+    assert vrr_summary.maximum / vrr_summary.mean > (
+        disco_summary.maximum / disco_summary.mean
+    )
+
+    benchmark.extra_info["disco_first_max"] = round(disco_first_max, 2)
+    benchmark.extra_info["s4_first_max"] = round(s4_first_max, 2)
+    benchmark.extra_info["vrr_first_max"] = round(vrr_max, 2)

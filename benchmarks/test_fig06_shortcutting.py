@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Fig. 6 (mean stretch per shortcutting heuristic).
+
+Paper shape: No Shortcutting is the worst row; No Path Knowledge improves on
+both To-Destination and the forward/reverse selection alone; the Path
+Knowledge variants bring mean stretch very close to 1 on every topology.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig06_shortcutting
+
+
+def test_fig06_shortcutting(benchmark, scale, run_once):
+    result = run_once(fig06_shortcutting.run, scale)
+    report = fig06_shortcutting.format_report(result)
+    assert report
+
+    for topology_label in result.topology_order:
+        column = result.column(topology_label)
+        none = column["No Shortcutting"]
+        to_destination = column["To-Destination Shortcuts"]
+        no_path_knowledge = column["No Path Knowledge"]
+        path_knowledge = column["Using Path Knowledge"]
+
+        # Every heuristic only helps, and the combinations help the most.
+        assert to_destination <= none + 1e-9
+        assert no_path_knowledge <= to_destination + 1e-9
+        assert path_knowledge <= no_path_knowledge + 1e-9
+        # Path knowledge gets very close to shortest paths (paper: 1.00-1.16).
+        assert path_knowledge < 1.35
+
+        benchmark.extra_info[f"{topology_label}_none"] = round(none, 3)
+        benchmark.extra_info[f"{topology_label}_no_path_knowledge"] = round(
+            no_path_knowledge, 3
+        )
+        benchmark.extra_info[f"{topology_label}_path_knowledge"] = round(
+            path_knowledge, 3
+        )

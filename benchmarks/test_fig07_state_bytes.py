@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Fig. 7 (state in entries and kilobytes).
+
+Paper shape (router-level topology): S4 has the lowest mean but a max that
+breaks the worst-case bound by an order of magnitude; ND-Disco and Disco keep
+max ≈ mean; Disco pays a constant-factor premium over ND-Disco for
+name-independence; IPv6-sized names roughly triple the byte counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_state_bytes
+
+
+def test_fig07_state_bytes(benchmark, scale, run_once):
+    result = run_once(fig07_state_bytes.run, scale)
+    report = fig07_state_bytes.format_report(result)
+    assert report
+
+    reports = result.reports
+    s4 = reports["S4"].entry_summary
+    nddisco = reports["ND-Disco"].entry_summary
+    disco = reports["Disco"].entry_summary
+
+    # S4: best mean, but by far the most unbalanced distribution (at the
+    # paper's 192k-node scale this is what "severely breaks worst-case
+    # bounds" -- max an order of magnitude above the mean).
+    assert s4.mean < nddisco.mean
+    assert s4.maximum / s4.mean > nddisco.maximum / nddisco.mean
+    # ND-Disco / Disco stay balanced; Disco costs more than ND-Disco.
+    assert nddisco.maximum <= 2.5 * nddisco.mean
+    assert disco.maximum <= 2.5 * disco.mean
+    assert disco.mean > nddisco.mean
+
+    # Bytes: IPv6-sized names cost more than IPv4-sized names for everyone.
+    for name in ("S4", "ND-Disco", "Disco"):
+        row = reports[name].kilobytes_row()
+        assert row["kb_ipv6_mean"] > row["kb_ipv4_mean"]
+
+    benchmark.extra_info["s4_entries_mean"] = round(s4.mean, 1)
+    benchmark.extra_info["s4_entries_max"] = round(s4.maximum, 1)
+    benchmark.extra_info["nddisco_entries_mean"] = round(nddisco.mean, 1)
+    benchmark.extra_info["nddisco_entries_max"] = round(nddisco.maximum, 1)
+    benchmark.extra_info["disco_entries_mean"] = round(disco.mean, 1)
+    benchmark.extra_info["disco_kb_ipv4_mean"] = round(
+        reports["Disco"].kilobytes_row()["kb_ipv4_mean"], 2
+    )

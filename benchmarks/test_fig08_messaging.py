@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Fig. 8 (control messaging until convergence vs n).
+
+Paper shape: path vector's per-node messaging grows linearly in n and
+dominates every compact protocol; S4 sits slightly below ND-Disco (smaller
+clusters than vicinities on random graphs); Disco adds only a modest overhead
+on top of ND-Disco, and 3 fingers cost slightly more than 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_messaging
+
+
+def test_fig08_messaging(benchmark, scale, run_once):
+    result = run_once(fig08_messaging.run, scale)
+    report = fig08_messaging.format_report(result)
+    assert report
+
+    largest = max(result.sweep)
+    smallest = min(result.sweep)
+    path_vector = result.entries_per_node("Path-Vector")
+    nddisco = result.entries_per_node("ND-Disco")
+    s4 = result.entries_per_node("S4")
+    disco_one = result.entries_per_node("Disco-1-Finger")
+    disco_three = result.entries_per_node("Disco-3-Finger")
+
+    # Path vector dominates at the largest size, and its growth from the
+    # smallest to the largest size outpaces the compact protocols'.
+    assert path_vector[largest] > nddisco[largest]
+    assert path_vector[largest] > disco_three[largest]
+    pv_growth = path_vector[largest] / path_vector[smallest]
+    nd_growth = nddisco[largest] / nddisco[smallest]
+    assert pv_growth > nd_growth
+
+    # Disco adds overhead on top of ND-Disco; more fingers cost more.
+    assert disco_one[largest] > nddisco[largest]
+    assert disco_three[largest] >= disco_one[largest]
+
+    benchmark.extra_info["pv_entries_per_node"] = round(path_vector[largest], 1)
+    benchmark.extra_info["nddisco_entries_per_node"] = round(nddisco[largest], 1)
+    benchmark.extra_info["s4_entries_per_node"] = round(s4[largest], 1)
+    benchmark.extra_info["disco1_entries_per_node"] = round(disco_one[largest], 1)
+    benchmark.extra_info["disco3_entries_per_node"] = round(disco_three[largest], 1)

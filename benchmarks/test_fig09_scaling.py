@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Fig. 9 (mean stretch and mean state vs n).
+
+Paper shape: S4's first-packet stretch stays high across sizes while every
+other curve hugs 1; mean routing state grows as ~√n (growth exponent ≈ 0.5
+on the log-log fit).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_scaling
+
+
+def test_fig09_scaling(benchmark, scale, run_once):
+    result = run_once(fig09_scaling.run, scale)
+    report = fig09_scaling.format_report(result)
+    assert report
+
+    largest = max(result.sweep)
+
+    # S4-First stays well above the later-packet curves; Disco-First is close
+    # to Disco-Later.
+    assert (
+        result.mean_first_stretch["S4"][largest]
+        > result.mean_first_stretch["Disco"][largest]
+    )
+    assert result.mean_later_stretch["Disco"][largest] < 1.5
+    assert result.mean_later_stretch["S4"][largest] < 1.5
+
+    # State grows sublinearly -- the fitted exponent is far below 1 and in the
+    # √n ballpark for the compact protocols.
+    for protocol in ("Disco", "ND-Disco", "S4"):
+        exponent = result.state_growth_exponent(protocol)
+        assert 0.2 <= exponent <= 0.85
+        benchmark.extra_info[f"{protocol}_state_exponent"] = round(exponent, 3)
+
+    benchmark.extra_info["s4_first_stretch_at_max_n"] = round(
+        result.mean_first_stretch["S4"][largest], 3
+    )
+    benchmark.extra_info["disco_first_stretch_at_max_n"] = round(
+        result.mean_first_stretch["Disco"][largest], 3
+    )

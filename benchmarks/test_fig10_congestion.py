@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 10 (congestion tail on the AS-level topology).
+
+Paper shape: only a very small fraction of edges (0.05% in the paper) see
+significantly more load under Disco than under shortest-path routing; the
+bulk of the distribution matches shortest paths closely.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_congestion_as
+
+
+def test_fig10_congestion_as(benchmark, scale, run_once):
+    result = run_once(fig10_congestion_as.run, scale)
+    report = fig10_congestion_as.format_report(result)
+    assert report
+
+    disco = result.reports["Disco"]
+    s4 = result.reports["S4"]
+    shortest = result.reports["Path-Vector"]
+
+    # Median / p90 congestion of the compact schemes matches shortest paths.
+    assert disco.summary.median <= shortest.summary.median + 2
+    # Only a tiny fraction of edges exceed the shortest-path maximum load.
+    disco_tail = result.tail_excess_fraction("Disco")
+    s4_tail = result.tail_excess_fraction("S4")
+    assert disco_tail <= 0.02
+    assert s4_tail <= 0.02
+
+    benchmark.extra_info["disco_tail_excess_pct"] = round(disco_tail * 100, 3)
+    benchmark.extra_info["s4_tail_excess_pct"] = round(s4_tail * 100, 3)
+    benchmark.extra_info["disco_max_edge_load"] = disco.max_usage()
+    benchmark.extra_info["shortest_path_max_edge_load"] = shortest.max_usage()

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate the §5.2 finger-count dissemination study.
+
+Paper numbers on the 1,024-node G(n,m) graph: 1 finger -> mean/max
+announcement hop distances 5.77 / 24; 3 fingers -> 3.04 / 16, at a +3.3%
+message cost.  The shape to check: more fingers shrink hop distances at a
+small extra message cost, and coverage is complete either way.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import finger_study
+
+
+def test_finger_study(benchmark, scale, run_once):
+    result = run_once(finger_study.run, scale)
+    report = finger_study.format_report(result)
+    assert report
+
+    one = result.reports[1]
+    three = result.reports[3]
+
+    # Full coverage: every intended holder receives the announcement.
+    assert one.coverage == 1.0
+    assert three.coverage == 1.0
+    # More fingers shorten announcement travel and cost a bit more messaging.
+    assert three.mean_hop_distance <= one.mean_hop_distance
+    assert three.max_hop_distance <= one.max_hop_distance + 2
+    assert 0.0 <= result.message_increase() <= 1.0
+    # Overlay degree roughly 4 vs 8 connections (both directions counted).
+    assert result.overlay_degrees[1] < result.overlay_degrees[3]
+
+    benchmark.extra_info["mean_hops_1_finger"] = round(one.mean_hop_distance, 2)
+    benchmark.extra_info["max_hops_1_finger"] = one.max_hop_distance
+    benchmark.extra_info["mean_hops_3_fingers"] = round(three.mean_hop_distance, 2)
+    benchmark.extra_info["max_hops_3_fingers"] = three.max_hop_distance
+    benchmark.extra_info["message_increase_pct"] = round(
+        result.message_increase() * 100.0, 1
+    )

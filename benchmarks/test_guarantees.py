@@ -1,0 +1,35 @@
+"""Benchmark: verify Theorems 1 and 2 empirically across topology families.
+
+Theorem 1: first-packet stretch ≤ 7, later-packet stretch ≤ 3 (w.h.p.).
+Theorem 2: Õ(√n) routing-table entries per node.
+
+The benchmark runs Disco on G(n,m), geometric, Internet-like, ring, and the
+footnote-6 two-level-tree topologies, and checks the observed worst cases.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import guarantees
+
+
+def test_guarantees(benchmark, scale, run_once):
+    result = run_once(guarantees.run, scale)
+    report = guarantees.format_report(result)
+    assert report
+
+    for row in result.rows:
+        assert row.later_within_bound, (
+            f"{row.topology}: later-packet stretch {row.max_later_stretch} > 3"
+        )
+        assert row.first_within_bound, (
+            f"{row.topology}: first-packet stretch {row.max_first_stretch} > 7"
+        )
+        # State stays within a small constant factor of sqrt(n ln n) on every
+        # family, including the pathological ones.
+        assert row.state_bound_constant < 25.0
+        benchmark.extra_info[f"{row.topology}_max_first_stretch"] = round(
+            row.max_first_stretch, 2
+        )
+        benchmark.extra_info[f"{row.topology}_state_constant"] = round(
+            row.state_bound_constant, 2
+        )

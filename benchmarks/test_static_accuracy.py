@@ -1,0 +1,36 @@
+"""Benchmark: regenerate the §5.2 static-simulation accuracy check.
+
+Paper numbers: static-vs-discrete-event mean-stretch difference within 0.9%
+for Disco's later packets (0.7% for S4's).  The shape to check: the NDDisco
+state produced by the discrete-event route exchange yields later-packet
+stretch within a few percent of the statically computed state.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import static_accuracy
+
+
+def test_static_accuracy(benchmark, scale, run_once):
+    result = run_once(static_accuracy.run, scale)
+    report = static_accuracy.format_report(result)
+    assert report
+
+    # Later-packet stretch from dynamically learned state is within a few
+    # percent of the static model, and the learned vicinities agree broadly.
+    assert result.relative_difference <= 0.05
+    assert result.vicinity_membership_agreement >= 0.75
+    assert result.messages_per_node > 0
+
+    benchmark.extra_info["static_mean_later_stretch"] = round(
+        result.static_mean_later_stretch, 4
+    )
+    benchmark.extra_info["dynamic_mean_later_stretch"] = round(
+        result.dynamic_mean_later_stretch, 4
+    )
+    benchmark.extra_info["relative_difference_pct"] = round(
+        result.relative_difference * 100.0, 2
+    )
+    benchmark.extra_info["vicinity_agreement_pct"] = round(
+        result.vicinity_membership_agreement * 100.0, 1
+    )

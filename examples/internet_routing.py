@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Scenario: Internet-scale routing on self-certifying names.
+
+Proposals such as AIP, HIP, and LISP separate location from identity and
+route on flat (often self-certifying) identifiers; the paper argues Disco is
+the missing routing layer that makes this scalable with bounded stretch.
+This example builds an AS-level-like Internet topology, names each domain by
+the hash of a public key (a self-certifying name), and compares Disco against
+S4, VRR, and path-vector routing on the three axes of the paper's
+evaluation: per-node state, stretch, and congestion.
+
+Run:  python examples/internet_routing.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro import internet_as_level
+from repro.naming.names import FlatName
+from repro.staticsim import StaticSimulation
+from repro.utils.formatting import format_table
+
+
+def self_certifying_name(domain: int) -> FlatName:
+    """A name derived from a (synthetic) public key: hash of the key bytes."""
+    public_key = f"domain-{domain}-public-key".encode("utf-8")
+    return FlatName(hashlib.sha256(public_key).hexdigest()[:40])
+
+
+def main() -> None:
+    internet = internet_as_level(600, seed=23)
+    names = [self_certifying_name(d) for d in internet.nodes()]
+    print(f"Internet-like AS topology: {internet}")
+
+    simulation = StaticSimulation(
+        internet,
+        ("disco", "nd-disco", "s4", "vrr", "path-vector"),
+        seed=23,
+        scheme_options={
+            "disco": {"names": names},
+            "nd-disco": {"names": names},
+            "s4": {"names": names},
+            "vrr": {"names": names},
+        },
+    )
+    results = simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=True,
+        measure_congestion_flag=True,
+        pair_sample=500,
+    )
+
+    rows = []
+    for name in ("Disco", "ND-Disco", "S4", "VRR", "Path-Vector"):
+        state = results.state[name].entry_summary
+        stretch = results.stretch[name]
+        congestion = results.congestion[name]
+        rows.append(
+            [
+                name,
+                state.mean,
+                state.maximum,
+                stretch.first_summary.mean,
+                stretch.later_summary.mean,
+                congestion.summary.p99,
+                congestion.max_usage(),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "protocol",
+                "state mean",
+                "state max",
+                "first stretch",
+                "later stretch",
+                "edge load p99",
+                "edge load max",
+            ],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+    print(
+        "\nExpected shape (paper Figs. 2/4/10): Disco and ND-Disco keep state"
+        " balanced; S4's max state blows up on Internet-like graphs; VRR has"
+        " both heavy state tails and high stretch; path vector has stretch 1"
+        " but Θ(n) state per node."
+    )
+
+
+if __name__ == "__main__":
+    main()

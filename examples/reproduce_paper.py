@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper at the configured scale.
+
+Runs the full experiment suite (Figs. 1-10 plus the address-size,
+finger-count, n-estimate-error, static-accuracy, and theorem-verification
+studies) and prints each report.  Scale is controlled by the ``REPRO_SCALE``
+environment variable (default: laptop-sized topologies; see
+``repro.experiments.config``).
+
+Run:  python examples/reproduce_paper.py [experiment-id ...]
+      python examples/reproduce_paper.py --list
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import default_scale
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    selected = [arg for arg in argv if not arg.startswith("-")] or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    scale = default_scale()
+    print(f"running {len(selected)} experiments at scale '{scale.label}'\n")
+    for experiment_id in selected:
+        started = time.time()
+        _, report = run_experiment(experiment_id, scale)
+        elapsed = time.time() - started
+        print(report)
+        print(f"\n[{experiment_id} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,73 @@
+"""repro: a reproduction of "Scalable Routing on Flat Names" (Disco).
+
+The public API re-exports the pieces a downstream user typically needs:
+
+* topologies and generators (:mod:`repro.graphs`),
+* the Disco / NDDisco protocols (:mod:`repro.core`),
+* the baseline protocols the paper compares against (:mod:`repro.protocols`),
+* the evaluation metrics (:mod:`repro.metrics`),
+* the static and discrete-event simulators (:mod:`repro.staticsim`,
+  :mod:`repro.sim`),
+* the experiment harness that regenerates every table and figure
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import gnm_random_graph, DiscoRouting, measure_stretch
+
+    topology = gnm_random_graph(256, seed=1)
+    disco = DiscoRouting(topology, seed=1)
+    report = measure_stretch(disco, pair_sample=200, seed=1)
+    print(report.first_summary.mean, report.later_summary.mean)
+"""
+
+from repro.graphs import (
+    Topology,
+    geometric_random_graph,
+    gnm_random_graph,
+    internet_as_level,
+    internet_router_level,
+)
+from repro.core import (
+    DiscoRouting,
+    NDDiscoRouting,
+    ShortcutMode,
+)
+from repro.protocols import (
+    PathVectorRouting,
+    RouteResult,
+    RoutingScheme,
+    S4Routing,
+    ShortestPathRouting,
+    VirtualRingRouting,
+    build_scheme,
+)
+from repro.metrics import (
+    measure_congestion,
+    measure_state,
+    measure_stretch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiscoRouting",
+    "NDDiscoRouting",
+    "PathVectorRouting",
+    "RouteResult",
+    "RoutingScheme",
+    "S4Routing",
+    "ShortcutMode",
+    "ShortestPathRouting",
+    "Topology",
+    "VirtualRingRouting",
+    "__version__",
+    "build_scheme",
+    "geometric_random_graph",
+    "gnm_random_graph",
+    "internet_as_level",
+    "internet_router_level",
+    "measure_congestion",
+    "measure_state",
+    "measure_stretch",
+]

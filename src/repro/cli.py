@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+The CLI wraps the library's most common workflows so that a downstream user
+can reproduce the paper or study their own topology without writing code::
+
+    python -m repro list                              # experiment ids
+    python -m repro run fig04-gnm-comparison          # one experiment
+    python -m repro run --all                         # everything
+    python -m repro generate gnm 1024 --out net.edges # write a topology
+    python -m repro profile net.edges                 # structural profile
+    python -m repro compare net.edges --protocols disco s4 vrr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.config import default_scale
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.graphs.analysis import profile_topology
+from repro.graphs.generators import (
+    geometric_random_graph,
+    gnm_random_graph,
+    internet_as_level,
+    internet_router_level,
+)
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.protocols.registry import available_schemes
+from repro.staticsim.simulation import StaticSimulation
+from repro.utils.formatting import format_table
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "gnm": gnm_random_graph,
+    "geometric": geometric_random_graph,
+    "as-level": internet_as_level,
+    "router-level": internet_router_level,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scalable Routing on Flat Names' (Disco).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("experiments", nargs="*", help="experiment ids")
+    run_parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="generate a topology and write it as an edge list"
+    )
+    generate_parser.add_argument("family", choices=sorted(_GENERATORS))
+    generate_parser.add_argument("nodes", type=int)
+    generate_parser.add_argument("--seed", type=int, default=0)
+    generate_parser.add_argument("--out", required=True, help="output file path")
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="print a structural profile of an edge-list topology"
+    )
+    profile_parser.add_argument("path")
+    profile_parser.add_argument("--seed", type=int, default=0)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare protocols on an edge-list topology"
+    )
+    compare_parser.add_argument("path")
+    compare_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["disco", "nd-disco", "s4"],
+        choices=available_schemes(),
+    )
+    compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument("--pairs", type=int, default=300)
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id in EXPERIMENTS:
+        print(experiment_id)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    selected = list(EXPERIMENTS) if args.all else list(args.experiments)
+    if not selected:
+        print("no experiments selected (pass ids or --all)", file=sys.stderr)
+        return 2
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    scale = default_scale()
+    for experiment_id in selected:
+        _, report = run_experiment(experiment_id, scale)
+        print(report)
+        print()
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    generator = _GENERATORS[args.family]
+    topology = generator(args.nodes, seed=args.seed)
+    write_edge_list(topology, args.out)
+    print(
+        f"wrote {topology.num_nodes} nodes / {topology.num_edges} edges to {args.out}"
+    )
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    topology = read_edge_list(args.path)
+    profile = profile_topology(topology, seed=args.seed)
+    rows = [
+        ["nodes", profile.num_nodes],
+        ["edges", profile.num_edges],
+        ["average degree", profile.average_degree],
+        ["max degree", profile.max_degree],
+        ["mean path length", profile.path_length_summary.mean],
+        ["estimated diameter", profile.estimated_diameter],
+    ]
+    print(format_table(["property", "value"], rows, float_format="{:.2f}"))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    topology = read_edge_list(args.path)
+    if not topology.is_connected():
+        topology, _ = topology.largest_component_subgraph()
+        print(
+            f"note: using the largest connected component ({topology.num_nodes} nodes)"
+        )
+    simulation = StaticSimulation(topology, args.protocols, seed=args.seed)
+    results = simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=True,
+        pair_sample=args.pairs,
+    )
+    rows = []
+    for name in sorted(results.state):
+        state = results.state[name].entry_summary
+        stretch = results.stretch[name]
+        rows.append(
+            [
+                name,
+                state.mean,
+                state.maximum,
+                stretch.first_summary.mean,
+                stretch.later_summary.mean,
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "state mean", "state max", "first stretch", "later stretch"],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "profile":
+        return _command_profile(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,306 @@
+"""Disco: name-independent compact routing on flat names (§4.4-§4.5).
+
+Disco composes three pieces, all built in this package:
+
+1. **NDDisco** (:class:`~repro.core.nddisco.NDDiscoRouting`) -- landmarks,
+   vicinities, and addresses with explicit routes;
+2. the **landmark name-resolution database** (§4.3), used as a fallback and
+   for overlay finger lookups;
+3. the **distributed name database**: sloppy groups, the Symphony-style
+   overlay, and the direction-monotone dissemination protocol that places
+   every node's address at all members of its sloppy group.
+
+Routing a first packet from s to t (§4.4 "Routing"):
+
+* if s holds a direct route (t is a landmark or t ∈ V(s)) -- use it;
+* else if s stores t's address (s ∈ G(t)) -- route via NDDisco;
+* otherwise s picks the vicinity member w with the longest prefix match
+  between h(w) and h(t); w.h.p. w ∈ G(t) and knows t's address, so the packet
+  travels s ; w ; ℓt ; t (stretch ≤ 7, Theorem 1);
+* in the vanishingly rare case that w does not know t's address, the packet
+  falls back to the landmark resolution database (§4.3).
+
+Later packets use NDDisco with the destination's handshake (stretch ≤ 3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.addressing.address import NAME_BYTES_IPV4
+from repro.core.nddisco import NDDiscoRouting
+from repro.core.overlay import DisseminationOverlay
+from repro.core.shortcutting import ShortcutMode, apply_shortcuts
+from repro.core.sloppy_groups import SloppyGrouping
+from repro.core.vicinity import VicinityTable
+from repro.graphs.topology import Topology
+from repro.naming.hashspace import hash_prefix
+from repro.naming.names import FlatName
+from repro.protocols.base import RouteResult, RoutingScheme
+
+__all__ = ["DiscoRouting"]
+
+
+class DiscoRouting(RoutingScheme):
+    """Converged-state model of the full Disco protocol.
+
+    Parameters
+    ----------
+    topology:
+        The (connected) network.
+    seed:
+        Seed for landmark selection and overlay finger draws.
+    shortcut_mode:
+        Shortcutting heuristic for relay routes (default: No Path Knowledge,
+        as in the paper's headline results).
+    num_fingers:
+        Outgoing overlay fingers per node (1 or 3 in the paper).
+    estimated_n:
+        Estimate(s) of the network size used for sloppy grouping -- a single
+        value or a per-node mapping.  Defaults to the true n.  The
+        §5.2 error-injection experiment passes per-node perturbed values.
+    nddisco:
+        Optionally reuse an existing :class:`NDDiscoRouting` built on the
+        same topology (saves recomputing landmarks, vicinities, and
+        addresses when an experiment evaluates both protocols).
+    """
+
+    name = "Disco"
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        seed: int = 0,
+        shortcut_mode: ShortcutMode = ShortcutMode.NO_PATH_KNOWLEDGE,
+        vicinity_scale: float = 1.0,
+        num_fingers: int = 1,
+        estimated_n: float | Mapping[int, float] | None = None,
+        names: Sequence[FlatName] | None = None,
+        nddisco: NDDiscoRouting | None = None,
+    ) -> None:
+        super().__init__(topology)
+        if nddisco is not None:
+            if nddisco.topology is not topology:
+                raise ValueError("nddisco was built on a different topology")
+            self._nddisco = nddisco
+        else:
+            self._nddisco = NDDiscoRouting(
+                topology,
+                seed=seed,
+                shortcut_mode=shortcut_mode,
+                vicinity_scale=vicinity_scale,
+                names=names,
+                resolve_first_packet=True,
+            )
+        self._shortcut_mode = self._nddisco.shortcut_mode
+        self._grouping = SloppyGrouping(self._nddisco.names, estimated_n)
+        self._overlay = DisseminationOverlay(
+            self._grouping, num_fingers=num_fingers, seed=seed
+        )
+        self._group_entry_counts, self._group_entry_bytes = (
+            self._compute_group_storage()
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    def _compute_group_storage(self) -> tuple[list[int], dict[int, float]]:
+        """Count stored sloppy-group address mappings (and bytes) per node.
+
+        Node ``h`` stores node ``o``'s address iff their hashes share at
+        least ``max(k_h, k_o)`` bits (the converged core-group condition).
+        Buckets are built per distinct prefix length so the computation is
+        O(n · #distinct-k) rather than O(n²).
+        """
+        grouping = self._grouping
+        addresses = self._nddisco.addresses
+        n = grouping.num_nodes
+        distinct_ks = sorted({grouping.prefix_bits_of(v) for v in range(n)})
+
+        # buckets[(bits, owner_k)][prefix] -> (count, total mapping bytes)
+        buckets: dict[tuple[int, int], dict[int, tuple[int, float]]] = {}
+        for owner_k in distinct_ks:
+            owners = [v for v in range(n) if grouping.prefix_bits_of(v) == owner_k]
+            for bits in distinct_ks:
+                needed = max(bits, owner_k)
+                key = (needed, owner_k)
+                if key in buckets:
+                    continue
+                bucket: dict[int, tuple[int, float]] = {}
+                for owner in owners:
+                    prefix = hash_prefix(grouping.hash_of(owner), needed)
+                    count, total = bucket.get(prefix, (0, 0.0))
+                    bucket[prefix] = (
+                        count + 1,
+                        total + addresses[owner].mapping_entry_bytes(NAME_BYTES_IPV4),
+                    )
+                buckets[key] = bucket
+
+        counts = [0] * n
+        byte_totals: dict[int, float] = {}
+        for holder in range(n):
+            holder_k = grouping.prefix_bits_of(holder)
+            holder_hash = grouping.hash_of(holder)
+            total_count = 0
+            total_bytes = 0.0
+            for owner_k in distinct_ks:
+                needed = max(holder_k, owner_k)
+                bucket = buckets[(needed, owner_k)]
+                prefix = hash_prefix(holder_hash, needed)
+                count, bytes_sum = bucket.get(prefix, (0, 0.0))
+                total_count += count
+                total_bytes += bytes_sum
+            # Exclude the holder's own record (it knows its own address anyway
+            # and the paper counts stored *mappings* for other nodes).
+            own_bytes = self._nddisco.addresses[holder].mapping_entry_bytes(
+                NAME_BYTES_IPV4
+            )
+            counts[holder] = max(0, total_count - 1)
+            byte_totals[holder] = max(0.0, total_bytes - own_bytes)
+        return counts, byte_totals
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def nddisco(self) -> NDDiscoRouting:
+        """The underlying name-dependent protocol instance."""
+        return self._nddisco
+
+    @property
+    def shortcut_mode(self) -> ShortcutMode:
+        """The shortcutting heuristic in force (shared with NDDisco)."""
+        return self._shortcut_mode
+
+    @shortcut_mode.setter
+    def shortcut_mode(self, mode: ShortcutMode) -> None:
+        """Switch the heuristic for both Disco and its underlying NDDisco."""
+        if not isinstance(mode, ShortcutMode):
+            raise TypeError(f"expected ShortcutMode, got {type(mode).__name__}")
+        self._shortcut_mode = mode
+        self._nddisco.shortcut_mode = mode
+
+    @property
+    def grouping(self) -> SloppyGrouping:
+        """The sloppy grouping in force."""
+        return self._grouping
+
+    @property
+    def overlay(self) -> DisseminationOverlay:
+        """The dissemination overlay."""
+        return self._overlay
+
+    @property
+    def landmarks(self) -> set[int]:
+        """The landmark set."""
+        return self._nddisco.landmarks
+
+    @property
+    def vicinities(self) -> list[VicinityTable]:
+        """Per-node vicinities."""
+        return self._nddisco.vicinities
+
+    def group_address_entries(self, node: int) -> int:
+        """Sloppy-group address mappings stored at ``node`` (excluding its own)."""
+        return self._group_entry_counts[node]
+
+    # -- state accounting -------------------------------------------------------
+
+    def state_entries(self, node: int) -> int:
+        """NDDisco entries plus sloppy-group address mappings plus overlay links."""
+        self._check_endpoints(node, node)
+        return (
+            self._nddisco.state_entries(node)
+            + self._group_entry_counts[node]
+            + self._overlay.degree(node)
+        )
+
+    def state_bytes(self, node: int, *, name_bytes: int = NAME_BYTES_IPV4) -> float:
+        """Bytes of data-plane state at ``node`` (Fig. 7 accounting)."""
+        base = self._nddisco.state_bytes(node, name_bytes=name_bytes)
+        group_bytes = self._group_entry_bytes[node]
+        if name_bytes != NAME_BYTES_IPV4:
+            # The cached byte totals were computed with IPv4-sized names;
+            # rescale the per-entry fixed cost (two names per mapping entry).
+            delta_per_entry = 2.0 * (name_bytes - NAME_BYTES_IPV4)
+            group_bytes += self._group_entry_counts[node] * delta_per_entry
+        overlay_bytes = 0.0
+        for neighbor in self._overlay.neighbors(node):
+            overlay_bytes += self._nddisco.addresses[neighbor].mapping_entry_bytes(
+                name_bytes
+            )
+        return base + group_bytes + overlay_bytes
+
+    # -- routing ----------------------------------------------------------------
+
+    def knows_address(self, holder: int, owner: int) -> bool:
+        """True if ``holder`` stores ``owner``'s address after convergence."""
+        return self._grouping.stores_address_of(holder, owner)
+
+    def _group_contact(self, source: int, target: int) -> int | None:
+        """The vicinity member of ``source`` most likely to know ``target``'s address."""
+        vicinity = self._nddisco.vicinities[source]
+        candidates = {
+            member: distance
+            for member, distance in vicinity.distances.items()
+            if member != source
+        }
+        return self._grouping.best_group_contact(target, candidates)
+
+    def first_packet_route(self, source: int, target: int) -> RouteResult:
+        """Route the first packet of a flow (stretch ≤ 7 w.h.p.)."""
+        self._check_endpoints(source, target)
+        nddisco = self._nddisco
+        if source == target:
+            return RouteResult(path=(source,), mechanism="self")
+        if nddisco.knows_direct_route(source, target):
+            return RouteResult(
+                path=tuple(nddisco.direct_route(source, target)), mechanism="direct"
+            )
+        if self.knows_address(source, target):
+            path, _ = nddisco.compact_route(source, target)
+            return RouteResult(path=tuple(path), mechanism="known-address")
+
+        contact = self._group_contact(source, target)
+        if contact is not None and self.knows_address(contact, target):
+            forward = self._via_contact_route(source, contact, target)
+            reverse = None
+            if self._shortcut_mode.uses_reverse_route:
+                reverse = self._reverse_first_packet_route(source, target)
+            path = apply_shortcuts(
+                self._topology,
+                nddisco.vicinities,
+                forward,
+                self._shortcut_mode,
+                reverse_route=reverse,
+            )
+            return RouteResult(path=tuple(path), mechanism="group-contact")
+
+        # Vanishingly rare: no vicinity member knows the address.  Fall back
+        # to the landmark resolution database (§4.3 / §4.4).
+        result = nddisco.first_packet_route(source, target)
+        return RouteResult(path=result.path, mechanism="resolution-fallback")
+
+    def _via_contact_route(self, source: int, contact: int, target: int) -> list[int]:
+        """The raw s ; w ; ℓt ; t route through group contact ``contact``."""
+        nddisco = self._nddisco
+        to_contact = nddisco.vicinities[source].path_to(contact)
+        if contact == target:
+            return to_contact
+        onward = nddisco.relay_route(contact, target)
+        return to_contact + onward[1:]
+
+    def _reverse_first_packet_route(self, source: int, target: int) -> list[int]:
+        """The symmetric t ; w' ; ℓs ; s route used by reverse-path selection."""
+        nddisco = self._nddisco
+        if nddisco.knows_direct_route(target, source):
+            return nddisco.direct_route(target, source)
+        if self.knows_address(target, source):
+            return nddisco.relay_route(target, source)
+        contact = self._group_contact(target, source)
+        if contact is not None and self.knows_address(contact, source):
+            return self._via_contact_route(target, contact, source)
+        return nddisco.relay_route(target, source)
+
+    def later_packet_route(self, source: int, target: int) -> RouteResult:
+        """Route packets after the first (stretch ≤ 3, via NDDisco handshake)."""
+        return self._nddisco.later_packet_route(source, target)

@@ -1,0 +1,406 @@
+"""NDDisco: the name-dependent distributed compact routing protocol (§4.2).
+
+NDDisco is the foundation Disco is built on.  Each node:
+
+* knows shortest paths to every **landmark** (selected randomly with
+  probability sqrt(log n / n)),
+* knows shortest paths to every node in its **vicinity** (the Θ(√(n log n))
+  closest nodes),
+* owns an **address** (ℓv, ℓv ; v): its closest landmark plus an explicit,
+  label-encoded route from that landmark down to itself,
+* if it is a landmark, additionally hosts a share of the consistent-hashing
+  **name-resolution database** mapping names to addresses (§4.3).
+
+This module models the *converged* protocol state (what path-vector route
+learning produces once it quiesces; the dynamic message exchange itself is
+modelled in :mod:`repro.sim`) and answers the evaluation's state and routing
+queries through the :class:`~repro.protocols.base.RoutingScheme` interface.
+
+Routing behaviour:
+
+* **first packet** -- the sender does not know the destination's address, so
+  (as in the paper's evaluation setup, §5.1, where NDDisco is "coupled with
+  the landmark-based name resolution database") the packet detours through
+  the landmark that owns h(t) in the resolution database, then proceeds
+  toward t via the compact route.  Set ``resolve_first_packet=False`` to get
+  the pure name-dependent behaviour (sender magically knows the address),
+  whose stretch is at most 5.
+* **later packets** -- the destination's handshake either hands the sender an
+  exact shortest path (when s ∈ V(t)) or confirms the relay route; stretch is
+  at most 3 (Theorem 1 / [44]).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.addressing.address import Address, NAME_BYTES_IPV4
+from repro.addressing.explicit_route import ExplicitRoute
+from repro.addressing.labels import LabelCodec
+from repro.core.landmarks import select_landmarks
+from repro.core.resolution import LandmarkResolutionDatabase
+from repro.core.shortcutting import ShortcutMode, apply_shortcuts
+from repro.core.vicinity import VicinityTable, compute_vicinities
+from repro.graphs.shortest_paths import dijkstra
+from repro.graphs.topology import Topology
+from repro.naming.names import FlatName, name_for_node
+from repro.protocols.base import RouteResult, RoutingScheme
+
+__all__ = ["NDDiscoRouting"]
+
+
+class NDDiscoRouting(RoutingScheme):
+    """Converged-state model of NDDisco.
+
+    Parameters
+    ----------
+    topology:
+        The (connected) network.
+    seed:
+        Seed for landmark selection.
+    shortcut_mode:
+        Shortcutting heuristic applied to relay routes.  The paper's headline
+        results use ``NO_PATH_KNOWLEDGE``.
+    vicinity_scale:
+        Constant factor on the Θ(√(n log n)) vicinity size.
+    landmarks:
+        Optional externally chosen landmark set (operators may pick
+        landmarks non-randomly, §6); defaults to the random rule.
+    names:
+        Flat names per node; default ``node-<id>``.
+    resolve_first_packet:
+        If True (default), first packets detour through the resolution
+        database's home landmark for the destination name.
+    resolution_virtual_nodes:
+        Virtual ring points per landmark in the resolution database.
+    """
+
+    name = "ND-Disco"
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        seed: int = 0,
+        shortcut_mode: ShortcutMode = ShortcutMode.NO_PATH_KNOWLEDGE,
+        vicinity_scale: float = 1.0,
+        landmarks: set[int] | None = None,
+        names: Sequence[FlatName] | None = None,
+        vicinities: Sequence[VicinityTable] | None = None,
+        resolve_first_packet: bool = True,
+        resolution_virtual_nodes: int = 1,
+    ) -> None:
+        super().__init__(topology)
+        self._seed = seed
+        self._shortcut_mode = shortcut_mode
+        self._resolve_first_packet = resolve_first_packet
+        n = topology.num_nodes
+
+        self._names: list[FlatName] = (
+            list(names) if names is not None else [name_for_node(v) for v in range(n)]
+        )
+        if len(self._names) != n:
+            raise ValueError(
+                f"names must have exactly {n} entries, got {len(self._names)}"
+            )
+
+        self._landmarks: set[int] = (
+            set(landmarks) if landmarks is not None else select_landmarks(n, seed=seed)
+        )
+        for landmark in self._landmarks:
+            if not 0 <= landmark < n:
+                raise ValueError(f"landmark {landmark} out of range")
+        if not self._landmarks:
+            raise ValueError("landmark set must be non-empty")
+
+        # Shortest-path trees rooted at each landmark: distance and parent
+        # per node, stored as dense lists for memory efficiency.
+        self._landmark_distances: dict[int, list[float]] = {}
+        self._landmark_parents: dict[int, list[int]] = {}
+        for landmark in sorted(self._landmarks):
+            distances, parents = dijkstra(topology, landmark)
+            dist_row = [0.0] * n
+            parent_row = [-1] * n
+            for node, value in distances.items():
+                dist_row[node] = value
+            for node, parent in parents.items():
+                parent_row[node] = parent
+            self._landmark_distances[landmark] = dist_row
+            self._landmark_parents[landmark] = parent_row
+
+        # Closest landmark per node (ties broken by landmark id).
+        self._closest_landmark: list[int] = []
+        for node in range(n):
+            best = min(
+                sorted(self._landmarks),
+                key=lambda lm: (self._landmark_distances[lm][node], lm),
+            )
+            self._closest_landmark.append(best)
+
+        # Vicinities.
+        self._vicinities: list[VicinityTable] = (
+            list(vicinities)
+            if vicinities is not None
+            else compute_vicinities(topology, scale=vicinity_scale)
+        )
+        if len(self._vicinities) != n:
+            raise ValueError("vicinities must cover every node")
+
+        # Addresses: explicit route from the closest landmark down its SPT.
+        self._codec = LabelCodec(topology)
+        self._addresses: list[Address] = []
+        for node in range(n):
+            landmark = self._closest_landmark[node]
+            tree_path = _extract_path_dense(
+                self._landmark_parents[landmark], landmark, node
+            )
+            route = ExplicitRoute.from_path(self._codec, tree_path)
+            self._addresses.append(Address(node=node, landmark=landmark, route=route))
+
+        # Name-resolution database over the landmarks.
+        self._resolution = LandmarkResolutionDatabase(
+            self._landmarks, virtual_nodes=resolution_virtual_nodes
+        )
+        self._resolution.populate(self._names, self._addresses)
+
+    # -- accessors used by Disco and the experiments ------------------------
+
+    @property
+    def landmarks(self) -> set[int]:
+        """The landmark set (a copy)."""
+        return set(self._landmarks)
+
+    @property
+    def vicinities(self) -> list[VicinityTable]:
+        """Per-node vicinity tables (indexed by node id)."""
+        return self._vicinities
+
+    @property
+    def addresses(self) -> list[Address]:
+        """Per-node addresses (indexed by node id)."""
+        return self._addresses
+
+    @property
+    def names(self) -> list[FlatName]:
+        """Per-node flat names (indexed by node id)."""
+        return self._names
+
+    @property
+    def codec(self) -> LabelCodec:
+        """The label codec defining per-hop forwarding labels."""
+        return self._codec
+
+    @property
+    def resolution_database(self) -> LandmarkResolutionDatabase:
+        """The landmark-hosted name-resolution database."""
+        return self._resolution
+
+    @property
+    def shortcut_mode(self) -> ShortcutMode:
+        """The shortcutting heuristic in force."""
+        return self._shortcut_mode
+
+    @shortcut_mode.setter
+    def shortcut_mode(self, mode: ShortcutMode) -> None:
+        """Switch the shortcutting heuristic (routing-time only; no rebuild)."""
+        if not isinstance(mode, ShortcutMode):
+            raise TypeError(f"expected ShortcutMode, got {type(mode).__name__}")
+        self._shortcut_mode = mode
+
+    def closest_landmark(self, node: int) -> int:
+        """Return ℓv, the landmark closest to ``node``."""
+        return self._closest_landmark[node]
+
+    def address_of(self, node: int) -> Address:
+        """Return the address of ``node``."""
+        return self._addresses[node]
+
+    def landmark_distance(self, landmark: int, node: int) -> float:
+        """Return d(landmark, node).
+
+        Raises
+        ------
+        KeyError
+            If ``landmark`` is not a landmark.
+        """
+        if landmark not in self._landmark_distances:
+            raise KeyError(f"{landmark} is not a landmark")
+        return self._landmark_distances[landmark][node]
+
+    def landmark_path(self, landmark: int, node: int) -> list[int]:
+        """Return the landmark's SPT path from ``landmark`` to ``node``."""
+        if landmark not in self._landmark_parents:
+            raise KeyError(f"{landmark} is not a landmark")
+        return _extract_path_dense(self._landmark_parents[landmark], landmark, node)
+
+    # -- state accounting ---------------------------------------------------
+
+    def label_mapping_entries(self, node: int) -> int:
+        """Forwarding-label mapping entries at ``node``.
+
+        "The node really needs to remember the mapping only for those
+        forwarding labels that will actually be used; these will be for the
+        neighbors leading along shortest paths to landmarks or nodes in the
+        node's vicinity" (§4.5 Theorem 2).
+        """
+        used_neighbors: set[int] = set()
+        for landmark in self._landmarks:
+            if landmark == node:
+                continue
+            parent = self._landmark_parents[landmark][node]
+            if parent >= 0:
+                used_neighbors.add(parent)
+        vicinity = self._vicinities[node]
+        for member, parent in vicinity.predecessors.items():
+            if parent == node:
+                used_neighbors.add(member)
+        return len(used_neighbors)
+
+    def resolution_entries(self, node: int) -> int:
+        """Name-resolution records hosted at ``node`` (0 for non-landmarks)."""
+        return self._resolution.entries_at(node)
+
+    def state_entries(self, node: int) -> int:
+        """Data-plane entries: landmarks + vicinity + label mappings + resolution."""
+        self._check_endpoints(node, node)
+        vicinity = self._vicinities[node]
+        landmark_entries = len(self._landmarks) - (1 if node in self._landmarks else 0)
+        vicinity_entries = len(vicinity) - 1  # exclude the node itself
+        return (
+            landmark_entries
+            + vicinity_entries
+            + self.label_mapping_entries(node)
+            + self.resolution_entries(node)
+        )
+
+    def state_bytes(self, node: int, *, name_bytes: int = NAME_BYTES_IPV4) -> float:
+        """Data-plane state at ``node`` in bytes (see Fig. 7).
+
+        Each landmark / vicinity forwarding entry costs one name plus a
+        one-byte next-hop label; label-mapping entries cost two bytes (label
+        plus interface); each resolution record costs the destination name
+        plus its full address (landmark name plus explicit-route labels).
+        """
+        vicinity = self._vicinities[node]
+        landmark_entries = len(self._landmarks) - (1 if node in self._landmarks else 0)
+        vicinity_entries = len(vicinity) - 1
+        forwarding_bytes = (landmark_entries + vicinity_entries) * (name_bytes + 1.0)
+        label_bytes = self.label_mapping_entries(node) * 2.0
+        resolution_bytes = self._resolution.entry_bytes_at(node, name_bytes=name_bytes)
+        return forwarding_bytes + label_bytes + resolution_bytes
+
+    # -- routing ------------------------------------------------------------
+
+    def knows_direct_route(self, source: int, target: int) -> bool:
+        """True if ``source`` holds a shortest path to ``target`` in its tables."""
+        return target in self._landmarks or target in self._vicinities[source]
+
+    def direct_route(self, source: int, target: int) -> list[int]:
+        """Return the shortest path ``source`` holds toward ``target``.
+
+        Only valid when :meth:`knows_direct_route` is True.
+        """
+        if target in self._vicinities[source]:
+            return self._vicinities[source].path_to(target)
+        if target in self._landmarks:
+            # Reverse of the landmark's SPT path to the source.
+            return list(reversed(self.landmark_path(target, source)))
+        raise ValueError(f"{source} holds no direct route to {target}")
+
+    def relay_route(self, source: int, target: int) -> list[int]:
+        """Return the raw relay route source ; ℓt ; t (no shortcuts)."""
+        landmark = self._closest_landmark[target]
+        to_landmark = list(reversed(self.landmark_path(landmark, source)))
+        from_landmark = list(self._addresses[target].route.path)
+        return to_landmark + from_landmark[1:]
+
+    def compact_route(self, source: int, target: int) -> tuple[list[int], str]:
+        """Route using converged NDDisco state, assuming the address is known.
+
+        Returns the path and the mechanism label.
+        """
+        self._check_endpoints(source, target)
+        if source == target:
+            return [source], "self"
+        if self.knows_direct_route(source, target):
+            return self.direct_route(source, target), "direct"
+        forward = self.relay_route(source, target)
+        reverse = (
+            self.relay_route(target, source)
+            if self._shortcut_mode.uses_reverse_route
+            else None
+        )
+        path = apply_shortcuts(
+            self._topology,
+            self._vicinities,
+            forward,
+            self._shortcut_mode,
+            reverse_route=reverse,
+        )
+        return path, "landmark-relay"
+
+    def first_packet_route(self, source: int, target: int) -> RouteResult:
+        """First packet: resolve the name (if configured), then compact-route."""
+        self._check_endpoints(source, target)
+        if source == target:
+            return RouteResult(path=(source,), mechanism="self")
+        if self.knows_direct_route(source, target):
+            return RouteResult(
+                path=tuple(self.direct_route(source, target)), mechanism="direct"
+            )
+        if not self._resolve_first_packet:
+            path, mechanism = self.compact_route(source, target)
+            return RouteResult(path=tuple(path), mechanism=mechanism)
+        resolver = self._resolution.home_landmark(self._names[target])
+        to_resolver = list(reversed(self.landmark_path(resolver, source)))
+        if resolver == target:
+            return RouteResult(path=tuple(to_resolver), mechanism="resolver-is-target")
+        onward, _ = self.compact_route(resolver, target)
+        full = to_resolver + onward[1:]
+        return RouteResult(
+            path=tuple(_trim_at_destination(full, target)),
+            mechanism="resolve-then-route",
+        )
+
+    def later_packet_route(self, source: int, target: int) -> RouteResult:
+        """Later packets: handshake gives a shortest path when s ∈ V(t)."""
+        self._check_endpoints(source, target)
+        if source == target:
+            return RouteResult(path=(source,), mechanism="self")
+        if self.knows_direct_route(source, target):
+            return RouteResult(
+                path=tuple(self.direct_route(source, target)), mechanism="direct"
+            )
+        if source in self._vicinities[target]:
+            # t knows the shortest path s ; t and informs s (handshake).
+            reverse = self._vicinities[target].path_to(source)
+            return RouteResult(
+                path=tuple(reversed(reverse)), mechanism="handshake"
+            )
+        path, mechanism = self.compact_route(source, target)
+        return RouteResult(path=tuple(path), mechanism=mechanism)
+
+
+def _extract_path_dense(parents: list[int], root: int, node: int) -> list[int]:
+    """Reconstruct the root ; node path from a dense parent list (-1 = none)."""
+    if node == root:
+        return [root]
+    path = [node]
+    current = node
+    steps = 0
+    limit = len(parents)
+    while current != root:
+        parent = parents[current]
+        if parent < 0 or steps > limit:
+            raise ValueError(f"node {node} not reachable from root {root}")
+        path.append(parent)
+        current = parent
+        steps += 1
+    path.reverse()
+    return path
+
+
+def _trim_at_destination(path: list[int], destination: int) -> list[int]:
+    """Cut ``path`` at the first time it reaches ``destination``."""
+    index = path.index(destination)
+    return path[: index + 1]

@@ -1,0 +1,194 @@
+"""Shortcutting heuristics (§4.2, evaluated in Fig. 6).
+
+A compact-routing relay route s ; ℓt ; t can be far from shortest even when
+the stretch bound holds; the paper layers cheap heuristics on top:
+
+* **To-Destination** (from S4): "if at any point the packet passes through a
+  node which knows a direct path to t, then the direct path is followed."
+* **Shorter{ReversePath, ForwardPath}**: "we try both the forward and reverse
+  routes s→t and t→s, and use the shorter of these."
+* **No Path Knowledge**: To-Destination combined with forward/reverse
+  selection -- the default used for all headline results.
+* **Up-Down Stream**: "every node along the route [inspects] the route and
+  see[s] whether it knows a shorter path to any of the nodes along the route
+  (via its vicinity routes)" -- requires carrying the node identifiers of the
+  whole route on the first packet.
+* **Path Knowledge**: Up-Down-Stream combined with forward/reverse selection.
+
+The heuristics operate purely on information nodes legitimately hold
+(vicinity routes), so they never violate the protocol's state bound; they can
+only shorten routes, so the stretch guarantees are preserved.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.core.vicinity import VicinityTable
+from repro.graphs.shortest_paths import path_length
+from repro.graphs.topology import Topology
+
+__all__ = ["ShortcutMode", "apply_shortcuts", "truncate_at_destination"]
+
+
+class ShortcutMode(enum.Enum):
+    """Which shortcutting heuristic to apply to relay routes."""
+
+    NONE = "none"
+    TO_DESTINATION = "to-destination"
+    SHORTER_REVERSE_FORWARD = "shorter-reverse-forward"
+    NO_PATH_KNOWLEDGE = "no-path-knowledge"
+    UP_DOWN_STREAM = "up-down-stream"
+    PATH_KNOWLEDGE = "path-knowledge"
+
+    @property
+    def uses_reverse_route(self) -> bool:
+        """True if the mode compares the forward route against the reverse one."""
+        return self in (
+            ShortcutMode.SHORTER_REVERSE_FORWARD,
+            ShortcutMode.NO_PATH_KNOWLEDGE,
+            ShortcutMode.PATH_KNOWLEDGE,
+        )
+
+    @property
+    def per_hop_heuristic(self) -> str:
+        """The per-hop transformation: 'none', 'to-destination' or 'up-down-stream'."""
+        if self in (ShortcutMode.TO_DESTINATION, ShortcutMode.NO_PATH_KNOWLEDGE):
+            return "to-destination"
+        if self in (ShortcutMode.UP_DOWN_STREAM, ShortcutMode.PATH_KNOWLEDGE):
+            return "up-down-stream"
+        return "none"
+
+
+def truncate_at_destination(route: Sequence[int]) -> list[int]:
+    """Cut the route at the first time it touches its own destination.
+
+    A relay route s ; ℓt ; t can pass through t on the way to ℓt; any real
+    forwarding plane delivers the packet at that point, so every heuristic
+    (including "no shortcutting") applies this truncation.
+    """
+    if not route:
+        return []
+    destination = route[-1]
+    first_index = route.index(destination)
+    return list(route[: first_index + 1])
+
+
+def _shortcut_to_destination(
+    route: Sequence[int], vicinities: Sequence[VicinityTable]
+) -> list[int]:
+    """Splice in a direct vicinity path from the first node that knows one."""
+    if len(route) <= 1:
+        return list(route)
+    destination = route[-1]
+    for index, node in enumerate(route[:-1]):
+        if destination in vicinities[node]:
+            return list(route[:index]) + vicinities[node].path_to(destination)
+    return list(route)
+
+
+def _shortcut_up_down_stream(
+    topology: Topology,
+    route: Sequence[int],
+    vicinities: Sequence[VicinityTable],
+    *,
+    max_passes: int = 8,
+) -> list[int]:
+    """Let every node splice in a shorter vicinity path to any downstream node.
+
+    Scans the route front to back; at each position it looks for the
+    *farthest* downstream node it holds a strictly shorter vicinity route to
+    and splices that route in.  Repeats until a pass makes no change (the
+    total length strictly decreases with every splice, so this terminates;
+    ``max_passes`` is a safety valve only).
+    """
+    current = list(route)
+    for _ in range(max_passes):
+        changed = False
+        index = 0
+        while index < len(current) - 1:
+            node = current[index]
+            vicinity = vicinities[node]
+            best_splice: list[int] | None = None
+            best_target_index = -1
+            # Prefer the farthest downstream improvement.
+            for target_index in range(len(current) - 1, index, -1):
+                target = current[target_index]
+                if target not in vicinity:
+                    continue
+                segment = current[index : target_index + 1]
+                segment_length = path_length(topology, segment)
+                if vicinity.distance_to(target) < segment_length:
+                    best_splice = vicinity.path_to(target)
+                    best_target_index = target_index
+                    break
+            if best_splice is not None:
+                current = (
+                    current[:index] + best_splice + current[best_target_index + 1 :]
+                )
+                changed = True
+            index += 1
+        if not changed:
+            break
+    return current
+
+
+def _apply_per_hop(
+    topology: Topology,
+    route: Sequence[int],
+    vicinities: Sequence[VicinityTable],
+    heuristic: str,
+) -> list[int]:
+    truncated = truncate_at_destination(route)
+    if heuristic == "none":
+        return truncated
+    if heuristic == "to-destination":
+        return _shortcut_to_destination(truncated, vicinities)
+    if heuristic == "up-down-stream":
+        return _shortcut_up_down_stream(topology, truncated, vicinities)
+    raise ValueError(f"unknown per-hop heuristic {heuristic!r}")
+
+
+def apply_shortcuts(
+    topology: Topology,
+    vicinities: Sequence[VicinityTable],
+    forward_route: Sequence[int],
+    mode: ShortcutMode,
+    *,
+    reverse_route: Sequence[int] | None = None,
+) -> list[int]:
+    """Apply ``mode`` to a relay route and return the resulting path.
+
+    Parameters
+    ----------
+    forward_route:
+        The s → ... → t relay route built by the protocol.
+    reverse_route:
+        The t → ... → s relay route (as built from t's side), required by the
+        modes that compare directions.  It is evaluated with the same per-hop
+        heuristic and then reversed, and the shorter of the two directions is
+        returned.
+
+    Returns
+    -------
+    list[int]
+        A path from ``forward_route[0]`` to ``forward_route[-1]``.
+    """
+    if not forward_route:
+        raise ValueError("forward_route must be non-empty")
+    heuristic = mode.per_hop_heuristic
+    forward = _apply_per_hop(topology, forward_route, vicinities, heuristic)
+    if not mode.uses_reverse_route:
+        return forward
+    if reverse_route is None:
+        raise ValueError(f"mode {mode.value} requires a reverse_route")
+    if reverse_route[0] != forward_route[-1] or reverse_route[-1] != forward_route[0]:
+        raise ValueError(
+            "reverse_route must run from the destination back to the source"
+        )
+    reverse = _apply_per_hop(topology, reverse_route, vicinities, heuristic)
+    reverse_as_forward = list(reversed(reverse))
+    if path_length(topology, reverse_as_forward) < path_length(topology, forward):
+        return reverse_as_forward
+    return forward

@@ -1,0 +1,27 @@
+"""Network dynamics: churn workloads and incremental-maintenance cost.
+
+The paper evaluates messaging "during initial convergence only, leaving
+continuous churn to future work" (§5.2), but the protocol design is full of
+machinery for dynamics: soft-state resolution records, landmark hysteresis,
+consistent sloppy grouping, and an overlay whose dissemination keeps address
+state fresh.  This package provides the future-work piece:
+
+* :mod:`repro.dynamics.churn` -- reproducible churn workloads (edge and node
+  failures / recoveries) applied to a topology.
+* :mod:`repro.dynamics.maintenance` -- the incremental cost of one topology
+  change: which addresses change, how many resolution records must be
+  refreshed, how many sloppy-group dissemination messages that triggers, and
+  how much routing state (landmark + vicinity entries) is affected --
+  compared against the cost of reconverging from scratch.
+"""
+
+from repro.dynamics.churn import ChurnEvent, ChurnWorkload, generate_churn_workload
+from repro.dynamics.maintenance import MaintenanceCost, maintenance_cost
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnWorkload",
+    "MaintenanceCost",
+    "generate_churn_workload",
+    "maintenance_cost",
+]

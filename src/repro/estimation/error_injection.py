@@ -1,0 +1,55 @@
+"""Synthetic error injection for the estimate of n (§5.2).
+
+"The previous results assume all nodes know the value of n.  Here, we inject
+random errors of up to 60% in this estimation."  Each node's estimate is
+perturbed independently and uniformly within ±``max_error`` of the true
+value; the perturbed per-node estimates are then fed to the sloppy grouping,
+which derives each node's prefix length k from its own estimate.
+"""
+
+from __future__ import annotations
+
+from repro.utils.randomness import make_rng
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = ["inject_estimate_error"]
+
+
+def inject_estimate_error(
+    true_n: int,
+    *,
+    max_error: float,
+    num_nodes: int | None = None,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Return per-node estimates of n with uniform relative error.
+
+    Parameters
+    ----------
+    true_n:
+        The actual network size.
+    max_error:
+        Maximum relative error, e.g. ``0.6`` for the paper's 60 % case.  Each
+        node's estimate is drawn uniformly from
+        ``[(1 - max_error) * n, (1 + max_error) * n]`` and clamped to be at
+        least 2.
+    num_nodes:
+        How many nodes to produce estimates for (defaults to ``true_n``).
+    seed:
+        RNG seed; each node's draw is independent and reproducible.
+
+    Returns
+    -------
+    dict[int, float]
+        Mapping node id -> perturbed estimate.
+    """
+    require_positive("true_n", true_n)
+    require_in_range("max_error", max_error, 0.0, 1.0)
+    count = num_nodes if num_nodes is not None else true_n
+    require_positive("num_nodes", count)
+    estimates: dict[int, float] = {}
+    for node in range(count):
+        rng = make_rng(seed, f"estimate-error/{node}")
+        factor = 1.0 + max_error * (2.0 * rng.random() - 1.0)
+        estimates[node] = max(2.0, true_n * factor)
+    return estimates

@@ -1,0 +1,183 @@
+"""Synopsis diffusion: gossip-based estimation of the network size.
+
+Synopsis diffusion (Nath et al., SenSys 2004) computes duplicate-insensitive
+aggregates by gossiping small bitmaps.  For COUNT, each node contributes a
+Flajolet-Martin synopsis: it hashes its identity into one of the synopsis's
+bit positions with geometrically decreasing probability, and synopses combine
+by bitwise OR -- so a synopsis is insensitive to how many times or along which
+paths a contribution arrives, exactly what unstructured gossip needs.  The
+count estimate is ``2**z / 0.77351`` where ``z`` is the index of the lowest
+unset bit, and averaging many independent synopses tightens the estimate
+(256 bytes of synopses ≈ within ~10 % on average, per the paper).
+
+:class:`SynopsisDiffusion` runs the gossip rounds over an arbitrary topology
+and returns per-node estimates, so experiments can feed *realistic* (rather
+than synthetically perturbed) estimates of n into the sloppy grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.topology import Topology
+from repro.utils.randomness import make_rng
+from repro.utils.validation import require_positive
+
+__all__ = ["SynopsisEstimate", "SynopsisDiffusion"]
+
+_FM_CORRECTION = 0.77351
+_SYNOPSIS_BITS = 32
+
+
+@dataclass(frozen=True)
+class SynopsisEstimate:
+    """The outcome of a synopsis-diffusion run.
+
+    Attributes
+    ----------
+    estimates:
+        Per-node estimate of n (indexed by node id).
+    rounds:
+        Gossip rounds executed.
+    num_synopses:
+        Number of independent synopses averaged per node.
+    """
+
+    estimates: list[float]
+    rounds: int
+    num_synopses: int
+
+    def mean_relative_error(self, true_n: int) -> float:
+        """Mean |estimate - n| / n across nodes."""
+        require_positive("true_n", true_n)
+        return sum(abs(e - true_n) / true_n for e in self.estimates) / len(
+            self.estimates
+        )
+
+    def max_relative_error(self, true_n: int) -> float:
+        """Maximum |estimate - n| / n across nodes."""
+        require_positive("true_n", true_n)
+        return max(abs(e - true_n) / true_n for e in self.estimates)
+
+
+class SynopsisDiffusion:
+    """Gossip-based COUNT estimation over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The gossip graph (the physical network).
+    num_synopses:
+        Independent Flajolet-Martin synopses per node.  64 synopses of 32
+        bits each are 256 bytes, the size the paper quotes.
+    seed:
+        RNG seed for the per-node bit draws.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        num_synopses: int = 64,
+        seed: int = 0,
+    ) -> None:
+        require_positive("num_synopses", num_synopses)
+        self._topology = topology
+        self._num_synopses = num_synopses
+        self._seed = seed
+
+    def _initial_synopses(self) -> list[list[int]]:
+        """Each node's own contribution: one geometric bit per synopsis."""
+        synopses = []
+        for node in self._topology.nodes():
+            rng = make_rng(self._seed, f"synopsis/{node}")
+            node_bits = []
+            for _ in range(self._num_synopses):
+                # Geometric level: bit i set with probability 2^-(i+1).
+                level = 0
+                while rng.random() < 0.5 and level < _SYNOPSIS_BITS - 1:
+                    level += 1
+                node_bits.append(1 << level)
+            synopses.append(node_bits)
+        return synopses
+
+    @staticmethod
+    def _estimate_from(synopses: list[int]) -> float:
+        """Average the Flajolet-Martin estimates of many synopses."""
+        total_z = 0.0
+        for bitmap in synopses:
+            z = 0
+            while bitmap & (1 << z):
+                z += 1
+            total_z += z
+        mean_z = total_z / len(synopses)
+        return (2.0**mean_z) / _FM_CORRECTION
+
+    def run(self, *, rounds: int | None = None) -> SynopsisEstimate:
+        """Run gossip for ``rounds`` rounds (default: the graph's diameter bound).
+
+        In each round every node ORs its synopses with all of its neighbors'
+        synopses from the previous round (flooding semantics; synopsis
+        diffusion is insensitive to duplicates, so this is exact).  After
+        ``rounds`` at least equal to the hop diameter, every node has the
+        global synopsis.
+        """
+        n = self._topology.num_nodes
+        if n == 0:
+            raise ValueError("cannot estimate the size of an empty topology")
+        if rounds is None:
+            # Hop diameter is at most n - 1; use a generous but finite default
+            # based on a BFS eccentricity from node 0.
+            rounds = self._hop_eccentricity(0) + 2
+        require_positive("rounds", rounds)
+        current = self._initial_synopses()
+        for _ in range(rounds):
+            updated = [list(row) for row in current]
+            for node in self._topology.nodes():
+                for neighbor in self._topology.neighbors(node):
+                    neighbor_row = current[neighbor]
+                    row = updated[node]
+                    for index in range(self._num_synopses):
+                        row[index] |= neighbor_row[index]
+            current = updated
+        estimates = [self._estimate_from(row) for row in current]
+        return SynopsisEstimate(
+            estimates=estimates, rounds=rounds, num_synopses=self._num_synopses
+        )
+
+    def _hop_eccentricity(self, start: int) -> int:
+        """Hop-count eccentricity of ``start`` (BFS depth)."""
+        seen = {start}
+        frontier = [start]
+        depth = 0
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self._topology.neighbors(node):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+            depth += 1
+        return depth
+
+    @staticmethod
+    def estimate_is_within_factor_two(estimate: float, true_n: int) -> bool:
+        """The w.h.p. guarantee the sloppy grouping relies on (§4.4)."""
+        require_positive("true_n", true_n)
+        return 0.5 * true_n <= estimate <= 2.0 * true_n
+
+    @staticmethod
+    def synopsis_bytes(num_synopses: int) -> int:
+        """Size in bytes of a node's gossip payload."""
+        require_positive("num_synopses", num_synopses)
+        return num_synopses * _SYNOPSIS_BITS // 8
+
+    def __repr__(self) -> str:
+        return (
+            f"SynopsisDiffusion(n={self._topology.num_nodes}, "
+            f"synopses={self._num_synopses}, "
+            f"bytes={self.synopsis_bytes(self._num_synopses)})"
+        )

@@ -1,0 +1,148 @@
+"""Extension experiment: incremental maintenance cost under churn.
+
+The paper's Fig. 8 measures convergence from scratch and leaves "continuous
+churn to future work" (§5.2).  This experiment provides that future-work
+measurement for the converged-state model: it applies a sequence of
+connectivity-preserving link failures/recoveries to the comparison G(n,m)
+topology and, for each event, charges the incremental updates Disco needs
+(address re-registrations, sloppy-group re-announcements, vicinity and
+landmark route repairs), comparing the per-event cost against the cost of
+reconverging from scratch.
+
+The quantity of interest: the mean per-event incremental cost should be a
+small fraction of full reconvergence, which is what makes the protocol
+practical under dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.nddisco import NDDiscoRouting
+from repro.dynamics.churn import apply_event, generate_churn_workload
+from repro.dynamics.maintenance import MaintenanceCost, maintenance_cost
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import header
+from repro.experiments.workloads import comparison_gnm
+from repro.sim.convergence import simulate_nddisco_convergence
+from repro.utils.formatting import format_table
+
+__all__ = ["ChurnCostResult", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class ChurnCostResult:
+    """Per-event incremental costs vs. the full-reconvergence baseline."""
+
+    num_nodes: int
+    events: int
+    per_event: tuple[MaintenanceCost, ...]
+    full_reconvergence_entries: float
+    scale_label: str
+
+    @property
+    def mean_incremental_entries(self) -> float:
+        """Mean incremental updates per churn event."""
+        if not self.per_event:
+            return 0.0
+        return sum(c.total_incremental_entries for c in self.per_event) / len(
+            self.per_event
+        )
+
+    @property
+    def mean_addresses_changed(self) -> float:
+        """Mean number of addresses invalidated per event."""
+        if not self.per_event:
+            return 0.0
+        return sum(c.addresses_changed for c in self.per_event) / len(self.per_event)
+
+    @property
+    def incremental_fraction(self) -> float:
+        """Mean per-event cost as a fraction of full reconvergence."""
+        if self.full_reconvergence_entries == 0:
+            return 0.0
+        return self.mean_incremental_entries / self.full_reconvergence_entries
+
+
+def run(
+    scale: ExperimentScale | None = None, *, num_events: int = 6
+) -> ChurnCostResult:
+    """Apply ``num_events`` link events and measure the incremental cost of each."""
+    scale = scale or default_scale()
+    # The churn experiment diffs full converged states per event, so it runs
+    # on a moderately sized topology regardless of the global scale.
+    num_nodes = min(scale.comparison_nodes, 256)
+    from repro.graphs.generators import gnm_random_graph
+
+    topology = gnm_random_graph(num_nodes, seed=scale.seed, average_degree=8.0)
+    workload = generate_churn_workload(
+        topology, num_events=num_events, seed=scale.seed + 17
+    )
+
+    baseline = NDDiscoRouting(topology, seed=scale.seed)
+    landmarks = baseline.landmarks
+    full = simulate_nddisco_convergence(
+        topology, seed=scale.seed, landmarks=landmarks
+    )
+
+    costs = []
+    current_topology = topology
+    current_state = baseline
+    for event in workload:
+        next_topology = apply_event(current_topology, event)
+        next_state = NDDiscoRouting(next_topology, seed=scale.seed, landmarks=landmarks)
+        costs.append(maintenance_cost(current_state, next_state))
+        current_topology = next_topology
+        current_state = next_state
+
+    return ChurnCostResult(
+        num_nodes=num_nodes,
+        events=len(costs),
+        per_event=tuple(costs),
+        full_reconvergence_entries=full.total_entries,
+        scale_label=scale.label,
+    )
+
+
+def format_report(result: ChurnCostResult) -> str:
+    """Render the per-event incremental costs and the reconvergence comparison."""
+    rows = []
+    for index, cost in enumerate(result.per_event):
+        rows.append(
+            [
+                index,
+                cost.addresses_changed,
+                cost.vicinity_entries_changed,
+                cost.landmark_entries_changed,
+                cost.dissemination_messages,
+                cost.total_incremental_entries,
+            ]
+        )
+    table = format_table(
+        [
+            "event",
+            "addresses changed",
+            "vicinity entries",
+            "landmark entries",
+            "dissemination msgs",
+            "total incremental",
+        ],
+        rows,
+        float_format="{:.0f}",
+    )
+    summary = (
+        f"mean incremental updates per event: {result.mean_incremental_entries:.0f} "
+        f"({result.incremental_fraction * 100.0:.2f}% of the "
+        f"{result.full_reconvergence_entries:.0f} entries full reconvergence costs)"
+    )
+    return "\n".join(
+        [
+            header(
+                f"Churn maintenance cost on a {result.num_nodes}-node G(n,m) graph "
+                "(extension of Fig. 8)",
+                f"scale={result.scale_label}",
+            ),
+            table,
+            summary,
+        ]
+    )

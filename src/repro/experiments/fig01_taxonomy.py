@@ -1,0 +1,122 @@
+"""Fig. 1 -- the protocol-property taxonomy, checked empirically.
+
+Fig. 1 of the paper is a qualitative table: for each protocol, does it
+guarantee o(n) state, O(1)/O(log n) stretch, and routing on flat names?  This
+experiment reproduces the rows for the protocols implemented in this
+repository and backs the qualitative claims with small empirical probes:
+
+* *scalable* -- mean per-node state grows sublinearly between two network
+  sizes (ratio of state growth well below the ratio of n);
+* *low stretch* -- observed worst-case later-packet stretch stays within the
+  protocol's claimed bound on a random topology;
+* *flat names* -- whether the protocol routes on a location-independent name
+  with bounded stretch (a property of the design, reported as claimed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.graphs.generators import gnm_random_graph
+from repro.metrics.state import measure_state
+from repro.metrics.stretch import measure_stretch
+from repro.protocols.registry import build_scheme
+from repro.utils.formatting import format_table
+
+__all__ = ["TaxonomyRow", "TaxonomyResult", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One protocol's row of the Fig. 1 table plus the empirical probes."""
+
+    protocol: str
+    claims_scalable: bool
+    claims_low_stretch: bool
+    claims_flat_names: bool
+    state_growth_ratio: float
+    observed_max_later_stretch: float
+
+
+@dataclass(frozen=True)
+class TaxonomyResult:
+    """All rows plus the sizes used by the empirical probes."""
+
+    rows: tuple[TaxonomyRow, ...]
+    small_n: int
+    large_n: int
+
+
+_CLAIMS = {
+    "shortest-path": (False, True, False),
+    "path-vector": (False, True, False),
+    "vrr": (False, False, True),
+    "s4": (False, True, False),
+    "nd-disco": (True, True, False),
+    "disco": (True, True, True),
+}
+
+
+def run(scale: ExperimentScale | None = None) -> TaxonomyResult:
+    """Build every protocol at two sizes and probe the Fig. 1 properties."""
+    scale = scale or default_scale()
+    small_n = max(64, scale.comparison_nodes // 2)
+    large_n = scale.comparison_nodes
+    small = gnm_random_graph(small_n, seed=scale.seed, average_degree=8.0)
+    large = gnm_random_graph(large_n, seed=scale.seed, average_degree=8.0)
+
+    rows = []
+    for name, claims in _CLAIMS.items():
+        scheme_small = build_scheme(name, small, seed=scale.seed)
+        scheme_large = build_scheme(name, large, seed=scale.seed)
+        state_small = measure_state(scheme_small).entry_summary.mean
+        state_large = measure_state(scheme_large).entry_summary.mean
+        growth = state_large / max(state_small, 1e-9)
+        stretch = measure_stretch(
+            scheme_large, pair_sample=min(200, scale.pair_sample), seed=scale.seed
+        )
+        rows.append(
+            TaxonomyRow(
+                protocol=scheme_large.name,
+                claims_scalable=claims[0],
+                claims_low_stretch=claims[1],
+                claims_flat_names=claims[2],
+                state_growth_ratio=growth,
+                observed_max_later_stretch=stretch.later_summary.maximum,
+            )
+        )
+    return TaxonomyResult(rows=tuple(rows), small_n=small_n, large_n=large_n)
+
+
+def format_report(result: TaxonomyResult) -> str:
+    """Render the taxonomy table with the empirical probe columns."""
+    size_ratio = result.large_n / result.small_n
+    table = format_table(
+        [
+            "protocol",
+            "scalable",
+            "low stretch",
+            "flat names",
+            f"state growth (n×{size_ratio:.1f})",
+            "max later stretch",
+        ],
+        [
+            [
+                row.protocol,
+                "yes" if row.claims_scalable else "no",
+                "yes" if row.claims_low_stretch else "no",
+                "yes" if row.claims_flat_names else "no",
+                row.state_growth_ratio,
+                row.observed_max_later_stretch,
+            ]
+            for row in result.rows
+        ],
+        float_format="{:.2f}",
+    )
+    note = (
+        "A 'scalable' protocol should show state growth well below the node-"
+        "count ratio; stretch-bounded protocols should keep max later-packet "
+        "stretch at or below 3."
+    )
+    return f"Fig. 1: distributed routing protocol taxonomy\n{table}\n{note}"

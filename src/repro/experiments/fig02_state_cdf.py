@@ -1,0 +1,100 @@
+"""Fig. 2 -- per-node state CDFs on the three large topologies.
+
+"Fig. 2 shows S4 does well on the random graphs, but is extremely unbalanced
+on the Internet topologies. ... In contrast, Disco and NDDisco have very
+balanced distributions of state in all cases."  (§5.2)
+
+The paper plots the CDF over nodes of routing-table entries for Disco,
+NDDisco, and S4 on a 16,384-node geometric random graph, the AS-level
+Internet map, and the router-level Internet map.  We reproduce the same
+three-panel structure on the scaled topologies (the Internet maps replaced by
+the synthetic Internet-like generators, per DESIGN.md §5); the headline shape
+to verify is that S4's *maximum* state far exceeds its mean on the
+Internet-like graphs while Disco/NDDisco stay tightly concentrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import header, render_state_reports
+from repro.experiments.workloads import (
+    as_level_topology,
+    large_geometric,
+    router_level_topology,
+)
+from repro.metrics.state import StateReport
+from repro.staticsim.simulation import StaticSimulation
+
+__all__ = ["StateCdfResult", "run", "format_report"]
+
+_PROTOCOLS = ("disco", "nd-disco", "s4")
+
+
+@dataclass(frozen=True)
+class StateCdfResult:
+    """State reports per protocol for each of the three topologies."""
+
+    geometric: dict[str, StateReport]
+    as_level: dict[str, StateReport]
+    router_level: dict[str, StateReport]
+    scale_label: str
+
+    def panels(self) -> dict[str, dict[str, StateReport]]:
+        """The three panels keyed by topology label."""
+        return {
+            "geometric": self.geometric,
+            "as-level": self.as_level,
+            "router-level": self.router_level,
+        }
+
+    def imbalance(self, panel: str, protocol: str) -> float:
+        """max/mean state ratio -- the quantity that exposes S4's imbalance."""
+        report = self.panels()[panel][protocol]
+        summary = report.entry_summary
+        return summary.maximum / max(summary.mean, 1e-9)
+
+
+def run(scale: ExperimentScale | None = None) -> StateCdfResult:
+    """Measure per-node state for Disco, NDDisco and S4 on the three topologies."""
+    scale = scale or default_scale()
+    panels = {}
+    for label, topology in (
+        ("geometric", large_geometric(scale)),
+        ("as_level", as_level_topology(scale)),
+        ("router_level", router_level_topology(scale)),
+    ):
+        simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+        results = simulation.run(
+            measure_state_flag=True,
+            measure_stretch_flag=False,
+            node_sample=scale.node_sample,
+        )
+        panels[label] = results.state
+    return StateCdfResult(
+        geometric=panels["geometric"],
+        as_level=panels["as_level"],
+        router_level=panels["router_level"],
+        scale_label=scale.label,
+    )
+
+
+def format_report(result: StateCdfResult) -> str:
+    """Render the three panels of Fig. 2."""
+    parts = [
+        header(
+            "Fig. 2: per-node state CDFs (Disco, ND-Disco, S4)",
+            f"scale={result.scale_label}; Internet maps replaced by synthetic "
+            "Internet-like generators",
+        )
+    ]
+    for label, reports in result.panels().items():
+        parts.append(f"\n--- {label} topology ---")
+        parts.append(render_state_reports(reports))
+        ratios = ", ".join(
+            f"{name}: {reports[name].entry_summary.maximum / max(reports[name].entry_summary.mean, 1e-9):.1f}x"
+            for name in reports
+        )
+        parts.append(f"max/mean state imbalance -> {ratios}")
+    return "\n".join(parts)

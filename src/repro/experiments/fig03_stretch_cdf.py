@@ -1,0 +1,88 @@
+"""Fig. 3 -- stretch CDFs on the three large topologies.
+
+"Fig. 3 shows the distribution of stretch in S4, Disco, and NDDisco. ... In
+the geometric random graph [which] includes link latencies ... S4 experiences
+worst-case stretch of 72 while Disco's highest stretch is just over 2."
+(§5.2)
+
+We reproduce the Disco-First / Disco-Later / S4-First / S4-Later CDFs over
+sampled source-destination pairs on the geometric, AS-level-like, and
+router-level-like topologies.  The shape to verify: S4's first-packet stretch
+(which includes the location-service detour) has a long tail, especially on
+the latency-annotated geometric graph, while Disco's first-packet stretch
+stays small; later-packet stretch is low for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import header, render_stretch_reports
+from repro.experiments.workloads import (
+    as_level_topology,
+    large_geometric,
+    router_level_topology,
+)
+from repro.metrics.stretch import StretchReport
+from repro.staticsim.simulation import StaticSimulation
+
+__all__ = ["StretchCdfResult", "run", "format_report"]
+
+_PROTOCOLS = ("disco", "s4")
+
+
+@dataclass(frozen=True)
+class StretchCdfResult:
+    """Stretch reports per protocol for each of the three topologies."""
+
+    geometric: dict[str, StretchReport]
+    as_level: dict[str, StretchReport]
+    router_level: dict[str, StretchReport]
+    scale_label: str
+
+    def panels(self) -> dict[str, dict[str, StretchReport]]:
+        """The three panels keyed by topology label."""
+        return {
+            "geometric": self.geometric,
+            "as-level": self.as_level,
+            "router-level": self.router_level,
+        }
+
+
+def run(scale: ExperimentScale | None = None) -> StretchCdfResult:
+    """Measure first/later stretch for Disco and S4 on the three topologies."""
+    scale = scale or default_scale()
+    panels = {}
+    for label, topology in (
+        ("geometric", large_geometric(scale)),
+        ("as_level", as_level_topology(scale)),
+        ("router_level", router_level_topology(scale)),
+    ):
+        simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+        results = simulation.run(
+            measure_state_flag=False,
+            measure_stretch_flag=True,
+            pair_sample=scale.pair_sample,
+        )
+        panels[label] = results.stretch
+    return StretchCdfResult(
+        geometric=panels["geometric"],
+        as_level=panels["as_level"],
+        router_level=panels["router_level"],
+        scale_label=scale.label,
+    )
+
+
+def format_report(result: StretchCdfResult) -> str:
+    """Render the three panels of Fig. 3."""
+    parts = [
+        header(
+            "Fig. 3: path-stretch CDFs (Disco vs S4, first and later packets)",
+            f"scale={result.scale_label}",
+        )
+    ]
+    for label, reports in result.panels().items():
+        parts.append(f"\n--- {label} topology ---")
+        parts.append(render_stretch_reports(reports))
+    return "\n".join(parts)

@@ -1,0 +1,75 @@
+"""Fig. 4 -- state, stretch, and congestion on a G(n,m) random graph.
+
+"Fig. 4 ... State (left), stretch (middle) and congestion (right) comparisons
+between Disco, VRR and S4 over a 1,024-node G(n,m) random graph."  (§5.2)
+
+This is the full five-protocol comparison (Disco, NDDisco, S4, VRR, path
+vector) on the unit-weight random graph.  The shapes to verify:
+
+* VRR's state distribution has a much heavier tail than Disco/NDDisco/S4 (and
+  can exceed even path vector for a few nodes);
+* VRR's stretch is well above the compact-routing protocols';
+* congestion of the compact schemes is close to shortest-path routing, with
+  VRR noticeably worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import (
+    header,
+    render_congestion_reports,
+    render_state_reports,
+    render_stretch_reports,
+)
+from repro.experiments.workloads import comparison_gnm
+from repro.staticsim.simulation import SimulationResults, StaticSimulation
+
+__all__ = ["ComparisonResult", "run", "format_report"]
+
+_PROTOCOLS = ("disco", "nd-disco", "s4", "vrr", "path-vector")
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """The three-panel comparison on one topology."""
+
+    results: SimulationResults
+    topology_label: str
+    scale_label: str
+
+
+def run(scale: ExperimentScale | None = None) -> ComparisonResult:
+    """Run the five-protocol comparison on the G(n,m) topology."""
+    scale = scale or default_scale()
+    topology = comparison_gnm(scale)
+    simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+    results = simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=True,
+        measure_congestion_flag=True,
+        pair_sample=scale.pair_sample,
+    )
+    return ComparisonResult(
+        results=results, topology_label=topology.name, scale_label=scale.label
+    )
+
+
+def format_report(result: ComparisonResult) -> str:
+    """Render the three panels of Fig. 4."""
+    parts = [
+        header(
+            "Fig. 4: Disco vs ND-Disco vs S4 vs VRR vs path vector "
+            f"on {result.topology_label}",
+            f"scale={result.scale_label}",
+        ),
+        "\n[state]",
+        render_state_reports(result.results.state),
+        "\n[stretch]",
+        render_stretch_reports(result.results.stretch),
+        "\n[congestion]",
+        render_congestion_reports(result.results.congestion),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,58 @@
+"""Fig. 5 -- state, stretch, and congestion on a geometric random graph.
+
+Same five-protocol comparison as Fig. 4 but on the latency-annotated
+geometric random graph, where the stretch differences are starkest: "The
+maximum stretch values seen for the first packets in the geometric random
+graph are 2.4 for Disco, 30 for S4, and 39 for VRR" (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.fig04_gnm_comparison import ComparisonResult
+from repro.experiments.reporting import (
+    header,
+    render_congestion_reports,
+    render_state_reports,
+    render_stretch_reports,
+)
+from repro.experiments.workloads import comparison_geometric
+from repro.staticsim.simulation import StaticSimulation
+
+__all__ = ["run", "format_report"]
+
+_PROTOCOLS = ("disco", "nd-disco", "s4", "vrr", "path-vector")
+
+
+def run(scale: ExperimentScale | None = None) -> ComparisonResult:
+    """Run the five-protocol comparison on the geometric topology."""
+    scale = scale or default_scale()
+    topology = comparison_geometric(scale)
+    simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+    results = simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=True,
+        measure_congestion_flag=True,
+        pair_sample=scale.pair_sample,
+    )
+    return ComparisonResult(
+        results=results, topology_label=topology.name, scale_label=scale.label
+    )
+
+
+def format_report(result: ComparisonResult) -> str:
+    """Render the three panels of Fig. 5."""
+    parts = [
+        header(
+            "Fig. 5: Disco vs ND-Disco vs S4 vs VRR vs path vector "
+            f"on {result.topology_label} (link latencies)",
+            f"scale={result.scale_label}",
+        ),
+        "\n[state]",
+        render_state_reports(result.results.state),
+        "\n[stretch]",
+        render_stretch_reports(result.results.stretch),
+        "\n[congestion]",
+        render_congestion_reports(result.results.congestion),
+    ]
+    return "\n".join(parts)

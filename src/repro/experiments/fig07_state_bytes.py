@@ -1,0 +1,103 @@
+"""Fig. 7 (table) -- per-node state in entries and kilobytes.
+
+"In Table 7, we present numbers for state in terms of kilobytes of memory.
+The size of source routes is determined using the scheme described in §4.2.
+As the table shows, the conclusions are similar when measuring bytes instead
+of entries." (§5.2)
+
+The paper's table reports, for S4, ND-Disco, and Disco on the router-level
+Internet topology: mean/max entries, mean/max bytes with IPv4-sized (4-byte)
+names, and mean/max bytes with IPv6-sized (16-byte) names.  The headline
+shape: S4 has the lowest *mean* but by far the highest *max* (it "severely
+breaks worst-case bounds"), Disco pays a constant-factor premium over
+ND-Disco for name-independence, and both Disco variants have max ≈ mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import header
+from repro.experiments.workloads import router_level_topology
+from repro.metrics.state import StateReport
+from repro.staticsim.simulation import StaticSimulation
+from repro.utils.formatting import format_table
+
+__all__ = ["StateBytesResult", "run", "format_report"]
+
+_PROTOCOLS = ("s4", "nd-disco", "disco")
+
+
+@dataclass(frozen=True)
+class StateBytesResult:
+    """Per-protocol state reports on the router-level-like topology."""
+
+    reports: dict[str, StateReport]
+    topology_label: str
+    scale_label: str
+
+    def rows(self) -> list[list[object]]:
+        """The Fig. 7 table rows (entries and kilobytes, mean and max)."""
+        ordered = ["S4", "ND-Disco", "Disco"]
+        rows: list[list[object]] = []
+        for name in ordered:
+            report = self.reports[name]
+            entries = report.entry_summary
+            ipv4 = report.bytes_ipv4_summary
+            ipv6 = report.bytes_ipv6_summary
+            rows.append(
+                [
+                    name,
+                    entries.mean,
+                    entries.maximum,
+                    ipv4.mean / 1024.0,
+                    ipv4.maximum / 1024.0,
+                    ipv6.mean / 1024.0,
+                    ipv6.maximum / 1024.0,
+                ]
+            )
+        return rows
+
+
+def run(scale: ExperimentScale | None = None) -> StateBytesResult:
+    """Measure state entries and bytes for S4, ND-Disco, Disco."""
+    scale = scale or default_scale()
+    topology = router_level_topology(scale)
+    simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+    results = simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=False,
+        node_sample=scale.node_sample,
+    )
+    return StateBytesResult(
+        reports=results.state,
+        topology_label=topology.name,
+        scale_label=scale.label,
+    )
+
+
+def format_report(result: StateBytesResult) -> str:
+    """Render the Fig. 7 table."""
+    table = format_table(
+        [
+            "protocol",
+            "entries mean",
+            "entries max",
+            "KB (IPv4) mean",
+            "KB (IPv4) max",
+            "KB (IPv6) mean",
+            "KB (IPv6) max",
+        ],
+        result.rows(),
+        float_format="{:.2f}",
+    )
+    return "\n".join(
+        [
+            header(
+                f"Fig. 7: state at a node on {result.topology_label}",
+                f"scale={result.scale_label}",
+            ),
+            table,
+        ]
+    )

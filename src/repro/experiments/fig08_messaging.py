@@ -1,0 +1,102 @@
+"""Fig. 8 -- control messages per node until convergence.
+
+"Fig. 8: Mean messages per node sent until convergence in path vector, S4,
+NDDisco and Disco (with 1 and 3 fingers for address dissemination) for
+G(n,m) graphs of increasing size."  (§5.2)
+
+The discrete-event simulator exchanges batched path-vector updates; the
+quantity reported here is *route entries sent per node* (one entry per
+advertised destination), which is the classic per-destination UPDATE count --
+see :mod:`repro.sim.agents.pathvector_agent` for the batching model and
+EXPERIMENTS.md for how this maps onto the paper's absolute numbers.  The
+shapes to verify: path vector grows linearly in n and dominates; S4 and
+NDDisco grow much more slowly (S4 slightly below NDDisco, whose vicinities
+are a bit larger); Disco adds only a modest overhead on top of NDDisco, and 3
+fingers cost slightly more than 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import header
+from repro.graphs.generators import gnm_random_graph
+from repro.sim.convergence import (
+    ConvergenceReport,
+    simulate_disco_convergence,
+    simulate_nddisco_convergence,
+    simulate_path_vector_convergence,
+    simulate_s4_convergence,
+)
+from repro.utils.formatting import format_table
+
+__all__ = ["MessagingResult", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class MessagingResult:
+    """Convergence-messaging sweep results.
+
+    ``reports[protocol][n]`` is the :class:`ConvergenceReport` for one run.
+    """
+
+    reports: dict[str, dict[int, ConvergenceReport]]
+    sweep: tuple[int, ...]
+    scale_label: str
+
+    def entries_per_node(self, protocol: str) -> dict[int, float]:
+        """The Fig. 8 curve for one protocol: n -> entries sent per node."""
+        return {
+            n: report.entries_per_node
+            for n, report in self.reports[protocol].items()
+        }
+
+
+def run(scale: ExperimentScale | None = None) -> MessagingResult:
+    """Run the convergence sweep for all five curves of Fig. 8."""
+    scale = scale or default_scale()
+    sweep = scale.messaging_sweep
+    reports: dict[str, dict[int, ConvergenceReport]] = {
+        "Path-Vector": {},
+        "S4": {},
+        "ND-Disco": {},
+        "Disco-1-Finger": {},
+        "Disco-3-Finger": {},
+    }
+    for n in sweep:
+        topology = gnm_random_graph(n, seed=scale.seed + n, average_degree=8.0)
+        reports["Path-Vector"][n] = simulate_path_vector_convergence(topology)
+        reports["S4"][n] = simulate_s4_convergence(topology, seed=scale.seed)
+        reports["ND-Disco"][n] = simulate_nddisco_convergence(topology, seed=scale.seed)
+        reports["Disco-1-Finger"][n] = simulate_disco_convergence(
+            topology, seed=scale.seed, num_fingers=1
+        )
+        reports["Disco-3-Finger"][n] = simulate_disco_convergence(
+            topology, seed=scale.seed, num_fingers=3
+        )
+    return MessagingResult(reports=reports, sweep=sweep, scale_label=scale.label)
+
+
+def format_report(result: MessagingResult) -> str:
+    """Render the Fig. 8 curves as a protocol x n table."""
+    rows = []
+    for protocol, per_n in result.reports.items():
+        rows.append(
+            [protocol] + [per_n[n].entries_per_node for n in result.sweep]
+        )
+    table = format_table(
+        ["protocol \\ n"] + [str(n) for n in result.sweep],
+        rows,
+        float_format="{:.1f}",
+    )
+    return "\n".join(
+        [
+            header(
+                "Fig. 8: control entries sent per node until convergence "
+                "(G(n,m) sweep)",
+                f"scale={result.scale_label}",
+            ),
+            table,
+        ]
+    )

@@ -1,0 +1,107 @@
+"""Shared rendering of experiment results as paper-style text reports."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.metrics.congestion import CongestionReport
+from repro.metrics.state import StateReport
+from repro.metrics.stretch import StretchReport
+from repro.utils.formatting import format_cdf, format_table
+
+__all__ = [
+    "render_state_reports",
+    "render_stretch_reports",
+    "render_congestion_reports",
+    "header",
+]
+
+
+def header(title: str, subtitle: str = "") -> str:
+    """A section header used at the top of every experiment report."""
+    lines = ["=" * 72, title]
+    if subtitle:
+        lines.append(subtitle)
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
+def render_state_reports(reports: Mapping[str, StateReport]) -> str:
+    """Render per-protocol state distributions (the Fig. 2/4/5 left panels)."""
+    cdf_series = {name: list(report.entries) for name, report in reports.items()}
+    summary_rows = []
+    for name, report in reports.items():
+        summary = report.entry_summary
+        summary_rows.append(
+            [name, summary.mean, summary.median, summary.p95, summary.maximum]
+        )
+    parts = [
+        "Per-node state (routing table entries), CDF quantiles over nodes:",
+        format_cdf(cdf_series, float_format="{:.1f}"),
+        "",
+        "Summary:",
+        format_table(
+            ["protocol", "mean", "median", "p95", "max"],
+            summary_rows,
+            float_format="{:.1f}",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def render_stretch_reports(reports: Mapping[str, StretchReport]) -> str:
+    """Render per-protocol stretch distributions (the Fig. 3/4/5 middle panels)."""
+    cdf_series: dict[str, list[float]] = {}
+    for name, report in reports.items():
+        cdf_series[f"{name}-First"] = list(report.first_packet)
+        cdf_series[f"{name}-Later"] = list(report.later_packets)
+    summary_rows = []
+    for name, report in reports.items():
+        first = report.first_summary
+        later = report.later_summary
+        summary_rows.append(
+            [name, first.mean, first.maximum, later.mean, later.maximum]
+        )
+    parts = [
+        "Path stretch, CDF quantiles over source-destination pairs:",
+        format_cdf(cdf_series),
+        "",
+        "Summary:",
+        format_table(
+            ["protocol", "first mean", "first max", "later mean", "later max"],
+            summary_rows,
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def render_congestion_reports(reports: Mapping[str, CongestionReport]) -> str:
+    """Render per-protocol congestion (the Fig. 4/5 right panels and Fig. 10)."""
+    cdf_series = {
+        name: [float(v) for v in report.usage_values]
+        for name, report in reports.items()
+    }
+    summary_rows = []
+    for name, report in reports.items():
+        summary = report.summary
+        summary_rows.append(
+            [
+                name,
+                summary.mean,
+                summary.p99,
+                report.max_usage(),
+                report.fraction_above(int(summary.p99)),
+            ]
+        )
+    parts = [
+        "Congestion (paths per edge), CDF quantiles over edges:",
+        format_cdf(cdf_series, quantiles=(50, 90, 99, 99.9, 100), float_format="{:.1f}"),
+        "",
+        "Summary:",
+        format_table(
+            ["protocol", "mean", "p99", "max", "frac edges > p99"],
+            summary_rows,
+            float_format="{:.3f}",
+        ),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,113 @@
+"""Run every experiment and collect the reports.
+
+``run_all_experiments`` is what ``examples/reproduce_paper.py`` and the
+integration tests use; each entry maps an experiment id (the figure/table it
+reproduces) to the rendered text report.  Individual experiments can be
+selected by id, and the heavyweight ones can be excluded for quick runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.experiments import (
+    ablations,
+    addr_sizes,
+    churn_cost,
+    estimate_error,
+    fig01_taxonomy,
+    fig02_state_cdf,
+    fig03_stretch_cdf,
+    fig04_gnm_comparison,
+    fig05_geometric_comparison,
+    fig06_shortcutting,
+    fig07_state_bytes,
+    fig08_messaging,
+    fig09_scaling,
+    fig10_congestion_as,
+    finger_study,
+    guarantees,
+    static_accuracy,
+)
+from repro.experiments.config import ExperimentScale, default_scale
+
+__all__ = ["EXPERIMENTS", "run_all_experiments", "run_experiment"]
+
+# Experiment id -> (run, format_report).
+EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
+    "fig01-taxonomy": (fig01_taxonomy.run, fig01_taxonomy.format_report),
+    "fig02-state-cdf": (fig02_state_cdf.run, fig02_state_cdf.format_report),
+    "fig03-stretch-cdf": (fig03_stretch_cdf.run, fig03_stretch_cdf.format_report),
+    "fig04-gnm-comparison": (
+        fig04_gnm_comparison.run,
+        fig04_gnm_comparison.format_report,
+    ),
+    "fig05-geometric-comparison": (
+        fig05_geometric_comparison.run,
+        fig05_geometric_comparison.format_report,
+    ),
+    "fig06-shortcutting": (fig06_shortcutting.run, fig06_shortcutting.format_report),
+    "fig07-state-bytes": (fig07_state_bytes.run, fig07_state_bytes.format_report),
+    "fig08-messaging": (fig08_messaging.run, fig08_messaging.format_report),
+    "fig09-scaling": (fig09_scaling.run, fig09_scaling.format_report),
+    "fig10-congestion-as": (
+        fig10_congestion_as.run,
+        fig10_congestion_as.format_report,
+    ),
+    "addr-sizes": (addr_sizes.run, addr_sizes.format_report),
+    "finger-study": (finger_study.run, finger_study.format_report),
+    "estimate-error": (estimate_error.run, estimate_error.format_report),
+    "static-accuracy": (static_accuracy.run, static_accuracy.format_report),
+    "guarantees": (guarantees.run, guarantees.format_report),
+    "churn-cost": (churn_cost.run, churn_cost.format_report),
+    "ablations": (ablations.run, ablations.format_report),
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: ExperimentScale | None = None
+) -> tuple[object, str]:
+    """Run one experiment by id; returns (result object, rendered report).
+
+    Raises
+    ------
+    KeyError
+        If the experiment id is unknown.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    run, format_report = EXPERIMENTS[experiment_id]
+    result = run(scale or default_scale())
+    return result, format_report(result)
+
+
+def run_all_experiments(
+    scale: ExperimentScale | None = None,
+    *,
+    include: Iterable[str] | None = None,
+    exclude: Iterable[str] = (),
+) -> dict[str, str]:
+    """Run the selected experiments and return their rendered reports.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale (default: :func:`repro.experiments.default_scale`).
+    include:
+        Experiment ids to run (default: all).
+    exclude:
+        Experiment ids to skip.
+    """
+    scale = scale or default_scale()
+    selected = list(include) if include is not None else list(EXPERIMENTS)
+    excluded = set(exclude)
+    reports: dict[str, str] = {}
+    for experiment_id in selected:
+        if experiment_id in excluded:
+            continue
+        _, report = run_experiment(experiment_id, scale)
+        reports[experiment_id] = report
+    return reports

@@ -1,0 +1,55 @@
+"""Standard topologies used across the experiment suite.
+
+The paper's four topology families (§5.1), produced at the sizes dictated by
+an :class:`~repro.experiments.config.ExperimentScale`.  Each function is a
+thin, named wrapper so every experiment that says "the AS-level topology"
+builds exactly the same graph for the same scale and seed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale
+from repro.graphs.generators import (
+    geometric_random_graph,
+    gnm_random_graph,
+    internet_as_level,
+    internet_router_level,
+)
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "comparison_gnm",
+    "comparison_geometric",
+    "large_geometric",
+    "as_level_topology",
+    "router_level_topology",
+]
+
+
+def comparison_gnm(scale: ExperimentScale) -> Topology:
+    """The G(n,m) comparison topology of Fig. 4 (1,024 nodes in the paper)."""
+    return gnm_random_graph(scale.comparison_nodes, seed=scale.seed, average_degree=8.0)
+
+
+def comparison_geometric(scale: ExperimentScale) -> Topology:
+    """The geometric comparison topology of Fig. 5 (1,024 nodes, latencies)."""
+    return geometric_random_graph(
+        scale.comparison_nodes, seed=scale.seed, average_degree=8.0
+    )
+
+
+def large_geometric(scale: ExperimentScale) -> Topology:
+    """The large geometric topology of Figs. 2/3 (16,384 nodes in the paper)."""
+    return geometric_random_graph(
+        scale.large_nodes, seed=scale.seed + 1, average_degree=8.0
+    )
+
+
+def as_level_topology(scale: ExperimentScale) -> Topology:
+    """Synthetic AS-level Internet-like topology (stands in for the CAIDA map)."""
+    return internet_as_level(scale.as_level_nodes, seed=scale.seed + 2)
+
+
+def router_level_topology(scale: ExperimentScale) -> Topology:
+    """Synthetic router-level Internet-like topology (stands in for CAIDA)."""
+    return internet_router_level(scale.router_level_nodes, seed=scale.seed + 3)

@@ -1,0 +1,96 @@
+"""Edge-list I/O for topologies.
+
+The experiment harness can persist generated topologies (so a large topology
+is generated once and reused across figures) and can ingest external
+edge-list files (e.g. a real CAIDA-derived map if the user has one locally).
+The format is plain text: one edge per line as ``u v [weight]``, ``#``
+comments allowed, blank lines ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.graphs.topology import Topology
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+
+def write_edge_list(topology: Topology, path: str | os.PathLike[str]) -> None:
+    """Write ``topology`` to ``path`` in the edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write_edge_list(topology, handle)
+
+
+def _write_edge_list(topology: Topology, handle: TextIO) -> None:
+    handle.write(f"# nodes {topology.num_nodes}\n")
+    handle.write(f"# name {topology.name}\n")
+    for u, v, weight in topology.edges():
+        if weight == 1.0:
+            handle.write(f"{u} {v}\n")
+        else:
+            handle.write(f"{u} {v} {weight!r}\n")
+
+
+def read_edge_list(
+    path: str | os.PathLike[str], *, name: str | None = None
+) -> Topology:
+    """Read a topology from an edge-list file.
+
+    The node count is taken from the ``# nodes N`` header if present,
+    otherwise inferred as ``max node id + 1``.  Unknown ``#`` comment lines
+    are ignored.
+
+    Raises
+    ------
+    ValueError
+        On malformed lines (wrong field count, non-numeric fields, negative
+        node ids, or node ids exceeding a declared node count).
+    """
+    declared_nodes: int | None = None
+    declared_name: str | None = None
+    edges: list[tuple[int, int, float]] = []
+    max_node = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "nodes":
+                    declared_nodes = int(parts[1])
+                elif len(parts) >= 2 and parts[0] == "name":
+                    declared_name = " ".join(parts[1:])
+                continue
+            fields = line.split()
+            if len(fields) not in (2, 3):
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'u v [weight]', got {line!r}"
+                )
+            try:
+                u = int(fields[0])
+                v = int(fields[1])
+                weight = float(fields[2]) if len(fields) == 3 else 1.0
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: non-numeric field in {line!r}"
+                ) from exc
+            if u < 0 or v < 0:
+                raise ValueError(
+                    f"{path}:{line_number}: negative node id in {line!r}"
+                )
+            edges.append((u, v, weight))
+            max_node = max(max_node, u, v)
+
+    num_nodes = declared_nodes if declared_nodes is not None else max_node + 1
+    if max_node >= num_nodes:
+        raise ValueError(
+            f"{path}: edge references node {max_node} but header declares "
+            f"only {num_nodes} nodes"
+        )
+    topology_name = name or declared_name or os.path.basename(str(path))
+    topology = Topology(num_nodes, name=topology_name)
+    topology.add_edges_from(edges)
+    return topology

@@ -1,0 +1,72 @@
+"""Node and source-destination pair sampling.
+
+"In many cases, for large topologies, we sample a fraction of nodes or
+source-destination pairs to compute state, stretch, and congestion" (§5.1).
+These helpers provide that sampling deterministically from a seed, so every
+experiment's sample is reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.topology import Topology
+from repro.utils.randomness import make_rng
+from repro.utils.validation import require_positive
+
+__all__ = ["sample_nodes", "sample_pairs", "one_destination_per_node"]
+
+
+def sample_nodes(
+    topology: Topology, count: int, *, seed: int = 0
+) -> list[int]:
+    """Return ``count`` distinct nodes sampled uniformly (or all nodes).
+
+    If ``count`` is at least the number of nodes, all nodes are returned in
+    ascending order (so "sample everything" is exact, not random).
+    """
+    require_positive("count", count)
+    if count >= topology.num_nodes:
+        return list(topology.nodes())
+    rng = make_rng(seed, "sample-nodes")
+    return sorted(rng.sample(range(topology.num_nodes), count))
+
+
+def sample_pairs(
+    topology: Topology, count: int, *, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Return ``count`` distinct ordered source-destination pairs (s != t)."""
+    require_positive("count", count)
+    n = topology.num_nodes
+    if n < 2:
+        raise ValueError("topology must have at least 2 nodes to sample pairs")
+    max_pairs = n * (n - 1)
+    rng = make_rng(seed, "sample-pairs")
+    if count >= max_pairs:
+        return [(s, t) for s in range(n) for t in range(n) if s != t]
+    pairs: set[tuple[int, int]] = set()
+    while len(pairs) < count:
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        if s != t:
+            pairs.add((s, t))
+    return sorted(pairs)
+
+
+def one_destination_per_node(
+    topology: Topology, *, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Return one (node, random destination) pair per node.
+
+    This is the congestion workload of §5.2: "we have each node route to a
+    random destination and count the number of times each edge is used."
+    """
+    n = topology.num_nodes
+    if n < 2:
+        raise ValueError("topology must have at least 2 nodes")
+    rng = make_rng(seed, "one-dest-per-node")
+    pairs = []
+    for source in range(n):
+        target = rng.randrange(n - 1)
+        if target >= source:
+            target += 1
+        pairs.append((source, target))
+    return pairs

@@ -1,0 +1,281 @@
+"""Dijkstra variants tuned for compact routing.
+
+The compact-routing protocols need several flavors of shortest-path search:
+
+* Full single-source Dijkstra (landmark shortest-path trees, stretch
+  denominators).
+* *k-nearest* truncated Dijkstra -- "the Θ(√(n log n)) nodes closest to v"
+  that define a node's vicinity (§4.2).
+* *Radius-bounded* Dijkstra -- used to build S4 clusters, where node ``w``
+  belongs to ``v``'s cluster iff ``d(v, w) < d(w, ℓ_w)``; we run a search
+  from ``w`` bounded by that radius.
+* Path extraction from predecessor maps and path-length evaluation, used by
+  the stretch and congestion metrics.
+
+All functions operate on :class:`repro.graphs.Topology` and are deterministic:
+ties in distance are broken by node id so that repeated runs (and the
+hypothesis tests) see identical outputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping, Sequence
+
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_k_nearest",
+    "dijkstra_radius",
+    "shortest_path_tree",
+    "shortest_path",
+    "extract_path",
+    "path_length",
+    "all_pairs_sampled_distances",
+]
+
+
+def dijkstra(
+    topology: Topology,
+    source: int,
+    *,
+    targets: Iterable[int] | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Single-source shortest paths from ``source``.
+
+    Parameters
+    ----------
+    topology:
+        The graph to search.
+    source:
+        Starting node.
+    targets:
+        Optional set of nodes; if given, the search stops as soon as all of
+        them have been settled (distances for other settled nodes are still
+        returned).
+
+    Returns
+    -------
+    (distances, predecessors)
+        ``distances[v]`` is the shortest distance from ``source`` to ``v`` for
+        every reachable (settled) node; ``predecessors[v]`` is the previous
+        hop on one shortest path (ties broken toward smaller node ids).
+        ``predecessors`` has no entry for ``source``.
+    """
+    adjacency = topology.adjacency
+    distances: dict[int, float] = {}
+    predecessors: dict[int, int] = {}
+    remaining = set(targets) if targets is not None else None
+    # Heap entries are (distance, node, predecessor); the node-id tie-break
+    # comes from pushing candidates in neighbor order and relying on the
+    # strict-improvement test below.
+    heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
+    best_seen: dict[int, float] = {source: 0.0}
+    best_pred: dict[int, int] = {}
+    while heap:
+        dist, node, pred = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = dist
+        if pred >= 0:
+            predecessors[node] = pred
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for neighbor, weight in adjacency[node]:
+            if neighbor in distances:
+                continue
+            candidate = dist + weight
+            seen = best_seen.get(neighbor)
+            if (
+                seen is None
+                or candidate < seen
+                or (candidate == seen and node < best_pred.get(neighbor, node + 1))
+            ):
+                best_seen[neighbor] = candidate
+                best_pred[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor, node))
+    return distances, predecessors
+
+
+def dijkstra_k_nearest(
+    topology: Topology,
+    source: int,
+    k: int,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Return the ``k`` nodes nearest to ``source`` (including ``source``).
+
+    This is the vicinity computation of §4.2: the search stops once ``k``
+    nodes have been settled.  Ties at the boundary are resolved by distance
+    then node id, so the vicinity is deterministic.
+
+    Returns
+    -------
+    (distances, predecessors)
+        As in :func:`dijkstra`, restricted to the settled nodes.  If the
+        connected component of ``source`` has fewer than ``k`` nodes, the
+        whole component is returned.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    adjacency = topology.adjacency
+    distances: dict[int, float] = {}
+    predecessors: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
+    best_seen: dict[int, float] = {source: 0.0}
+    while heap and len(distances) < k:
+        dist, node, pred = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = dist
+        if pred >= 0:
+            predecessors[node] = pred
+        for neighbor, weight in adjacency[node]:
+            if neighbor in distances:
+                continue
+            candidate = dist + weight
+            seen = best_seen.get(neighbor)
+            if seen is None or candidate < seen:
+                best_seen[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor, node))
+    return distances, predecessors
+
+
+def dijkstra_radius(
+    topology: Topology,
+    source: int,
+    radius: float,
+    *,
+    inclusive: bool = False,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Return all nodes within ``radius`` of ``source``.
+
+    Parameters
+    ----------
+    inclusive:
+        If False (default) the boundary is strict (``d < radius``), matching
+        the S4 cluster definition ``d(v, w) < d(w, ℓ_w)``.  If True, nodes at
+        exactly ``radius`` are included.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    adjacency = topology.adjacency
+    distances: dict[int, float] = {}
+    predecessors: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
+    best_seen: dict[int, float] = {source: 0.0}
+    while heap:
+        dist, node, pred = heapq.heappop(heap)
+        if node in distances:
+            continue
+        if inclusive:
+            if dist > radius:
+                break
+        elif dist >= radius and node != source:
+            break
+        distances[node] = dist
+        if pred >= 0:
+            predecessors[node] = pred
+        for neighbor, weight in adjacency[node]:
+            if neighbor in distances:
+                continue
+            candidate = dist + weight
+            seen = best_seen.get(neighbor)
+            if seen is None or candidate < seen:
+                best_seen[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor, node))
+    return distances, predecessors
+
+
+def shortest_path_tree(
+    topology: Topology, root: int
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Return the shortest-path tree rooted at ``root``.
+
+    Identical to :func:`dijkstra` over the whole component; named separately
+    because landmarks use it to derive the explicit routes embedded in
+    addresses (the tree gives, for every node, its parent toward the root).
+    """
+    return dijkstra(topology, root)
+
+
+def extract_path(
+    predecessors: Mapping[int, int], source: int, target: int
+) -> list[int]:
+    """Reconstruct the path ``source .. target`` from a predecessor map.
+
+    The predecessor map must come from a search rooted at ``source``.
+
+    Raises
+    ------
+    ValueError
+        If ``target`` is not reachable in the predecessor map.
+    """
+    if target == source:
+        return [source]
+    path = [target]
+    node = target
+    visited = {target}
+    while node != source:
+        if node not in predecessors:
+            raise ValueError(
+                f"target {target} not reachable from {source} in predecessor map"
+            )
+        node = predecessors[node]
+        if node in visited:
+            raise ValueError("cycle detected in predecessor map")
+        visited.add(node)
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def shortest_path(topology: Topology, source: int, target: int) -> list[int]:
+    """Return one shortest path from ``source`` to ``target`` as a node list."""
+    _, predecessors = dijkstra(topology, source, targets=[target])
+    return extract_path(predecessors, source, target)
+
+
+def path_length(topology: Topology, path: Sequence[int]) -> float:
+    """Return the total weight of ``path`` (a sequence of adjacent nodes).
+
+    Raises
+    ------
+    ValueError
+        If the path is empty or uses a non-existent edge.
+    """
+    if not path:
+        raise ValueError("path must contain at least one node")
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        if not topology.has_edge(u, v):
+            raise ValueError(f"path uses non-existent edge ({u}, {v})")
+        total += topology.edge_weight(u, v)
+    return total
+
+
+def all_pairs_sampled_distances(
+    topology: Topology, pairs: Iterable[tuple[int, int]]
+) -> dict[tuple[int, int], float]:
+    """Return shortest distances for the given source-destination pairs.
+
+    Sources are grouped so each distinct source runs a single Dijkstra that
+    stops when all of its sampled targets are settled.  Used as the stretch
+    denominator for sampled pairs on large topologies, as in §5.1.
+    """
+    by_source: dict[int, set[int]] = {}
+    pair_list = list(pairs)
+    for source, target in pair_list:
+        by_source.setdefault(source, set()).add(target)
+    result: dict[tuple[int, int], float] = {}
+    for source, targets in by_source.items():
+        distances, _ = dijkstra(topology, source, targets=targets)
+        for target in targets:
+            if target not in distances:
+                raise ValueError(
+                    f"node {target} unreachable from {source}; topology must be connected"
+                )
+            result[(source, target)] = distances[target]
+    return result

@@ -1,0 +1,275 @@
+"""The :class:`Topology` class: an undirected, weighted network graph.
+
+The paper's protocols operate on "an undirected connected network of n nodes
+with arbitrary structure and link distances (i.e., link latencies or costs)"
+(§4.1).  ``Topology`` models exactly that: nodes are consecutive integers
+``0 .. n-1``, edges carry a positive float weight, and the adjacency structure
+is stored as per-node lists of ``(neighbor, weight)`` pairs for fast iteration
+inside the Dijkstra variants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An undirected weighted graph over nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.  Nodes are implicitly the integers ``0 .. n-1``.
+    name:
+        Optional human-readable label (e.g. ``"gnm-1024"``) used in reports.
+
+    Notes
+    -----
+    * Self-loops are rejected; parallel edges collapse to the smaller weight.
+    * Edge weights must be strictly positive (they are link latencies/costs).
+    * The class is mutable during construction (``add_edge``), and all reads
+      are O(1)/O(degree); the shortest-path algorithms in
+      :mod:`repro.graphs.shortest_paths` read ``topology.adjacency`` directly.
+    """
+
+    __slots__ = ("_num_nodes", "_adjacency", "_edge_weights", "name")
+
+    def __init__(self, num_nodes: int, *, name: str = "topology") -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._adjacency: list[list[tuple[int, float]]] = [
+            [] for _ in range(self._num_nodes)
+        ]
+        self._edge_weights: dict[tuple[int, int], float] = {}
+        self.name = name
+
+    # -- construction -----------------------------------------------------
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add the undirected edge ``{u, v}`` with the given positive weight.
+
+        Adding an existing edge keeps the smaller of the old and new weights.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u})")
+        if weight <= 0:
+            raise ValueError(f"edge weight must be > 0, got {weight}")
+        key = (u, v) if u < v else (v, u)
+        existing = self._edge_weights.get(key)
+        if existing is not None:
+            if weight < existing:
+                self._edge_weights[key] = float(weight)
+                self._replace_adjacency_weight(u, v, float(weight))
+                self._replace_adjacency_weight(v, u, float(weight))
+            return
+        self._edge_weights[key] = float(weight)
+        self._adjacency[u].append((v, float(weight)))
+        self._adjacency[v].append((u, float(weight)))
+
+    def add_edges_from(
+        self, edges: Iterable[tuple[int, int] | tuple[int, int, float]]
+    ) -> None:
+        """Add many edges; each item is ``(u, v)`` or ``(u, v, weight)``."""
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                self.add_edge(u, v)
+            else:
+                u, v, w = edge  # type: ignore[misc]
+                self.add_edge(u, v, w)
+
+    def _replace_adjacency_weight(self, u: int, v: int, weight: float) -> None:
+        row = self._adjacency[u]
+        for index, (neighbor, _) in enumerate(row):
+            if neighbor == v:
+                row[index] = (v, weight)
+                return
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges in the graph."""
+        return len(self._edge_weights)
+
+    @property
+    def adjacency(self) -> list[list[tuple[int, float]]]:
+        """Raw adjacency structure: ``adjacency[u]`` is a list of (v, weight).
+
+        Exposed read-only by convention; the shortest-path algorithms iterate
+        it directly for speed.  Callers must not mutate it.
+        """
+        return self._adjacency
+
+    def nodes(self) -> range:
+        """Return the node identifiers as a ``range`` object."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, weight)`` with u < v."""
+        for (u, v), weight in self._edge_weights.items():
+            yield u, v, weight
+
+    def neighbors(self, node: int) -> list[int]:
+        """Return the neighbors of ``node`` (in insertion order)."""
+        self._check_node(node)
+        return [v for v, _ in self._adjacency[node]]
+
+    def neighbor_weights(self, node: int) -> list[tuple[int, float]]:
+        """Return ``(neighbor, weight)`` pairs for ``node``."""
+        self._check_node(node)
+        return list(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Return the degree of ``node``."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True if the undirected edge ``{u, v}`` exists."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_weights
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Return the weight of edge ``{u, v}``; raises ``KeyError`` if absent."""
+        key = (u, v) if u < v else (v, u)
+        return self._edge_weights[key]
+
+    def total_weight(self) -> float:
+        """Return the sum of all edge weights."""
+        return sum(self._edge_weights.values())
+
+    def average_degree(self) -> float:
+        """Return the mean node degree (0.0 for an empty graph)."""
+        if self._num_nodes == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self._num_nodes
+
+    def max_degree(self) -> int:
+        """Return the maximum node degree (0 for an empty graph)."""
+        if self._num_nodes == 0:
+            return 0
+        return max(len(row) for row in self._adjacency)
+
+    def degree_sequence(self) -> list[int]:
+        """Return the list of node degrees indexed by node id."""
+        return [len(row) for row in self._adjacency]
+
+    # -- connectivity ------------------------------------------------------
+
+    def connected_components(self) -> list[list[int]]:
+        """Return the connected components as lists of node ids."""
+        seen = [False] * self._num_nodes
+        components: list[list[int]] = []
+        for start in range(self._num_nodes):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor, _ in self._adjacency[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """Return True if the graph has at most one connected component."""
+        if self._num_nodes <= 1:
+            return True
+        components = self.connected_components()
+        return len(components) == 1
+
+    def largest_component_subgraph(self) -> tuple["Topology", dict[int, int]]:
+        """Return the largest connected component as a new, relabelled Topology.
+
+        Returns
+        -------
+        (topology, mapping)
+            ``topology`` has nodes ``0 .. k-1``; ``mapping`` maps old node ids
+            to new ones.
+        """
+        components = self.connected_components()
+        if not components:
+            return Topology(0, name=self.name), {}
+        largest = max(components, key=len)
+        mapping = {old: new for new, old in enumerate(sorted(largest))}
+        sub = Topology(len(largest), name=self.name)
+        for u, v, weight in self.edges():
+            if u in mapping and v in mapping:
+                sub.add_edge(mapping[u], mapping[v], weight)
+        return sub, mapping
+
+    # -- conversions -------------------------------------------------------
+
+    def to_networkx(self):  # pragma: no cover - thin convenience wrapper
+        """Return an equivalent ``networkx.Graph`` (weights on ``"weight"``)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._num_nodes))
+        for u, v, weight in self.edges():
+            graph.add_edge(u, v, weight=weight)
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+        *,
+        name: str = "topology",
+    ) -> "Topology":
+        """Build a topology from an edge iterable."""
+        topology = cls(num_nodes, name=name)
+        topology.add_edges_from(edges)
+        return topology
+
+    def copy(self) -> "Topology":
+        """Return a deep copy of this topology."""
+        duplicate = Topology(self._num_nodes, name=self.name)
+        for u, v, weight in self.edges():
+            duplicate.add_edge(u, v, weight)
+        return duplicate
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, nodes={self._num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and self._edge_weights == other._edge_weights
+        )
+
+    def __hash__(self) -> int:  # Topologies are mutable; identity hash.
+        return id(self)
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(
+                f"node {node} out of range for topology with "
+                f"{self._num_nodes} nodes"
+            )

@@ -1,0 +1,22 @@
+"""Evaluation metrics: state, stretch, congestion.
+
+These are the three quantities the paper's figures plot (per-node state CDFs,
+path-stretch CDFs over source-destination pairs, and paths-per-edge CDFs),
+computed uniformly for any :class:`~repro.protocols.base.RoutingScheme`.
+Control-plane messaging, the fourth metric, is produced by the discrete-event
+simulator (:mod:`repro.sim`).
+"""
+
+from repro.metrics.state import StateReport, measure_state
+from repro.metrics.stretch import StretchReport, measure_stretch, stretch_of_route
+from repro.metrics.congestion import CongestionReport, measure_congestion
+
+__all__ = [
+    "CongestionReport",
+    "StateReport",
+    "StretchReport",
+    "measure_congestion",
+    "measure_state",
+    "measure_stretch",
+    "stretch_of_route",
+]

@@ -1,0 +1,129 @@
+"""Path-stretch measurement (Figs. 3, 4, 5, 6, 9).
+
+Stretch is "the ratio of the protocol's route length to the shortest path
+length" (§2).  For each sampled source-destination pair we obtain the
+protocol's first-packet and later-packet routes, measure their weighted
+length, and divide by the true shortest-path distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graphs.sampling import sample_pairs
+from repro.graphs.shortest_paths import all_pairs_sampled_distances
+from repro.graphs.topology import Topology
+from repro.protocols.base import RouteResult, RoutingScheme
+from repro.utils.distributions import Summary, cdf_points, summarize
+
+__all__ = ["StretchReport", "measure_stretch", "stretch_of_route"]
+
+
+def stretch_of_route(
+    topology: Topology, route: RouteResult, shortest_distance: float
+) -> float:
+    """Stretch of one route given the true shortest distance.
+
+    Raises
+    ------
+    ValueError
+        If the shortest distance is not positive (the pair's endpoints must
+        differ) or the route is undelivered/empty.
+    """
+    if shortest_distance <= 0:
+        raise ValueError("shortest_distance must be > 0 (distinct endpoints)")
+    if not route.path:
+        raise ValueError("cannot compute stretch of an empty route")
+    return route.length(topology) / shortest_distance
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Stretch measurements for one protocol over sampled pairs.
+
+    Attributes
+    ----------
+    scheme:
+        Protocol name.
+    pairs:
+        The (source, destination) pairs measured.
+    first_packet, later_packets:
+        Stretch values aligned with ``pairs``.
+    failures:
+        Number of pairs whose first-packet route was not delivered (greedy
+        failures in VRR); their stretch is measured over the fallback path
+        and they are counted here so reports can flag them.
+    """
+
+    scheme: str
+    pairs: tuple[tuple[int, int], ...]
+    first_packet: tuple[float, ...]
+    later_packets: tuple[float, ...]
+    failures: int = 0
+
+    @property
+    def first_summary(self) -> Summary:
+        """Summary of first-packet stretch."""
+        return summarize(self.first_packet)
+
+    @property
+    def later_summary(self) -> Summary:
+        """Summary of later-packet stretch."""
+        return summarize(self.later_packets)
+
+    def first_cdf(self) -> list[tuple[float, float]]:
+        """CDF of first-packet stretch (the "<protocol>-First" curves)."""
+        return cdf_points(self.first_packet)
+
+    def later_cdf(self) -> list[tuple[float, float]]:
+        """CDF of later-packet stretch (the "<protocol>-Later" curves)."""
+        return cdf_points(self.later_packets)
+
+
+def measure_stretch(
+    scheme: RoutingScheme,
+    *,
+    pairs: Sequence[tuple[int, int]] | None = None,
+    pair_sample: int = 500,
+    seed: int = 0,
+) -> StretchReport:
+    """Measure first- and later-packet stretch for ``scheme``.
+
+    Parameters
+    ----------
+    pairs:
+        Explicit source-destination pairs; defaults to ``pair_sample``
+        uniformly sampled ordered pairs.
+    pair_sample:
+        Number of pairs to sample when ``pairs`` is not given.
+    seed:
+        Sampling seed.
+    """
+    topology = scheme.topology
+    if pairs is None:
+        measured_pairs = sample_pairs(topology, pair_sample, seed=seed)
+    else:
+        measured_pairs = [(s, t) for s, t in pairs if s != t]
+    if not measured_pairs:
+        raise ValueError("no source-destination pairs to measure")
+    distances = all_pairs_sampled_distances(topology, measured_pairs)
+
+    first_values: list[float] = []
+    later_values: list[float] = []
+    failures = 0
+    for source, target in measured_pairs:
+        shortest = distances[(source, target)]
+        first = scheme.first_packet_route(source, target)
+        later = scheme.later_packet_route(source, target)
+        if not first.delivered:
+            failures += 1
+        first_values.append(stretch_of_route(topology, first, shortest))
+        later_values.append(stretch_of_route(topology, later, shortest))
+    return StretchReport(
+        scheme=scheme.name,
+        pairs=tuple(measured_pairs),
+        first_packet=tuple(first_values),
+        later_packets=tuple(later_values),
+        failures=failures,
+    )

@@ -1,0 +1,166 @@
+"""Consistent hashing over a set of servers.
+
+Disco's name-resolution module (§4.3) runs "a consistent hashing database
+over the (globally-known) set of landmarks": each node's (name, address)
+record is stored at the landmark that owns the node's hash.  The same
+mechanism also underlies the finger-lookup step of the dissemination overlay
+(a node asks the database for the node whose hash is closest to a chosen
+point, §4.4).
+
+:class:`ConsistentHashRing` implements the classic construction of Karger et
+al. [22]: servers are hashed onto the ring (optionally at multiple virtual
+points to smooth the load imbalance, as §4.5 notes), and a key is owned by
+the first server clockwise from the key's hash.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Sequence
+
+from repro.naming.hashspace import HASH_BITS, clockwise_distance
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point_for(server: Hashable, replica: int) -> int:
+    material = f"{server!r}#{replica}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[: HASH_BITS // 8], "big")
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring mapping integer hash keys to servers.
+
+    Parameters
+    ----------
+    servers:
+        The initial server identifiers (landmark node ids, in Disco's use).
+    virtual_nodes:
+        Number of points each server is hashed to.  1 reproduces the simple
+        single-hash-function construction whose most loaded server holds a
+        Θ(log n) factor more than its fair share; larger values smooth the
+        imbalance as discussed in §4.5.
+    """
+
+    def __init__(
+        self, servers: Iterable[Hashable] = (), *, virtual_nodes: int = 1
+    ) -> None:
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self._virtual_nodes = virtual_nodes
+        self._points: list[int] = []
+        self._point_owner: dict[int, Hashable] = {}
+        self._servers: set[Hashable] = set()
+        for server in servers:
+            self.add_server(server)
+
+    @property
+    def servers(self) -> set[Hashable]:
+        """The current set of servers (a copy)."""
+        return set(self._servers)
+
+    @property
+    def virtual_nodes(self) -> int:
+        """Number of ring points per server."""
+        return self._virtual_nodes
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __contains__(self, server: Hashable) -> bool:
+        return server in self._servers
+
+    def add_server(self, server: Hashable) -> None:
+        """Add ``server`` to the ring (no-op if already present)."""
+        if server in self._servers:
+            return
+        self._servers.add(server)
+        for replica in range(self._virtual_nodes):
+            point = _point_for(server, replica)
+            # Extremely unlikely collision: nudge deterministically.
+            while point in self._point_owner:
+                point = (point + 1) % (1 << HASH_BITS)
+            self._point_owner[point] = server
+            bisect.insort(self._points, point)
+
+    def remove_server(self, server: Hashable) -> None:
+        """Remove ``server`` from the ring.
+
+        Raises
+        ------
+        KeyError
+            If the server is not on the ring.
+        """
+        if server not in self._servers:
+            raise KeyError(server)
+        self._servers.discard(server)
+        dead_points = [p for p, owner in self._point_owner.items() if owner == server]
+        for point in dead_points:
+            del self._point_owner[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def owner(self, key: int) -> Hashable:
+        """Return the server that owns hash ``key`` (first point clockwise).
+
+        Raises
+        ------
+        LookupError
+            If the ring has no servers.
+        """
+        if not self._points:
+            raise LookupError("consistent hash ring has no servers")
+        index = bisect.bisect_left(self._points, key % (1 << HASH_BITS))
+        if index == len(self._points):
+            index = 0
+        return self._point_owner[self._points[index]]
+
+    def owners(self, key: int, count: int) -> list[Hashable]:
+        """Return up to ``count`` distinct successive owners clockwise of ``key``.
+
+        Useful for replicated storage of resolution entries.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not self._points:
+            raise LookupError("consistent hash ring has no servers")
+        result: list[Hashable] = []
+        index = bisect.bisect_left(self._points, key % (1 << HASH_BITS))
+        total_points = len(self._points)
+        for offset in range(total_points):
+            point = self._points[(index + offset) % total_points]
+            server = self._point_owner[point]
+            if server not in result:
+                result.append(server)
+                if len(result) == count:
+                    break
+        return result
+
+    def closest_key_owner(self, key: int, candidate_keys: Sequence[int]) -> int:
+        """Return the candidate key closest to ``key`` clockwise on the ring.
+
+        Used by the overlay finger-selection procedure: given a target point
+        ``a`` in hash space, find the stored key (node hash) whose position
+        is nearest going clockwise from ``a`` -- i.e. the node that "owns"
+        that region of the ring among the candidates.
+
+        Raises
+        ------
+        ValueError
+            If ``candidate_keys`` is empty.
+        """
+        if not candidate_keys:
+            raise ValueError("candidate_keys must be non-empty")
+        return min(
+            candidate_keys,
+            key=lambda candidate: (clockwise_distance(key, candidate), candidate),
+        )
+
+    def load_distribution(self, keys: Iterable[int]) -> dict[Hashable, int]:
+        """Return how many of ``keys`` each server owns (servers may map to 0)."""
+        counts: dict[Hashable, int] = {server: 0 for server in self._servers}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

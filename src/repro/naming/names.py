@@ -1,0 +1,107 @@
+"""Flat, location-independent names.
+
+"The name of a node is an arbitrary bit string; i.e., a flat,
+location-independent name" (§4.1).  A :class:`FlatName` wraps that bit string
+together with its SHA-256 hash, which the protocol uses for sloppy-group
+membership, overlay ordering, and consistent-hashing name resolution.
+
+The simulators identify nodes by dense integer ids (graph vertices); names
+are a separate namespace deliberately unrelated to those ids, which is the
+whole point of name-independent routing.  :func:`name_for_node` provides the
+default synthetic naming used by experiments (``"node-<id>"``), but any byte
+string or text label works -- a DNS name, a MAC address, or a self-certifying
+key hash, per §1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import total_ordering
+
+from repro.naming.hashspace import HASH_BITS
+
+__all__ = ["FlatName", "name_for_node"]
+
+
+@total_ordering
+class FlatName:
+    """An immutable flat name plus its position in the hash space.
+
+    Parameters
+    ----------
+    label:
+        The name itself, as text or bytes.  Text is encoded as UTF-8.
+
+    Attributes
+    ----------
+    label:
+        The original text form of the name (bytes are shown as hex).
+    raw:
+        The name as bytes (what gets hashed).
+    hash_value:
+        The top ``HASH_BITS`` bits of SHA-256(raw), as an integer position in
+        the circular hash space.
+    """
+
+    __slots__ = ("_label", "_raw", "_hash_value")
+
+    def __init__(self, label: str | bytes) -> None:
+        if isinstance(label, bytes):
+            self._raw = label
+            self._label = label.hex()
+        elif isinstance(label, str):
+            if not label:
+                raise ValueError("flat name must be a non-empty string")
+            self._raw = label.encode("utf-8")
+            self._label = label
+        else:
+            raise TypeError(
+                f"flat name must be str or bytes, got {type(label).__name__}"
+            )
+        if not self._raw:
+            raise ValueError("flat name must be non-empty")
+        digest = hashlib.sha256(self._raw).digest()
+        self._hash_value = int.from_bytes(digest[: HASH_BITS // 8], "big")
+
+    @property
+    def label(self) -> str:
+        """Human-readable form of the name."""
+        return self._label
+
+    @property
+    def raw(self) -> bytes:
+        """The name as the byte string that is hashed."""
+        return self._raw
+
+    @property
+    def hash_value(self) -> int:
+        """Position of this name in the circular hash space."""
+        return self._hash_value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlatName):
+            return NotImplemented
+        return self._raw == other._raw
+
+    def __lt__(self, other: "FlatName") -> bool:
+        if not isinstance(other, FlatName):
+            return NotImplemented
+        # Order by hash value (ring order), breaking ties by the raw name so
+        # the ordering is total even under hash collisions.
+        return (self._hash_value, self._raw) < (other._hash_value, other._raw)
+
+    def __hash__(self) -> int:
+        return hash(self._raw)
+
+    def __repr__(self) -> str:
+        return f"FlatName({self._label!r})"
+
+    def __str__(self) -> str:
+        return self._label
+
+
+def name_for_node(node: int, *, prefix: str = "node") -> FlatName:
+    """Return the default synthetic flat name for graph node ``node``."""
+    if node < 0:
+        raise ValueError(f"node id must be >= 0, got {node}")
+    return FlatName(f"{prefix}-{node}")

@@ -1,0 +1,26 @@
+"""Routing protocols: the common interface and the baseline schemes.
+
+The paper evaluates five protocols (§5.1): Disco, NDDisco, S4, VRR, and
+path-vector routing.  All of them — including Disco and NDDisco, which live
+in :mod:`repro.core` — implement the :class:`RoutingScheme` interface defined
+in :mod:`repro.protocols.base`, so the static simulator, the metrics, and the
+experiment harness treat every protocol uniformly.
+"""
+
+from repro.protocols.base import RouteResult, RoutingScheme
+from repro.protocols.shortest_path import ShortestPathRouting
+from repro.protocols.pathvector import PathVectorRouting
+from repro.protocols.s4 import S4Routing
+from repro.protocols.vrr import VirtualRingRouting
+from repro.protocols.registry import available_schemes, build_scheme
+
+__all__ = [
+    "PathVectorRouting",
+    "RouteResult",
+    "RoutingScheme",
+    "S4Routing",
+    "ShortestPathRouting",
+    "VirtualRingRouting",
+    "available_schemes",
+    "build_scheme",
+]

@@ -1,0 +1,143 @@
+"""The common routing-scheme interface.
+
+Every protocol in this reproduction -- Disco, NDDisco, S4, VRR, path vector,
+shortest-path -- is modelled in its *converged* state: the object is built
+from a topology (plus a seed for any randomized choices) and then answers the
+three questions the evaluation asks:
+
+1. how much data-plane state does node ``v`` hold (entries and bytes)?
+2. what route does the *first packet* of a flow from ``s`` to ``t`` take?
+3. what route do *later packets* take?
+
+The answers feed the state, stretch, and congestion metrics.  Control-plane
+messaging is evaluated separately in the discrete-event simulator
+(:mod:`repro.sim`), because it is a dynamic quantity that a converged-state
+model cannot capture.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graphs.topology import Topology
+
+__all__ = ["RouteResult", "RoutingScheme"]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """The outcome of routing one packet.
+
+    Attributes
+    ----------
+    path:
+        The sequence of nodes traversed, starting at the source and ending at
+        the destination.  A failed delivery yields an empty tuple.
+    mechanism:
+        A short label describing which protocol case produced the route
+        (e.g. ``"vicinity"``, ``"landmark-relay"``, ``"greedy"``); used by the
+        reports to break results down by case.
+    delivered:
+        True if the packet reached the destination.
+    """
+
+    path: tuple[int, ...]
+    mechanism: str
+    delivered: bool = True
+
+    @property
+    def hop_count(self) -> int:
+        """Number of edges traversed (0 for an empty or single-node path)."""
+        return max(len(self.path) - 1, 0)
+
+    def length(self, topology: Topology) -> float:
+        """Total weighted length of the path on ``topology``."""
+        total = 0.0
+        for u, v in zip(self.path, self.path[1:]):
+            total += topology.edge_weight(u, v)
+        return total
+
+
+class RoutingScheme(abc.ABC):
+    """Abstract converged-state model of a routing protocol.
+
+    Subclasses perform all precomputation in ``__init__`` (from a
+    :class:`~repro.graphs.Topology` and a seed) and then answer state and
+    routing queries.  All query methods must be deterministic.
+    """
+
+    #: Human-readable protocol name used in reports (subclasses override).
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology) -> None:
+        if topology.num_nodes == 0:
+            raise ValueError("cannot build a routing scheme on an empty topology")
+        if not topology.is_connected():
+            raise ValueError(
+                "routing schemes require a connected topology; "
+                "use Topology.largest_component_subgraph() first"
+            )
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this scheme was built on."""
+        return self._topology
+
+    # -- state accounting --------------------------------------------------
+
+    @abc.abstractmethod
+    def state_entries(self, node: int) -> int:
+        """Number of data-plane routing-table entries held by ``node``.
+
+        This counts "everything necessary to forward a packet after the
+        protocol has converged" (§5.2): forwarding entries, name-resolution
+        entries, label mappings, and address mappings, as applicable.
+        """
+
+    def state_bytes(self, node: int, *, name_bytes: int = 4) -> float:
+        """Data-plane state at ``node`` in bytes, with ``name_bytes``-sized names.
+
+        The default implementation charges one name per entry; protocols with
+        richer entries (addresses with explicit routes) override this.
+        """
+        return float(self.state_entries(node)) * name_bytes
+
+    def state_entry_counts(self) -> list[int]:
+        """Convenience: ``state_entries`` for every node, indexed by node id."""
+        return [self.state_entries(node) for node in self._topology.nodes()]
+
+    # -- routing -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def first_packet_route(self, source: int, target: int) -> RouteResult:
+        """Route the first packet of a flow from ``source`` to ``target``."""
+
+    @abc.abstractmethod
+    def later_packet_route(self, source: int, target: int) -> RouteResult:
+        """Route packets after the first (post-handshake) for the flow."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _check_endpoints(self, source: int, target: int) -> None:
+        n = self._topology.num_nodes
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range (n={n})")
+        if not 0 <= target < n:
+            raise ValueError(f"target {target} out of range (n={n})")
+
+    @staticmethod
+    def _validate_path(path: Sequence[int], source: int, target: int) -> None:
+        if not path or path[0] != source or path[-1] != target:
+            raise AssertionError(
+                f"internal error: produced invalid path {path} for "
+                f"{source}->{target}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(topology={self._topology.name!r}, "
+            f"n={self._topology.num_nodes})"
+        )

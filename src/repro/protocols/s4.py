@@ -1,0 +1,293 @@
+"""S4: small state and small stretch routing (Mao et al., NSDI 2007).
+
+S4 adapts the stretch-3 compact-routing scheme of Thorup and Zwick to a
+distributed setting, but -- as the paper demonstrates in §5 -- its use of
+uniform-random landmarks together with Thorup-Zwick *clusters* breaks the
+per-node state bound: "some nodes can be close to many nodes in the network,
+exploding their cluster size" (§4.2 "Comparison with S4"), up to Θ̃(n) entries
+on the footnote-6 tree topology and tens of thousands of entries on the
+router-level Internet map (Fig. 2 / Fig. 7).
+
+Model
+-----
+* Landmarks: the same uniform-random selection as NDDisco (probability
+  sqrt(log n / n)); every node knows shortest paths to all landmarks.
+* Cluster of v: ``C(v) = {w : d(v, w) < d(w, ℓw)}`` -- all nodes w strictly
+  closer to v than to their own closest landmark.  v stores a shortest-path
+  route to every cluster member.
+* Label (address) of t: ``(ℓt, port at ℓt toward t)`` -- fixed size; no
+  explicit source route is needed because every node on ℓt's shortest path
+  to t (other than ℓt itself) has t in its cluster.
+* Routing s→t: if t is a landmark or ``t ∈ C(s)``, use the direct shortest
+  path; otherwise forward toward ℓt, and the moment the packet passes a node
+  u with ``t ∈ C(u)`` it follows u's direct path (To-Destination
+  shortcutting, which is intrinsic to S4).  Worst-case stretch 3.
+* First packets: like the paper's evaluation, S4 is "coupled with" a
+  consistent-hashing location service on the landmarks, so the first packet
+  of a flow detours through the landmark that owns h(t) before being routed
+  on; this is what makes S4's first-packet stretch large in Figs. 3-5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.landmarks import select_landmarks
+from repro.core.resolution import LandmarkResolutionDatabase
+from repro.addressing.address import Address, NAME_BYTES_IPV4
+from repro.addressing.explicit_route import ExplicitRoute
+from repro.addressing.labels import LabelCodec
+from repro.graphs.shortest_paths import dijkstra, dijkstra_radius, extract_path
+from repro.graphs.topology import Topology
+from repro.naming.names import FlatName, name_for_node
+from repro.protocols.base import RouteResult, RoutingScheme
+
+__all__ = ["S4Routing"]
+
+
+class S4Routing(RoutingScheme):
+    """Converged-state model of S4.
+
+    Parameters
+    ----------
+    topology:
+        The (connected) network.
+    seed:
+        Seed for landmark selection (passing the same seed as an
+        :class:`~repro.core.nddisco.NDDiscoRouting` instance gives both
+        protocols identical landmark sets, as in the paper's comparisons).
+    landmarks:
+        Optional externally supplied landmark set.
+    names:
+        Flat names per node (used by the landmark location service).
+    resolve_first_packet:
+        If True (default), first packets detour through the location
+        service's home landmark for the destination.
+    """
+
+    name = "S4"
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        seed: int = 0,
+        landmarks: set[int] | None = None,
+        names: Sequence[FlatName] | None = None,
+        resolve_first_packet: bool = True,
+    ) -> None:
+        super().__init__(topology)
+        n = topology.num_nodes
+        self._resolve_first_packet = resolve_first_packet
+        self._names = (
+            list(names) if names is not None else [name_for_node(v) for v in range(n)]
+        )
+        if len(self._names) != n:
+            raise ValueError(f"names must have exactly {n} entries")
+
+        self._landmarks: set[int] = (
+            set(landmarks) if landmarks is not None else select_landmarks(n, seed=seed)
+        )
+        if not self._landmarks:
+            raise ValueError("landmark set must be non-empty")
+
+        # Landmark shortest-path trees (distances and parents, dense lists).
+        self._landmark_distances: dict[int, list[float]] = {}
+        self._landmark_parents: dict[int, list[int]] = {}
+        for landmark in sorted(self._landmarks):
+            distances, parents = dijkstra(topology, landmark)
+            dist_row = [0.0] * n
+            parent_row = [-1] * n
+            for node, value in distances.items():
+                dist_row[node] = value
+            for node, parent in parents.items():
+                parent_row[node] = parent
+            self._landmark_distances[landmark] = dist_row
+            self._landmark_parents[landmark] = parent_row
+
+        self._closest_landmark: list[int] = []
+        self._landmark_distance_of: list[float] = []
+        sorted_landmarks = sorted(self._landmarks)
+        for node in range(n):
+            best = min(
+                sorted_landmarks,
+                key=lambda lm: (self._landmark_distances[lm][node], lm),
+            )
+            self._closest_landmark.append(best)
+            self._landmark_distance_of.append(self._landmark_distances[best][node])
+
+        # Reverse-cluster ("ball") searches: for each node w, find every node
+        # v with d(w, v) < d(w, ℓw); those v have w in their cluster.  The
+        # search tree also provides the shortest path from w back to v, which
+        # is the (reversed) route v uses to reach w.
+        self._ball_distances: list[dict[int, float]] = []
+        self._ball_parents: list[dict[int, int]] = []
+        cluster_sizes = [0] * n
+        for node in range(n):
+            radius = self._landmark_distance_of[node]
+            distances, parents = dijkstra_radius(topology, node, radius)
+            self._ball_distances.append(distances)
+            self._ball_parents.append(parents)
+            for member in distances:
+                if member != node:
+                    cluster_sizes[member] += 1
+        self._cluster_sizes = cluster_sizes
+
+        # Location service over the landmarks (consistent hashing of names).
+        self._codec = LabelCodec(topology)
+        self._addresses: list[Address] = []
+        for node in range(n):
+            landmark = self._closest_landmark[node]
+            tree_path = _extract_path_dense(
+                self._landmark_parents[landmark], landmark, node
+            )
+            route = ExplicitRoute.from_path(self._codec, tree_path)
+            self._addresses.append(Address(node=node, landmark=landmark, route=route))
+        self._resolution = LandmarkResolutionDatabase(self._landmarks)
+        self._resolution.populate(self._names, self._addresses)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def landmarks(self) -> set[int]:
+        """The landmark set (a copy)."""
+        return set(self._landmarks)
+
+    @property
+    def resolution_database(self) -> LandmarkResolutionDatabase:
+        """The landmark-hosted location service."""
+        return self._resolution
+
+    def closest_landmark(self, node: int) -> int:
+        """Return ℓv for ``node``."""
+        return self._closest_landmark[node]
+
+    def cluster_size(self, node: int) -> int:
+        """Return |C(node)|: how many nodes ``node`` stores direct routes for."""
+        return self._cluster_sizes[node]
+
+    def in_cluster(self, holder: int, member: int) -> bool:
+        """Return True if ``member`` belongs to ``holder``'s cluster."""
+        if holder == member:
+            return False
+        return holder in self._ball_distances[member]
+
+    def cluster_path(self, holder: int, member: int) -> list[int]:
+        """Shortest path from ``holder`` to a cluster member."""
+        if not self.in_cluster(holder, member):
+            raise ValueError(f"{member} is not in the cluster of {holder}")
+        reverse = extract_path(self._ball_parents[member], member, holder)
+        return list(reversed(reverse))
+
+    def landmark_path(self, landmark: int, node: int) -> list[int]:
+        """Return the SPT path from ``landmark`` to ``node``."""
+        if landmark not in self._landmark_parents:
+            raise KeyError(f"{landmark} is not a landmark")
+        return _extract_path_dense(self._landmark_parents[landmark], landmark, node)
+
+    # -- state accounting ------------------------------------------------------
+
+    def state_entries(self, node: int) -> int:
+        """Cluster routes + landmark routes + location-service records."""
+        self._check_endpoints(node, node)
+        landmark_entries = len(self._landmarks) - (1 if node in self._landmarks else 0)
+        return (
+            self._cluster_sizes[node]
+            + landmark_entries
+            + self._resolution.entries_at(node)
+        )
+
+    def state_bytes(self, node: int, *, name_bytes: int = NAME_BYTES_IPV4) -> float:
+        """Bytes of state: forwarding entries plus location records (Fig. 7)."""
+        landmark_entries = len(self._landmarks) - (1 if node in self._landmarks else 0)
+        forwarding_entries = self._cluster_sizes[node] + landmark_entries
+        forwarding_bytes = forwarding_entries * (name_bytes + 1.0)
+        resolution_bytes = self._resolution.entry_bytes_at(node, name_bytes=name_bytes)
+        return forwarding_bytes + resolution_bytes
+
+    # -- routing ----------------------------------------------------------------
+
+    def knows_direct_route(self, source: int, target: int) -> bool:
+        """True if ``source`` can reach ``target`` from its own tables."""
+        return target in self._landmarks or self.in_cluster(source, target)
+
+    def direct_route(self, source: int, target: int) -> list[int]:
+        """Shortest path ``source`` holds toward ``target`` (landmark or cluster)."""
+        if self.in_cluster(source, target):
+            return self.cluster_path(source, target)
+        if target in self._landmarks:
+            return list(reversed(self.landmark_path(target, source)))
+        raise ValueError(f"{source} holds no direct route to {target}")
+
+    def compact_route(self, source: int, target: int) -> tuple[list[int], str]:
+        """Route assuming ``source`` knows ``target``'s label (ℓt, port)."""
+        self._check_endpoints(source, target)
+        if source == target:
+            return [source], "self"
+        if self.knows_direct_route(source, target):
+            return self.direct_route(source, target), "direct"
+        landmark = self._closest_landmark[target]
+        toward_landmark = list(reversed(self.landmark_path(landmark, source)))
+        from_landmark = self.landmark_path(landmark, target)
+        base = toward_landmark + from_landmark[1:]
+        # Intrinsic To-Destination shortcutting on cluster knowledge.
+        route = self._cluster_shortcut(base, target)
+        return route, "landmark-relay"
+
+    def _cluster_shortcut(self, route: list[int], target: int) -> list[int]:
+        """Splice in a direct cluster path from the first node that has one."""
+        if target in route[:-1]:
+            return route[: route.index(target) + 1]
+        for index, node in enumerate(route[:-1]):
+            if self.in_cluster(node, target):
+                return route[:index] + self.cluster_path(node, target)
+        return route
+
+    def first_packet_route(self, source: int, target: int) -> RouteResult:
+        """First packet: resolve the label at the location service, then route."""
+        self._check_endpoints(source, target)
+        if source == target:
+            return RouteResult(path=(source,), mechanism="self")
+        if self.knows_direct_route(source, target):
+            return RouteResult(
+                path=tuple(self.direct_route(source, target)), mechanism="direct"
+            )
+        if not self._resolve_first_packet:
+            path, mechanism = self.compact_route(source, target)
+            return RouteResult(path=tuple(path), mechanism=mechanism)
+        resolver = self._resolution.home_landmark(self._names[target])
+        to_resolver = list(reversed(self.landmark_path(resolver, source)))
+        if resolver == target:
+            return RouteResult(path=tuple(to_resolver), mechanism="resolver-is-target")
+        onward, _ = self.compact_route(resolver, target)
+        full = to_resolver + onward[1:]
+        if target in full[:-1]:
+            full = full[: full.index(target) + 1]
+        return RouteResult(path=tuple(full), mechanism="resolve-then-route")
+
+    def later_packet_route(self, source: int, target: int) -> RouteResult:
+        """Later packets: the sender caches the label and compact-routes."""
+        self._check_endpoints(source, target)
+        if source == target:
+            return RouteResult(path=(source,), mechanism="self")
+        path, mechanism = self.compact_route(source, target)
+        return RouteResult(path=tuple(path), mechanism=mechanism)
+
+
+def _extract_path_dense(parents: list[int], root: int, node: int) -> list[int]:
+    """Reconstruct the root ; node path from a dense parent list (-1 = none)."""
+    if node == root:
+        return [root]
+    path = [node]
+    current = node
+    steps = 0
+    limit = len(parents)
+    while current != root:
+        parent = parents[current]
+        if parent < 0 or steps > limit:
+            raise ValueError(f"node {node} not reachable from root {root}")
+        path.append(parent)
+        current = parent
+        steps += 1
+    path.reverse()
+    return path

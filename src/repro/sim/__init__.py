@@ -1,0 +1,46 @@
+"""Discrete-event simulation of the protocols' control planes.
+
+The static models in :mod:`repro.core` and :mod:`repro.protocols` capture the
+*converged* state; this package simulates how that state is built: path-vector
+route exchange (full, or filtered to landmarks + vicinities as NDDisco does,
+or filtered to clusters as S4 does), the landmark registration step, and the
+overlay dissemination of addresses.  It produces the control-messaging
+numbers behind Fig. 8 and the static-vs-dynamic accuracy comparison of §5.2.
+
+Layout
+------
+* :mod:`repro.sim.events` / :mod:`repro.sim.simulator` -- the event queue and
+  virtual clock.
+* :mod:`repro.sim.messages` / :mod:`repro.sim.network` -- message objects and
+  the network fabric that delivers them with per-link latency and counts
+  per-node traffic.
+* :mod:`repro.sim.agents` -- per-node protocol agents (path vector with
+  pluggable route-acceptance policies).
+* :mod:`repro.sim.convergence` -- high-level runners returning
+  :class:`~repro.sim.convergence.ConvergenceReport` objects.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.convergence import (
+    ConvergenceReport,
+    simulate_disco_convergence,
+    simulate_nddisco_convergence,
+    simulate_path_vector_convergence,
+    simulate_s4_convergence,
+)
+
+__all__ = [
+    "ConvergenceReport",
+    "Event",
+    "EventQueue",
+    "Message",
+    "Network",
+    "Simulator",
+    "simulate_disco_convergence",
+    "simulate_nddisco_convergence",
+    "simulate_path_vector_convergence",
+    "simulate_s4_convergence",
+]

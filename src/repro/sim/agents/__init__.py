@@ -1,0 +1,21 @@
+"""Per-node protocol agents for the discrete-event simulator."""
+
+from repro.sim.agents.base import Agent
+from repro.sim.agents.pathvector_agent import (
+    AcceptAllPolicy,
+    ClusterPolicy,
+    LandmarkVicinityPolicy,
+    PathVectorAgent,
+    RouteEntry,
+    RoutePolicy,
+)
+
+__all__ = [
+    "AcceptAllPolicy",
+    "Agent",
+    "ClusterPolicy",
+    "LandmarkVicinityPolicy",
+    "PathVectorAgent",
+    "RouteEntry",
+    "RoutePolicy",
+]

@@ -1,0 +1,68 @@
+"""Base class for protocol agents running on simulated nodes."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.sim.messages import Message
+from repro.sim.network import Network
+
+__all__ = ["Agent"]
+
+
+class Agent(abc.ABC):
+    """A protocol instance running on one node of the simulated network.
+
+    Subclasses implement :meth:`start` (invoked once at time zero) and
+    :meth:`on_message`.  Sending is done through :meth:`send`, which routes
+    through the network fabric so that latency and traffic accounting are
+    applied uniformly.
+    """
+
+    def __init__(self, node: int, network: Network) -> None:
+        self._node = node
+        self._network = network
+        network.attach(self)
+
+    @property
+    def node(self) -> int:
+        """The node id this agent runs on."""
+        return self._node
+
+    @property
+    def network(self) -> Network:
+        """The network fabric."""
+        return self._network
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._network.simulator.now
+
+    def neighbors(self) -> list[int]:
+        """Physical neighbors of this node."""
+        return self._network.topology.neighbors(self._node)
+
+    def send(self, receiver: int, kind: str, payload=None, *, size_entries: int = 1) -> None:
+        """Send a message to a physical neighbor."""
+        self._network.send(
+            Message(
+                sender=self._node,
+                receiver=receiver,
+                kind=kind,
+                payload=payload,
+                size_entries=size_entries,
+            )
+        )
+
+    def schedule(self, delay: float, action) -> None:
+        """Schedule a callback on the shared simulator."""
+        self._network.simulator.schedule_in(delay, action)
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Called once when the simulation starts."""
+
+    @abc.abstractmethod
+    def on_message(self, message: Message) -> None:
+        """Called when a message addressed to this node is delivered."""

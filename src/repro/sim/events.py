@@ -1,0 +1,77 @@
+"""The event queue of the discrete-event simulator.
+
+Events are ordered by (time, sequence number) so simultaneous events fire in
+scheduling order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    sequence:
+        Monotonic tie-breaker assigned by the queue.
+    action:
+        Zero-argument callable executed when the event fires.
+    cancelled:
+        Events can be cancelled in place; the queue skips them.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at ``time``; returns the event handle."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no-op if already fired)."""
+        self._cancelled.add(event.sequence)
+
+    def pop(self) -> Event | None:
+        """Pop and return the next live event, or None if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.sequence in self._cancelled:
+                self._cancelled.discard(event.sequence)
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the time of the next live event without removing it."""
+        while self._heap and self._heap[0].sequence in self._cancelled:
+            event = heapq.heappop(self._heap)
+            self._cancelled.discard(event.sequence)
+        return self._heap[0].time if self._heap else None

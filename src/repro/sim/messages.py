@@ -1,0 +1,65 @@
+"""Control-plane message objects exchanged by protocol agents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "RouteAdvertisement"]
+
+
+@dataclass(frozen=True)
+class RouteAdvertisement:
+    """One path-vector route advertisement.
+
+    Attributes
+    ----------
+    destination:
+        The destination node the route leads to.
+    path:
+        The node path from the advertising neighbor to the destination (the
+        advertising neighbor first).  Loop suppression checks membership.
+    cost:
+        Total weighted cost of the path.
+    origin_landmark_distance:
+        The destination's own distance to its closest landmark, carried so
+        that S4-style cluster acceptance can be evaluated by receivers.
+        ``None`` when unknown/not applicable.
+    withdrawn:
+        True if this advertisement withdraws the route instead of announcing.
+    """
+
+    destination: int
+    path: tuple[int, ...]
+    cost: float
+    origin_landmark_distance: float | None = None
+    withdrawn: bool = False
+
+
+@dataclass(frozen=True)
+class Message:
+    """A control message sent from one node to a physical neighbor.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Physical endpoints (must be adjacent in the topology).
+    kind:
+        Message type label (e.g. ``"route-update"``, ``"overlay-announce"``).
+    payload:
+        Message body; for route updates this is a tuple of
+        :class:`RouteAdvertisement`.
+    size_entries:
+        How many logical routing entries the message carries -- the unit Fig. 8
+        counts (one path-vector UPDATE per destination).
+    """
+
+    sender: int
+    receiver: int
+    kind: str
+    payload: Any = None
+    size_entries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_entries < 0:
+            raise ValueError("size_entries must be >= 0")

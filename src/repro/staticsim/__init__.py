@@ -1,0 +1,20 @@
+"""The static (post-convergence) simulator.
+
+"For topologies larger than 1024 nodes, we built a static simulator which
+calculates the post-convergence state of the network" (§5.1).  In this
+reproduction the converged state of every protocol is *always* computed
+statically (the protocol classes themselves are converged-state models); this
+package supplies the orchestration that the paper's figures need:
+
+* build several protocols on the same topology with shared randomness (same
+  landmark set for Disco / NDDisco / S4, same names everywhere), and
+* run the three standard measurements (state, stretch, congestion) over the
+  same sampled nodes / pairs / flows for every protocol.
+
+The dynamic counterpart -- the discrete-event simulator used for convergence
+messaging and for validating this static model -- lives in :mod:`repro.sim`.
+"""
+
+from repro.staticsim.simulation import StaticSimulation, SimulationResults
+
+__all__ = ["SimulationResults", "StaticSimulation"]

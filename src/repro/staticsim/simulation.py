@@ -1,0 +1,191 @@
+"""Build protocols side by side and measure them uniformly.
+
+:class:`StaticSimulation` is the workhorse behind every state / stretch /
+congestion figure: given a topology and a list of protocol names it
+
+1. builds each protocol's converged state, reusing the expensive shared
+   substrate (landmark selection, landmark SPTs, vicinities, names) between
+   Disco and NDDisco exactly as one deployment would,
+2. samples measurement workloads (nodes, source-destination pairs, one flow
+   per node) once, so every protocol is measured on identical inputs, and
+3. returns per-protocol :class:`~repro.metrics.StateReport`,
+   :class:`~repro.metrics.StretchReport` and
+   :class:`~repro.metrics.CongestionReport` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.disco import DiscoRouting
+from repro.core.nddisco import NDDiscoRouting
+from repro.core.shortcutting import ShortcutMode
+from repro.graphs.sampling import one_destination_per_node, sample_nodes, sample_pairs
+from repro.graphs.topology import Topology
+from repro.metrics.congestion import CongestionReport, measure_congestion
+from repro.metrics.state import StateReport, measure_state
+from repro.metrics.stretch import StretchReport, measure_stretch
+from repro.protocols.base import RoutingScheme
+from repro.protocols.registry import build_scheme
+
+__all__ = ["SimulationResults", "StaticSimulation"]
+
+
+@dataclass
+class SimulationResults:
+    """Measurement reports per protocol, keyed by protocol display name."""
+
+    topology_name: str
+    state: dict[str, StateReport] = field(default_factory=dict)
+    stretch: dict[str, StretchReport] = field(default_factory=dict)
+    congestion: dict[str, CongestionReport] = field(default_factory=dict)
+
+    def protocols(self) -> list[str]:
+        """Protocol names with at least one report."""
+        names = set(self.state) | set(self.stretch) | set(self.congestion)
+        return sorted(names)
+
+
+class StaticSimulation:
+    """Converged-state evaluation of several protocols on one topology.
+
+    Parameters
+    ----------
+    topology:
+        The network to evaluate on (must be connected).
+    protocols:
+        Protocol names accepted by :func:`repro.protocols.build_scheme`.
+    seed:
+        Root seed for landmark selection, workload sampling, and every other
+        random choice.
+    shortcut_mode:
+        Shortcutting heuristic used by Disco / NDDisco.
+    num_fingers:
+        Overlay fingers per node in Disco.
+    scheme_options:
+        Extra per-protocol constructor options, keyed by protocol name.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocols: Sequence[str] = ("disco", "nd-disco", "s4"),
+        *,
+        seed: int = 0,
+        shortcut_mode: ShortcutMode = ShortcutMode.NO_PATH_KNOWLEDGE,
+        num_fingers: int = 1,
+        scheme_options: Mapping[str, Mapping[str, object]] | None = None,
+    ) -> None:
+        if not protocols:
+            raise ValueError("at least one protocol is required")
+        self._topology = topology
+        self._seed = seed
+        self._shortcut_mode = shortcut_mode
+        self._num_fingers = num_fingers
+        self._options = {
+            name.lower(): dict(opts) for name, opts in (scheme_options or {}).items()
+        }
+        self._schemes: dict[str, RoutingScheme] = {}
+        self._build(list(protocols))
+
+    def _build(self, protocols: list[str]) -> None:
+        normalized = [name.strip().lower() for name in protocols]
+        shared_nddisco: NDDiscoRouting | None = None
+
+        def get_nddisco() -> NDDiscoRouting:
+            nonlocal shared_nddisco
+            if shared_nddisco is None:
+                options = self._options.get("nd-disco", {})
+                shared_nddisco = NDDiscoRouting(
+                    self._topology,
+                    seed=self._seed,
+                    shortcut_mode=self._shortcut_mode,
+                    **options,
+                )
+            return shared_nddisco
+
+        for name in normalized:
+            if name in self._schemes:
+                continue
+            if name in ("nd-disco", "nddisco"):
+                scheme: RoutingScheme = get_nddisco()
+            elif name == "disco":
+                options = self._options.get("disco", {})
+                scheme = DiscoRouting(
+                    self._topology,
+                    seed=self._seed,
+                    num_fingers=self._num_fingers,
+                    nddisco=get_nddisco(),
+                    **options,
+                )
+            elif name == "s4":
+                options = dict(self._options.get("s4", {}))
+                # Use the same landmark set as Disco/NDDisco when both are
+                # evaluated, mirroring the paper's like-for-like comparison.
+                if ("disco" in normalized or "nd-disco" in normalized) and (
+                    "landmarks" not in options
+                ):
+                    options["landmarks"] = get_nddisco().landmarks
+                scheme = build_scheme("s4", self._topology, seed=self._seed, **options)
+            else:
+                options = self._options.get(name, {})
+                scheme = build_scheme(
+                    name, self._topology, seed=self._seed, **options
+                )
+            self._schemes[name] = scheme
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The topology under evaluation."""
+        return self._topology
+
+    @property
+    def schemes(self) -> dict[str, RoutingScheme]:
+        """The built protocol instances keyed by canonical name."""
+        return dict(self._schemes)
+
+    def scheme(self, name: str) -> RoutingScheme:
+        """Return the built protocol instance for ``name``."""
+        return self._schemes[name.strip().lower()]
+
+    # -- measurement ----------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        measure_state_flag: bool = True,
+        measure_stretch_flag: bool = True,
+        measure_congestion_flag: bool = False,
+        node_sample: int | None = None,
+        pair_sample: int = 500,
+        congestion_pairs: Sequence[tuple[int, int]] | None = None,
+    ) -> SimulationResults:
+        """Measure the requested metrics for every protocol.
+
+        All protocols see the same sampled nodes, pairs, and flows.
+        """
+        results = SimulationResults(topology_name=self._topology.name)
+        nodes = (
+            sample_nodes(self._topology, node_sample, seed=self._seed)
+            if node_sample is not None
+            else list(self._topology.nodes())
+        )
+        pairs = sample_pairs(self._topology, pair_sample, seed=self._seed + 1)
+        flows = (
+            list(congestion_pairs)
+            if congestion_pairs is not None
+            else one_destination_per_node(self._topology, seed=self._seed + 2)
+        )
+        for scheme in self._schemes.values():
+            if measure_state_flag:
+                results.state[scheme.name] = measure_state(scheme, nodes=nodes)
+            if measure_stretch_flag:
+                results.stretch[scheme.name] = measure_stretch(scheme, pairs=pairs)
+            if measure_congestion_flag:
+                results.congestion[scheme.name] = measure_congestion(
+                    scheme, pairs=flows
+                )
+        return results

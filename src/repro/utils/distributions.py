@@ -1,0 +1,129 @@
+"""Distribution summaries: percentiles, CDFs, and summary statistics.
+
+The paper reports its results as CDFs over nodes / source-destination pairs /
+edges, plus mean / max tables.  These helpers provide those computations in
+one place so the metrics modules and the experiment reports agree exactly on
+definitions (e.g. the percentile interpolation rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Summary", "cdf_points", "percentile", "summarize"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile of ``values`` (0 <= q <= 100).
+
+    Uses linear interpolation between closest ranks (the same convention as
+    ``numpy.percentile`` with the default "linear" method), implemented
+    locally so the metrics layer does not require numpy for small inputs.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or ``q`` is outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """Return the empirical CDF of ``values`` as ``(value, fraction)`` pairs.
+
+    The result is sorted by value; the fraction at each point is the share of
+    samples less than or equal to that value.  Duplicate values are collapsed
+    into a single point carrying the cumulative fraction, which matches how
+    the paper's CDF plots are drawn.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    total = len(ordered)
+    points: list[tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / total)
+        else:
+            points.append((value, index / total))
+    return points
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample.
+
+    Attributes
+    ----------
+    count:
+        Number of samples.
+    mean, minimum, maximum:
+        The usual moments / extremes.
+    median, p95, p99:
+        Percentiles using linear interpolation.
+    stdev:
+        Population standard deviation (0.0 for a single sample).
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+    p99: float
+    stdev: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dict (useful for reporting)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "stdev": self.stdev,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` over ``values``.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("summarize() of empty sequence")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        minimum=min(data),
+        maximum=max(data),
+        median=percentile(data, 50.0),
+        p95=percentile(data, 95.0),
+        p99=percentile(data, 99.0),
+        stdev=math.sqrt(variance),
+    )

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.generators import gnm_random_graph
+from repro.graphs.io import write_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_generate_validates_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "hypercube", "10", "--out", "x"])
+
+    def test_compare_validates_protocols(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "x.edges", "--protocols", "ospf"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig04-gnm-comparison" in output
+        assert "ablations" in output
+
+    def test_run_rejects_unknown(self, capsys):
+        assert main(["run", "fig99-unknown"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_requires_selection(self, capsys):
+        assert main(["run"]) == 2
+        assert "no experiments selected" in capsys.readouterr().err
+
+    def test_generate_and_profile(self, tmp_path, capsys):
+        out = tmp_path / "net.edges"
+        assert main(["generate", "gnm", "64", "--seed", "3", "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["profile", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "average degree" in output
+        assert "64" in output
+
+    def test_compare_on_generated_topology(self, tmp_path, capsys):
+        out = tmp_path / "net.edges"
+        topology = gnm_random_graph(72, seed=5, average_degree=6.0)
+        write_edge_list(topology, out)
+        code = main(
+            [
+                "compare",
+                str(out),
+                "--protocols",
+                "nd-disco",
+                "s4",
+                "--pairs",
+                "40",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ND-Disco" in output
+        assert "S4" in output
+
+    def test_compare_uses_largest_component(self, tmp_path, capsys):
+        out = tmp_path / "disconnected.edges"
+        out.write_text("# nodes 6\n0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n0 3\n")
+        # Make it disconnected by omitting the bridging edge.
+        out.write_text("# nodes 6\n0 1\n1 2\n2 0\n3 4\n4 5\n5 3\n")
+        code = main(
+            ["compare", str(out), "--protocols", "shortest-path", "--pairs", "5"]
+        )
+        assert code == 0
+        assert "largest connected component" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Tests for repro.experiments.reporting and the remaining figure modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig02_state_cdf, fig03_stretch_cdf, fig05_geometric_comparison
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import (
+    header,
+    render_congestion_reports,
+    render_state_reports,
+    render_stretch_reports,
+)
+from repro.metrics.congestion import measure_congestion
+from repro.metrics.state import measure_state
+from repro.metrics.stretch import measure_stretch
+
+TINY = ExperimentScale(
+    comparison_nodes=64,
+    large_nodes=64,
+    as_level_nodes=64,
+    router_level_nodes=72,
+    pair_sample=40,
+    messaging_sweep=(16, 24),
+    scaling_sweep=(32, 48),
+    seed=19,
+    label="tiny-report",
+)
+
+
+class TestRenderers:
+    def test_header(self):
+        text = header("Title", "subtitle")
+        assert "Title" in text
+        assert "subtitle" in text
+        assert text.startswith("=")
+
+    def test_header_without_subtitle(self):
+        assert "Only" in header("Only")
+
+    def test_render_state_reports(self, disco_small, s4_small):
+        reports = {
+            "Disco": measure_state(disco_small),
+            "S4": measure_state(s4_small),
+        }
+        text = render_state_reports(reports)
+        assert "Disco" in text and "S4" in text
+        assert "p95" in text
+        assert "Summary:" in text
+
+    def test_render_stretch_reports(self, disco_small, s4_small):
+        reports = {
+            "Disco": measure_stretch(disco_small, pair_sample=30, seed=1),
+            "S4": measure_stretch(s4_small, pair_sample=30, seed=1),
+        }
+        text = render_stretch_reports(reports)
+        assert "Disco-First" in text
+        assert "S4-Later" in text
+        assert "first mean" in text
+
+    def test_render_congestion_reports(self, disco_small, s4_small):
+        reports = {
+            "Disco": measure_congestion(disco_small, seed=1),
+            "S4": measure_congestion(s4_small, seed=1),
+        }
+        text = render_congestion_reports(reports)
+        assert "paths per edge" in text
+        assert "frac edges > p99" in text
+
+
+class TestRemainingFigureModules:
+    def test_fig02_structure(self):
+        result = fig02_state_cdf.run(TINY)
+        report = fig02_state_cdf.format_report(result)
+        assert set(result.panels()) == {"geometric", "as-level", "router-level"}
+        for reports in result.panels().values():
+            assert {"Disco", "ND-Disco", "S4"} == set(reports)
+        assert result.imbalance("geometric", "Disco") >= 1.0
+        assert "Fig. 2" in report
+
+    def test_fig03_structure(self):
+        result = fig03_stretch_cdf.run(TINY)
+        report = fig03_stretch_cdf.format_report(result)
+        for reports in result.panels().values():
+            assert set(reports) == {"Disco", "S4"}
+            assert reports["Disco"].later_summary.maximum <= 3.0 + 1e-9
+        assert "Fig. 3" in report
+
+    def test_fig05_structure(self):
+        result = fig05_geometric_comparison.run(TINY)
+        report = fig05_geometric_comparison.format_report(result)
+        assert "geometric" in result.topology_label
+        assert {"Disco", "ND-Disco", "S4", "VRR", "Path-Vector"} <= set(
+            result.results.state
+        )
+        assert "link latencies" in report

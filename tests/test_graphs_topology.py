@@ -1,0 +1,170 @@
+"""Tests for repro.graphs.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.topology import Topology
+
+
+class TestConstruction:
+    def test_empty(self):
+        topology = Topology(0)
+        assert topology.num_nodes == 0
+        assert topology.num_edges == 0
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(-1)
+
+    def test_add_edge(self):
+        topology = Topology(3)
+        topology.add_edge(0, 1, 2.5)
+        assert topology.num_edges == 1
+        assert topology.has_edge(0, 1)
+        assert topology.has_edge(1, 0)
+        assert topology.edge_weight(0, 1) == 2.5
+
+    def test_self_loop_rejected(self):
+        topology = Topology(2)
+        with pytest.raises(ValueError):
+            topology.add_edge(1, 1)
+
+    def test_out_of_range_node_rejected(self):
+        topology = Topology(2)
+        with pytest.raises(ValueError):
+            topology.add_edge(0, 5)
+
+    def test_nonpositive_weight_rejected(self):
+        topology = Topology(2)
+        with pytest.raises(ValueError):
+            topology.add_edge(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            topology.add_edge(0, 1, -3.0)
+
+    def test_parallel_edge_keeps_smaller_weight(self):
+        topology = Topology(2)
+        topology.add_edge(0, 1, 5.0)
+        topology.add_edge(0, 1, 2.0)
+        assert topology.num_edges == 1
+        assert topology.edge_weight(0, 1) == 2.0
+        # Adjacency entries are updated too.
+        assert topology.neighbor_weights(0) == [(1, 2.0)]
+
+    def test_parallel_edge_larger_weight_ignored(self):
+        topology = Topology(2)
+        topology.add_edge(0, 1, 2.0)
+        topology.add_edge(0, 1, 5.0)
+        assert topology.edge_weight(0, 1) == 2.0
+
+    def test_add_edges_from_mixed(self):
+        topology = Topology(4)
+        topology.add_edges_from([(0, 1), (1, 2, 3.0)])
+        assert topology.edge_weight(0, 1) == 1.0
+        assert topology.edge_weight(1, 2) == 3.0
+
+    def test_from_edges_classmethod(self):
+        topology = Topology.from_edges(3, [(0, 1), (1, 2)], name="tiny")
+        assert topology.name == "tiny"
+        assert topology.num_edges == 2
+
+
+class TestAccessors:
+    def test_degree_and_neighbors(self):
+        topology = Topology.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert topology.degree(0) == 3
+        assert sorted(topology.neighbors(0)) == [1, 2, 3]
+        assert topology.degree(1) == 1
+
+    def test_edges_iteration_unique(self):
+        topology = Topology.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        edges = sorted(topology.edges())
+        assert edges == [(0, 1, 2.0), (1, 2, 3.0)]
+
+    def test_average_and_max_degree(self):
+        topology = Topology.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert topology.average_degree() == pytest.approx(1.5)
+        assert topology.max_degree() == 3
+
+    def test_degree_sequence(self):
+        topology = Topology.from_edges(3, [(0, 1)])
+        assert topology.degree_sequence() == [1, 1, 0]
+
+    def test_total_weight(self):
+        topology = Topology.from_edges(3, [(0, 1, 2.0), (1, 2, 3.5)])
+        assert topology.total_weight() == pytest.approx(5.5)
+
+    def test_missing_edge_weight_raises(self):
+        topology = Topology(3)
+        with pytest.raises(KeyError):
+            topology.edge_weight(0, 1)
+
+    def test_empty_graph_degrees(self):
+        topology = Topology(0)
+        assert topology.average_degree() == 0.0
+        assert topology.max_degree() == 0
+
+
+class TestConnectivity:
+    def test_single_node_connected(self):
+        assert Topology(1).is_connected()
+
+    def test_disconnected_graph(self):
+        topology = Topology.from_edges(4, [(0, 1), (2, 3)])
+        assert not topology.is_connected()
+        assert len(topology.connected_components()) == 2
+
+    def test_connected_graph(self):
+        topology = Topology.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert topology.is_connected()
+
+    def test_isolated_node_makes_disconnected(self):
+        topology = Topology.from_edges(3, [(0, 1)])
+        assert not topology.is_connected()
+
+    def test_largest_component_subgraph(self):
+        topology = Topology.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        sub, mapping = topology.largest_component_subgraph()
+        assert sub.num_nodes == 3
+        assert sub.is_connected()
+        assert set(mapping.keys()) == {0, 1, 2}
+
+    def test_largest_component_preserves_weights(self):
+        topology = Topology.from_edges(4, [(0, 1, 7.0), (2, 3, 1.0), (1, 2, 0.5)])
+        sub, mapping = topology.largest_component_subgraph()
+        assert sub.edge_weight(mapping[0], mapping[1]) == 7.0
+
+    def test_components_cover_all_nodes(self):
+        topology = Topology.from_edges(6, [(0, 1), (2, 3)])
+        components = topology.connected_components()
+        covered = sorted(node for component in components for node in component)
+        assert covered == list(range(6))
+
+
+class TestConversionsAndDunder:
+    def test_copy_is_independent(self):
+        topology = Topology.from_edges(3, [(0, 1)])
+        duplicate = topology.copy()
+        duplicate.add_edge(1, 2)
+        assert topology.num_edges == 1
+        assert duplicate.num_edges == 2
+
+    def test_equality(self):
+        a = Topology.from_edges(3, [(0, 1, 2.0)])
+        b = Topology.from_edges(3, [(0, 1, 2.0)])
+        c = Topology.from_edges(3, [(0, 1, 3.0)])
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_size(self):
+        topology = Topology.from_edges(3, [(0, 1)], name="x")
+        assert "x" in repr(topology)
+        assert "3" in repr(topology)
+
+    def test_to_networkx_round_trip(self):
+        networkx = pytest.importorskip("networkx")
+        topology = Topology.from_edges(4, [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 4.0)])
+        graph = topology.to_networkx()
+        assert isinstance(graph, networkx.Graph)
+        assert graph.number_of_nodes() == 4
+        assert graph[0][1]["weight"] == 2.0

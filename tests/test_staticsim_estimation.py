@@ -1,0 +1,154 @@
+"""Tests for repro.staticsim and repro.estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.shortcutting import ShortcutMode
+from repro.estimation.error_injection import inject_estimate_error
+from repro.estimation.synopsis import SynopsisDiffusion
+from repro.graphs.generators import gnm_random_graph, line_graph
+from repro.staticsim.simulation import StaticSimulation
+
+
+class TestStaticSimulation:
+    @pytest.fixture(scope="class")
+    def simulation(self, small_gnm):
+        return StaticSimulation(
+            small_gnm, ("disco", "nd-disco", "s4", "vrr", "path-vector"), seed=1
+        )
+
+    def test_builds_all_requested_schemes(self, simulation):
+        assert set(simulation.schemes) == {
+            "disco",
+            "nd-disco",
+            "s4",
+            "vrr",
+            "path-vector",
+        }
+
+    def test_disco_and_nddisco_share_substrate(self, simulation):
+        disco = simulation.scheme("disco")
+        nddisco = simulation.scheme("nd-disco")
+        assert disco.nddisco is nddisco
+
+    def test_s4_shares_landmarks_with_disco(self, simulation):
+        assert simulation.scheme("s4").landmarks == simulation.scheme("disco").landmarks
+
+    def test_run_produces_reports_for_every_protocol(self, simulation):
+        results = simulation.run(
+            measure_state_flag=True,
+            measure_stretch_flag=True,
+            measure_congestion_flag=True,
+            pair_sample=60,
+        )
+        assert set(results.state) == set(results.stretch) == set(results.congestion)
+        assert len(results.protocols()) == 5
+
+    def test_identical_workloads_across_protocols(self, simulation):
+        results = simulation.run(pair_sample=40)
+        pairs = {report.pairs for report in results.stretch.values()}
+        assert len(pairs) == 1  # every protocol measured on the same pairs
+
+    def test_requires_protocols(self, small_gnm):
+        with pytest.raises(ValueError):
+            StaticSimulation(small_gnm, ())
+
+    def test_scheme_options_forwarded(self, small_gnm):
+        simulation = StaticSimulation(
+            small_gnm,
+            ("vrr",),
+            seed=1,
+            scheme_options={"vrr": {"vset_size": 6}},
+        )
+        assert simulation.scheme("vrr").vset_size == 6
+
+    def test_shortcut_mode_forwarded(self, small_gnm):
+        simulation = StaticSimulation(
+            small_gnm, ("disco",), seed=1, shortcut_mode=ShortcutMode.NONE
+        )
+        assert simulation.scheme("disco").shortcut_mode is ShortcutMode.NONE
+
+    def test_node_sampling(self, simulation):
+        results = simulation.run(node_sample=16, measure_stretch_flag=False)
+        for report in results.state.values():
+            assert len(report.nodes) == 16
+
+
+class TestSynopsisDiffusion:
+    def test_estimates_close_to_truth(self, medium_gnm):
+        diffusion = SynopsisDiffusion(medium_gnm, num_synopses=64, seed=1)
+        result = diffusion.run()
+        assert len(result.estimates) == medium_gnm.num_nodes
+        assert result.mean_relative_error(medium_gnm.num_nodes) <= 0.35
+
+    def test_all_nodes_agree_after_flooding(self, small_gnm):
+        result = SynopsisDiffusion(small_gnm, num_synopses=32, seed=2).run()
+        assert len(set(result.estimates)) == 1
+
+    def test_partial_rounds_disagree_on_line(self):
+        line = line_graph(30)
+        result = SynopsisDiffusion(line, num_synopses=16, seed=3).run(rounds=2)
+        assert len(set(result.estimates)) > 1
+
+    def test_more_synopses_reduce_error(self, small_gnm):
+        few = SynopsisDiffusion(small_gnm, num_synopses=8, seed=4).run()
+        many = SynopsisDiffusion(small_gnm, num_synopses=256, seed=4).run()
+        n = small_gnm.num_nodes
+        assert many.mean_relative_error(n) <= few.mean_relative_error(n) + 0.05
+
+    def test_factor_two_guarantee_mostly_holds(self, medium_gnm):
+        result = SynopsisDiffusion(medium_gnm, num_synopses=128, seed=5).run()
+        within = sum(
+            SynopsisDiffusion.estimate_is_within_factor_two(
+                estimate, medium_gnm.num_nodes
+            )
+            for estimate in result.estimates
+        )
+        assert within / len(result.estimates) >= 0.95
+
+    def test_synopsis_bytes(self):
+        assert SynopsisDiffusion.synopsis_bytes(64) == 256
+
+    def test_invalid_parameters(self, small_gnm):
+        with pytest.raises(ValueError):
+            SynopsisDiffusion(small_gnm, num_synopses=0)
+        diffusion = SynopsisDiffusion(small_gnm, num_synopses=4)
+        with pytest.raises(ValueError):
+            diffusion.run(rounds=0)
+
+    def test_deterministic(self, small_gnm):
+        a = SynopsisDiffusion(small_gnm, num_synopses=16, seed=7).run()
+        b = SynopsisDiffusion(small_gnm, num_synopses=16, seed=7).run()
+        assert a.estimates == b.estimates
+
+
+class TestErrorInjection:
+    def test_bounds_respected(self):
+        estimates = inject_estimate_error(1000, max_error=0.6, seed=1)
+        assert len(estimates) == 1000
+        for value in estimates.values():
+            assert 400.0 - 1e-9 <= value <= 1600.0 + 1e-9
+
+    def test_zero_error_is_exact(self):
+        estimates = inject_estimate_error(500, max_error=0.0, seed=2)
+        assert all(value == 500.0 for value in estimates.values())
+
+    def test_deterministic(self):
+        assert inject_estimate_error(100, max_error=0.4, seed=3) == (
+            inject_estimate_error(100, max_error=0.4, seed=3)
+        )
+
+    def test_num_nodes_override(self):
+        estimates = inject_estimate_error(1000, max_error=0.2, num_nodes=10, seed=4)
+        assert set(estimates) == set(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inject_estimate_error(0, max_error=0.5)
+        with pytest.raises(ValueError):
+            inject_estimate_error(10, max_error=1.5)
+
+    def test_errors_actually_vary(self):
+        estimates = inject_estimate_error(1000, max_error=0.6, seed=5)
+        assert len(set(estimates.values())) > 100

@@ -1,0 +1,145 @@
+"""Tests for repro.utils.distributions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.distributions import Summary, cdf_points, percentile, summarize
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 0) == 5.0
+        assert percentile([5.0], 100) == 5.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_min_and_max(self):
+        data = [4.0, 1.0, 9.0, 2.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_interpolation(self):
+        # Ranks: 0, 1, 2, 3 -> p25 falls at rank 0.75 between 1 and 2.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 25) == pytest.approx(1.75)
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_matches_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        data = [3.2, 1.1, 8.9, 4.4, 2.0, 7.7, 0.5]
+        for q in (0, 10, 25, 50, 75, 90, 95, 99, 100):
+            assert percentile(data, q) == pytest.approx(
+                float(numpy.percentile(data, q))
+            )
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_result_within_data_range(self, data, q):
+        value = percentile(data, q)
+        assert min(data) <= value <= max(data)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=30))
+    def test_monotone_in_q(self, data):
+        values = [percentile(data, q) for q in (0, 25, 50, 75, 100)]
+        spread = max(data) - min(data)
+        tolerance = 1e-12 * max(spread, 1.0)
+        for lower, higher in zip(values, values[1:]):
+            assert lower <= higher + tolerance
+
+
+class TestCdfPoints:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_simple(self):
+        points = cdf_points([1, 2, 3, 4])
+        assert points == [(1, 0.25), (2, 0.5), (3, 0.75), (4, 1.0)]
+
+    def test_duplicates_collapse(self):
+        points = cdf_points([1, 1, 2])
+        assert points == [(1, pytest.approx(2 / 3)), (2, pytest.approx(1.0))]
+
+    def test_last_fraction_is_one(self):
+        points = cdf_points([5.0, 3.0, 3.0, 9.0])
+        assert points[-1][1] == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=60))
+    def test_fractions_nondecreasing_and_values_sorted(self, data):
+        points = cdf_points(data)
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.stdev == 0.0
+        assert summary.p95 == 7.0
+
+    def test_stdev(self):
+        summary = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.stdev == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        summary = summarize([1.0, 2.0])
+        d = summary.as_dict()
+        assert set(d) == {
+            "count", "mean", "min", "max", "median", "p95", "p99", "stdev",
+        }
+
+    def test_is_frozen_dataclass(self):
+        summary = summarize([1.0])
+        with pytest.raises(AttributeError):
+            summary.mean = 10.0  # type: ignore[misc]
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_invariants(self, data):
+        summary = summarize(data)
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.stdev >= 0.0
+        assert summary.count == len(data)
+        assert not math.isnan(summary.mean)
+
+    def test_summary_is_hashable_type(self):
+        assert isinstance(summarize([1.0, 2.0]), Summary)

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    require_in_range,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive("x", 1)
+        require_positive("x", 0.001)
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive("x", 0)
+
+    def test_allow_zero(self):
+        require_positive("x", 0, allow_zero=True)
+        with pytest.raises(ValueError):
+            require_positive("x", -1, allow_zero=True)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        require_in_range("x", 0.0, 0.0, 1.0)
+        require_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="x"):
+            require_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestRequireProbability:
+    def test_valid(self):
+        require_probability("p", 0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            require_probability("p", 1.5)
+
+
+class TestRequireType:
+    def test_accepts_correct_type(self):
+        require_type("x", 5, int)
+        require_type("x", "s", (int, str))
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            require_type("x", "5", int)
+
+    def test_tuple_error_message(self):
+        with pytest.raises(TypeError, match="int or str"):
+            require_type("x", 1.5, (int, str))
