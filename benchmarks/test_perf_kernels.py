@@ -1,0 +1,46 @@
+"""Benchmark: the CSR kernel perf-regression harness (``repro bench``).
+
+Runs the quick variant of the before/after suite -- the dict-based reference
+engine against the flat-array CSR kernels -- and records every speedup in
+``benchmark.extra_info`` so the pytest-benchmark report tracks the perf
+trajectory alongside the figure benchmarks.  The assertions are canaries:
+they fail loudly if the CSR engine ever regresses to (or below) the
+reference engine on the workloads the protocols are built from, while
+leaving headroom for machine noise.  The headline numbers live in
+``BENCH_kernels.json``, produced by ``repro bench`` at full scale.
+"""
+
+from __future__ import annotations
+
+from repro.perf.kernel_bench import BENCH_SCHEMA, bench_kernels
+
+
+def test_perf_kernels_quick(benchmark, run_once):
+    report = run_once(bench_kernels, quick=True)
+    assert report["schema"] == BENCH_SCHEMA
+    assert report["quick"] is True
+
+    entries = report["benchmarks"]
+    expected = {
+        "dijkstra_full/gnm-512",
+        "dijkstra_full/geometric-512",
+        "k_nearest/gnm-512",
+        "radius/gnm-512",
+        "batched_targets/gnm-512",
+        "staticsim/gnm-256",
+    }
+    assert expected <= set(entries)
+
+    for name, entry in entries.items():
+        assert entry["before_s"] > 0 and entry["after_s"] > 0
+        benchmark.extra_info[name] = entry["speedup"]
+
+    # Canary floors, far below the committed full-scale numbers (3.4-5.6x
+    # locally; see BENCH_kernels.json) so noisy shared CI runners cannot
+    # trip them: the unit-weight BFS workloads must stay clearly ahead of
+    # the reference engine, and the weighted heap kernel must not collapse
+    # behind it.
+    assert entries["dijkstra_full/gnm-512"]["speedup"] > 1.2
+    assert entries["k_nearest/gnm-512"]["speedup"] > 1.2
+    assert entries["staticsim/gnm-256"]["speedup"] > 1.2
+    assert entries["dijkstra_full/geometric-512"]["speedup"] > 0.5

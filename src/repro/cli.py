@@ -9,11 +9,13 @@ can reproduce the paper or study their own topology without writing code::
     python -m repro generate gnm 1024 --out net.edges # write a topology
     python -m repro profile net.edges                 # structural profile
     python -m repro compare net.edges --protocols disco s4 vrr
+    python -m repro bench --out BENCH_kernels.json    # perf-regression harness
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -83,6 +85,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.add_argument("--seed", type=int, default=0)
     compare_parser.add_argument("--pairs", type=int, default=300)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time the reference vs CSR shortest-path engines and write "
+        "BENCH_kernels.json",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunken workloads (CI smoke run; numbers are a canary only)",
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_kernels.json", help="output JSON path"
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="also time the multiprocessing fan-out with this many workers",
+    )
     return parser
 
 
@@ -170,6 +192,38 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.perf.kernel_bench import bench_kernels, write_bench_json
+
+    # Validate the output path before spending minutes on the benchmarks,
+    # without leaving an empty file behind if the run later fails.
+    existed = os.path.exists(args.out)
+    try:
+        with open(args.out, "a", encoding="utf-8"):
+            pass
+    except OSError as error:
+        print(f"cannot write {args.out}: {error}", file=sys.stderr)
+        return 2
+    if not existed:
+        os.remove(args.out)
+    report = bench_kernels(quick=args.quick, workers=args.workers)
+    rows = []
+    for name, entry in report["benchmarks"].items():
+        rows.append(
+            [name, entry["before_s"], entry["after_s"], entry["speedup"]]
+        )
+    print(
+        format_table(
+            ["benchmark", "before (s)", "after (s)", "speedup"],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+    write_bench_json(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -184,6 +238,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_profile(args)
     if args.command == "compare":
         return _command_compare(args)
+    if args.command == "bench":
+        return _command_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

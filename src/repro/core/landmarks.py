@@ -22,12 +22,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.graphs.engine import get_engine
 from repro.graphs.topology import Topology
 from repro.utils.randomness import make_rng
 from repro.utils.validation import require_positive
 
-__all__ = ["landmark_probability", "select_landmarks", "LandmarkSet"]
+__all__ = [
+    "landmark_probability",
+    "select_landmarks",
+    "landmark_spts",
+    "closest_landmarks",
+    "LandmarkSet",
+]
 
 
 def landmark_probability(num_nodes: int) -> float:
@@ -81,6 +89,67 @@ def select_landmarks(
     if not landmarks:
         landmarks.add(min(range(num_nodes), key=lambda v: draws[v]))
     return landmarks
+
+
+def landmark_spts(
+    topology: Topology, landmarks: Iterable[int]
+) -> dict[int, tuple[list[float], list[int]]]:
+    """Shortest-path trees rooted at every landmark, as dense rows.
+
+    Returns a dict mapping each landmark (in ascending id order) to a
+    ``(dist_row, parent_row)`` pair of lists indexed by node id.  Nodes
+    outside the landmark's component keep ``0.0`` / ``-1`` (the converged
+    protocol models assume connected topologies).
+
+    On the CSR engine all trees are built by one batched driver over a shared
+    scratch arena (:meth:`CSRGraph.batched_spt`); both NDDisco and S4 build
+    their landmark state through this helper, and
+    :class:`~repro.staticsim.simulation.StaticSimulation` shares the result
+    between them.
+    """
+    ordered = sorted(landmarks)
+    result: dict[int, tuple[list[float], list[int]]] = {}
+    if get_engine() == "csr":
+        for landmark, dist_row, parent_row in topology.csr().batched_spt(ordered):
+            result[landmark] = (dist_row, parent_row)
+        return result
+    from repro.graphs.shortest_paths import dijkstra
+
+    num_nodes = topology.num_nodes
+    for landmark in ordered:
+        distances, parents = dijkstra(topology, landmark)
+        dist_row = [0.0] * num_nodes
+        parent_row = [-1] * num_nodes
+        for node, value in distances.items():
+            dist_row[node] = value
+        for node, parent in parents.items():
+            parent_row[node] = parent
+        result[landmark] = (dist_row, parent_row)
+    return result
+
+
+def closest_landmarks(
+    spts: dict[int, tuple[list[float], list[int]]], num_nodes: int
+) -> tuple[list[int], list[float]]:
+    """Per-node closest landmark (ties toward the smaller landmark id).
+
+    Returns ``(closest, distance)`` lists indexed by node id, computed by
+    sweeping the dense SPT rows once per landmark -- the flat-array
+    replacement for an O(n · |L|) ``min(..., key=lambda ...)`` per node.
+    """
+    if not spts:
+        raise ValueError("at least one landmark SPT is required")
+    ordered = sorted(spts)
+    first = ordered[0]
+    best_distance = list(spts[first][0])
+    best_landmark = [first] * num_nodes
+    for landmark in ordered[1:]:
+        row = spts[landmark][0]
+        for node in range(num_nodes):
+            if row[node] < best_distance[node]:
+                best_distance[node] = row[node]
+                best_landmark[node] = landmark
+    return best_landmark, best_distance
 
 
 @dataclass

@@ -37,11 +37,10 @@ from typing import Sequence
 from repro.addressing.address import Address, NAME_BYTES_IPV4
 from repro.addressing.explicit_route import ExplicitRoute
 from repro.addressing.labels import LabelCodec
-from repro.core.landmarks import select_landmarks
+from repro.core.landmarks import closest_landmarks, landmark_spts, select_landmarks
 from repro.core.resolution import LandmarkResolutionDatabase
 from repro.core.shortcutting import ShortcutMode, apply_shortcuts
 from repro.core.vicinity import VicinityTable, compute_vicinities
-from repro.graphs.shortest_paths import dijkstra
 from repro.graphs.topology import Topology
 from repro.naming.names import FlatName, name_for_node
 from repro.protocols.base import RouteResult, RoutingScheme
@@ -73,6 +72,9 @@ class NDDiscoRouting(RoutingScheme):
         database's home landmark for the destination name.
     resolution_virtual_nodes:
         Virtual ring points per landmark in the resolution database.
+    workers:
+        Opt-in multiprocessing fan-out for the per-node vicinity builds
+        (forwarded to :func:`~repro.core.vicinity.compute_vicinities`).
     """
 
     name = "ND-Disco"
@@ -89,6 +91,7 @@ class NDDiscoRouting(RoutingScheme):
         vicinities: Sequence[VicinityTable] | None = None,
         resolve_first_packet: bool = True,
         resolution_virtual_nodes: int = 1,
+        workers: int | None = None,
     ) -> None:
         super().__init__(topology)
         self._seed = seed
@@ -114,34 +117,27 @@ class NDDiscoRouting(RoutingScheme):
             raise ValueError("landmark set must be non-empty")
 
         # Shortest-path trees rooted at each landmark: distance and parent
-        # per node, stored as dense lists for memory efficiency.
-        self._landmark_distances: dict[int, list[float]] = {}
-        self._landmark_parents: dict[int, list[int]] = {}
-        for landmark in sorted(self._landmarks):
-            distances, parents = dijkstra(topology, landmark)
-            dist_row = [0.0] * n
-            parent_row = [-1] * n
-            for node, value in distances.items():
-                dist_row[node] = value
-            for node, parent in parents.items():
-                parent_row[node] = parent
-            self._landmark_distances[landmark] = dist_row
-            self._landmark_parents[landmark] = parent_row
+        # per node, stored as dense lists for memory efficiency and built by
+        # the batched CSR driver over one shared scratch arena.
+        spts = landmark_spts(topology, self._landmarks)
+        self._landmark_spts = spts
+        self._landmark_distances: dict[int, list[float]] = {
+            landmark: rows[0] for landmark, rows in spts.items()
+        }
+        self._landmark_parents: dict[int, list[int]] = {
+            landmark: rows[1] for landmark, rows in spts.items()
+        }
 
         # Closest landmark per node (ties broken by landmark id).
-        self._closest_landmark: list[int] = []
-        for node in range(n):
-            best = min(
-                sorted(self._landmarks),
-                key=lambda lm: (self._landmark_distances[lm][node], lm),
-            )
-            self._closest_landmark.append(best)
+        self._closest_landmark, self._closest_landmark_distance = (
+            closest_landmarks(spts, n)
+        )
 
         # Vicinities.
         self._vicinities: list[VicinityTable] = (
             list(vicinities)
             if vicinities is not None
-            else compute_vicinities(topology, scale=vicinity_scale)
+            else compute_vicinities(topology, scale=vicinity_scale, workers=workers)
         )
         if len(self._vicinities) != n:
             raise ValueError("vicinities must cover every node")
@@ -174,6 +170,24 @@ class NDDiscoRouting(RoutingScheme):
     def vicinities(self) -> list[VicinityTable]:
         """Per-node vicinity tables (indexed by node id)."""
         return self._vicinities
+
+    @property
+    def landmark_spts(self) -> dict[int, tuple[list[float], list[int]]]:
+        """Dense landmark SPT rows, keyed by landmark.
+
+        Exposed so that another scheme built on the same landmark set (S4 in
+        :class:`~repro.staticsim.simulation.StaticSimulation`) can reuse the
+        trees instead of recomputing them.  Treat as read-only.
+        """
+        return self._landmark_spts
+
+    @property
+    def closest_landmark_rows(self) -> tuple[list[int], list[float]]:
+        """Per-node closest landmark and its distance, indexed by node id.
+
+        Shared with sibling schemes like :attr:`landmark_spts`; read-only.
+        """
+        return self._closest_landmark, self._closest_landmark_distance
 
     @property
     def addresses(self) -> list[Address]:

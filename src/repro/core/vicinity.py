@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.graphs.csr import parallel_k_nearest
+from repro.graphs.engine import get_engine
 from repro.graphs.shortest_paths import dijkstra_k_nearest, extract_path
 from repro.graphs.topology import Topology
 from repro.utils.validation import require_positive
@@ -111,6 +113,7 @@ def compute_vicinities(
     *,
     size: int | None = None,
     scale: float = 1.0,
+    workers: int | None = None,
 ) -> list[VicinityTable]:
     """Compute every node's vicinity.
 
@@ -121,6 +124,10 @@ def compute_vicinities(
         topology's node count.
     scale:
         Passed to :func:`vicinity_size` when ``size`` is not given.
+    workers:
+        Opt-in multiprocessing fan-out for the (embarrassingly parallel)
+        per-node searches; ``None`` or ``1`` runs the serial batched driver.
+        Results are identical either way.
 
     Returns
     -------
@@ -130,6 +137,12 @@ def compute_vicinities(
     if size is None:
         size = vicinity_size(topology.num_nodes, scale=scale)
     require_positive("size", size)
+    if get_engine() == "csr":
+        searches = parallel_k_nearest(topology, size, workers=workers or 1)
+        return [
+            VicinityTable(node=node, distances=distances, predecessors=predecessors)
+            for node, (distances, predecessors) in enumerate(searches)
+        ]
     return [
         compute_vicinity(topology, node, size) for node in topology.nodes()
     ]

@@ -2,14 +2,18 @@
 
 Everything above this package (protocols, simulators, experiments) talks to
 graphs exclusively through :class:`repro.graphs.Topology` and the functions in
-:mod:`repro.graphs.shortest_paths`.  The substrate is implemented in pure
-Python with ``heapq``-based Dijkstra variants tuned for the access patterns
-compact routing needs (k-nearest truncated searches, radius-bounded searches,
-landmark shortest-path trees).  ``networkx`` is used only as a cross-check
-oracle in the test suite.
+:mod:`repro.graphs.shortest_paths`.  Those functions are thin wrappers over
+the flat-array CSR kernels in :mod:`repro.graphs.csr` (generation-stamped
+scratch arrays, a BFS fast path for unit-weight graphs, batched multi-source
+drivers); the original dict-based implementation survives in
+:mod:`repro.graphs._reference_paths` as a differential-testing oracle and the
+"before" side of the perf harness (see :mod:`repro.graphs.engine`).
+``networkx`` is used only as a cross-check oracle in the test suite.
 """
 
 from repro.graphs.topology import Topology
+from repro.graphs.csr import CSRGraph, parallel_k_nearest, parallel_radius
+from repro.graphs.engine import get_engine, set_engine, use_engine
 from repro.graphs.generators import (
     geometric_random_graph,
     gnm_random_graph,
@@ -35,6 +39,7 @@ from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.sampling import sample_nodes, sample_pairs
 
 __all__ = [
+    "CSRGraph",
     "Topology",
     "all_pairs_sampled_distances",
     "dijkstra",
@@ -42,19 +47,24 @@ __all__ = [
     "dijkstra_radius",
     "extract_path",
     "geometric_random_graph",
+    "get_engine",
     "gnm_random_graph",
     "grid_graph",
     "internet_as_level",
     "internet_router_level",
     "line_graph",
+    "parallel_k_nearest",
+    "parallel_radius",
     "path_length",
     "read_edge_list",
     "ring_graph",
     "sample_nodes",
     "sample_pairs",
+    "set_engine",
     "shortest_path",
     "shortest_path_tree",
     "star_graph",
     "two_level_tree",
+    "use_engine",
     "write_edge_list",
 ]

@@ -1,0 +1,562 @@
+"""Flat-array CSR shortest-path kernels.
+
+This module is the performance substrate under every shortest-path query in
+the reproduction.  A :class:`CSRGraph` is a compressed-sparse-row snapshot of
+a :class:`~repro.graphs.topology.Topology`:
+
+* ``offsets`` -- ``array('q')`` of length ``n + 1``; node ``v``'s incident
+  edges live at indices ``offsets[v] .. offsets[v + 1]``.
+* ``neighbors`` -- ``array('q')`` of length ``2m`` with the edge endpoints.
+* ``weights`` -- ``array('d')`` of length ``2m`` with the edge weights.
+
+On top of that snapshot sit the three Dijkstra variants the protocols need
+(full single-source, *k*-nearest truncated, radius-bounded), implemented over
+a preallocated scratch arena -- distance / predecessor / visited arrays that
+are *generation-stamped* rather than reallocated or cleared per search, so a
+batch of ``n`` searches touches no per-call O(n) setup.  When every edge
+weight is exactly 1.0 the kernels automatically switch to a level-ordered BFS
+that produces bit-identical results to the heap kernel while skipping all
+heap traffic.
+
+Determinism: all kernels settle nodes in ``(distance, node id)`` order and
+break equal-distance predecessor ties toward the smaller predecessor id --
+one shared rule across every variant (the dict-based seed implementation only
+applied it to full Dijkstra; see ``dijkstra`` in
+:mod:`repro.graphs._reference_paths`).
+
+Batched drivers (:meth:`CSRGraph.batched_spt`,
+:meth:`CSRGraph.batched_k_nearest`, :meth:`CSRGraph.batched_radius`,
+:meth:`CSRGraph.batched_target_distances`) run many searches over the shared
+arena; :func:`parallel_k_nearest` / :func:`parallel_radius` add an opt-in
+``multiprocessing`` fan-out for the embarrassingly parallel per-node
+vicinity and cluster builds.
+
+The stable public API remains :mod:`repro.graphs.shortest_paths`; callers
+normally obtain a kernel via :meth:`Topology.csr`, which caches the snapshot
+and invalidates it when the topology mutates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from array import array
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graphs.topology import Topology
+
+__all__ = ["CSRGraph", "parallel_k_nearest", "parallel_radius"]
+
+_INF = math.inf
+
+
+class CSRGraph:
+    """Compressed-sparse-row graph with a reusable search arena.
+
+    Instances are immutable snapshots: mutate the owning
+    :class:`~repro.graphs.topology.Topology` and a fresh snapshot is built on
+    the next :meth:`Topology.csr` call.  The scratch arrays make a single
+    instance non-reentrant -- one search at a time per ``CSRGraph`` (each
+    process in a :func:`parallel_k_nearest` fan-out builds its own).
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "offsets",
+        "neighbors",
+        "weights",
+        "unit_weights",
+        "_adj",
+        "_arc",
+        "_dist",
+        "_pred",
+        "_seen",
+        "_done",
+        "_generation",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        offsets: array,
+        neighbors: array,
+        weights: array,
+        unit_weights: bool,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.weights = weights
+        self.unit_weights = unit_weights
+        # Hot-loop views of the flat arrays.  CPython boxes a fresh object on
+        # every ``array('q')``/``array('d')`` index, which would dominate the
+        # kernel runtime, so the scan loops iterate per-node slabs of
+        # ready-made ints / (neighbor, weight) tuples carved once from the
+        # CSR slab here.  The heap kernel's tuple slab is only built when the
+        # graph is weighted (the BFS fast path never reads weights).
+        offs = offsets.tolist()
+        nbrs = neighbors.tolist()
+        self._adj: list[list[int]] = [
+            nbrs[offs[node] : offs[node + 1]] for node in range(num_nodes)
+        ]
+        if unit_weights:
+            self._arc: list[list[tuple[int, float]]] = []
+        else:
+            arcs = list(zip(nbrs, weights.tolist()))
+            self._arc = [
+                arcs[offs[node] : offs[node + 1]] for node in range(num_nodes)
+            ]
+        # Scratch arena: the generation stamps make clearing O(0) per search.
+        self._dist: list[float] = [_INF] * num_nodes
+        self._pred: list[int] = [-1] * num_nodes
+        self._seen: list[int] = [0] * num_nodes
+        self._done: list[int] = [0] * num_nodes
+        self._generation = 0
+
+    @classmethod
+    def from_topology(cls, topology: "Topology") -> "CSRGraph":
+        """Build a CSR snapshot of ``topology`` (adjacency order preserved).
+
+        The flat slabs are assembled as Python lists first and converted to
+        arrays in one C-level pass, instead of an ``array.append`` per edge.
+        """
+        num_nodes = topology.num_nodes
+        offsets = [0] * (num_nodes + 1)
+        neighbors: list[int] = []
+        weights: list[float] = []
+        unit = True
+        position = 0
+        for node, row in enumerate(topology.adjacency):
+            for neighbor, weight in row:
+                neighbors.append(neighbor)
+                weights.append(weight)
+                if weight != 1.0:
+                    unit = False
+            position += len(row)
+            offsets[node + 1] = position
+        return cls(
+            num_nodes,
+            array("q", offsets),
+            array("q", neighbors),
+            array("d", weights),
+            unit,
+        )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges in the snapshot."""
+        return len(self.neighbors) // 2
+
+    # -- core search kernels ------------------------------------------------
+
+    def _search(
+        self,
+        source: int,
+        *,
+        targets: Iterable[int] | None = None,
+        k: int | None = None,
+        radius: float | None = None,
+        inclusive: bool = False,
+        out: tuple[list[float], list[int]] | None = None,
+    ) -> list[int]:
+        """Run one search; return the settled nodes in settlement order.
+
+        After the call, ``self._dist[v]`` / ``self._pred[v]`` hold the final
+        distance / predecessor for every node in the returned list (and only
+        until the next search reuses the arena).  ``out`` redirects those
+        writes into caller-owned dense rows instead (full searches only --
+        with truncation, discovered-but-unsettled nodes would leak partial
+        values into the rows).  The ``_done`` stamps consumed by
+        :meth:`batched_target_distances` are only maintained when ``targets``
+        is given.
+        """
+        if not 0 <= source < self.num_nodes:
+            raise ValueError(
+                f"node {source} out of range for graph with "
+                f"{self.num_nodes} nodes"
+            )
+        if self.unit_weights:
+            return self._search_bfs(source, targets, k, radius, inclusive, out)
+        return self._search_heap(source, targets, k, radius, inclusive, out)
+
+    def _search_heap(
+        self,
+        source: int,
+        targets: Iterable[int] | None,
+        k: int | None,
+        radius: float | None,
+        inclusive: bool,
+        out: tuple[list[float], list[int]] | None = None,
+    ) -> list[int]:
+        self._generation += 1
+        generation = self._generation
+        if out is None:
+            dist = self._dist
+            pred = self._pred
+        else:
+            dist, pred = out
+        seen = self._seen
+        done = self._done
+        arcs = self._arc
+        order: list[int] = []
+        settle = order.append
+        remaining = set(targets) if targets is not None else None
+        seen[source] = generation
+        dist[source] = 0.0
+        pred[source] = -1
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            if k is not None and len(order) >= k:
+                break
+            d, node = pop(heap)
+            if done[node] == generation:
+                continue  # stale heap entry; the node settled at a smaller d
+            if radius is not None:
+                # The heap pops in nondecreasing distance, so the first
+                # out-of-bounds settle ends the whole search.
+                if inclusive:
+                    if d > radius:
+                        break
+                elif d >= radius and node != source:
+                    break
+            done[node] = generation
+            settle(node)
+            if remaining is not None:
+                remaining.discard(node)
+                if not remaining:
+                    break
+            for neighbor, weight in arcs[node]:
+                # No settled check is needed: weights are strictly positive
+                # (Topology enforces it), so for a settled neighbor the
+                # candidate always exceeds its final distance and both
+                # branches below reject it.
+                candidate = d + weight
+                if seen[neighbor] != generation:
+                    seen[neighbor] = generation
+                    dist[neighbor] = candidate
+                    pred[neighbor] = node
+                    push(heap, (candidate, neighbor))
+                else:
+                    current = dist[neighbor]
+                    if candidate < current:
+                        dist[neighbor] = candidate
+                        pred[neighbor] = node
+                        push(heap, (candidate, neighbor))
+                    elif candidate == current and node < pred[neighbor]:
+                        pred[neighbor] = node
+        return order
+
+    def _search_bfs(
+        self,
+        source: int,
+        targets: Iterable[int] | None,
+        k: int | None,
+        radius: float | None,
+        inclusive: bool,
+        out: tuple[list[float], list[int]] | None = None,
+    ) -> list[int]:
+        """Unit-weight fast path: level-ordered BFS, bit-identical results.
+
+        Each frontier is sorted by node id before settling, which buys two
+        invariants at once: the settlement order matches the heap kernel's
+        ``(distance, id)`` order exactly (required at the *k*-nearest
+        truncation boundary), and -- because a level-``d+1`` node's possible
+        predecessors are exactly the level-``d`` nodes and discovery scans
+        them in ascending id -- the *first* discoverer of a node is its
+        min-id parent, reproducing the heap kernel's tie-break with no
+        per-edge comparison.  Distances are written at settlement, not
+        discovery: a truncated search discovers far more nodes than it
+        settles, and nothing reads the distance of an unsettled node.
+        """
+        self._generation += 1
+        generation = self._generation
+        if out is None:
+            dist = self._dist
+            pred = self._pred
+        else:
+            dist, pred = out
+        seen = self._seen
+        done = self._done
+        adj = self._adj
+        order: list[int] = []
+        remaining = set(targets) if targets is not None else None
+        seen[source] = generation
+        pred[source] = -1
+        frontier = [source]
+        level = 0.0
+        while frontier:
+            if radius is not None:
+                if inclusive:
+                    if level > radius:
+                        break
+                elif level >= radius and level > 0.0:
+                    break
+            if len(frontier) > 1:
+                frontier.sort()
+            if k is not None:
+                room = k - len(order)
+                if len(frontier) >= room:
+                    # The truncated level is settled without scanning its
+                    # edges: anything it would discover can never settle.
+                    frontier = frontier[:room]
+                    order.extend(frontier)
+                    for node in frontier:
+                        dist[node] = level
+                    break
+            next_level = level + 1.0
+            next_frontier: list[int] = []
+            discover = next_frontier.append
+            if remaining is None:
+                order.extend(frontier)
+                for node in frontier:
+                    dist[node] = level
+                    for neighbor in adj[node]:
+                        if seen[neighbor] != generation:
+                            seen[neighbor] = generation
+                            pred[neighbor] = node
+                            discover(neighbor)
+            else:
+                stop = False
+                for node in frontier:
+                    done[node] = generation
+                    dist[node] = level
+                    order.append(node)
+                    remaining.discard(node)
+                    if not remaining:
+                        stop = True
+                        break
+                    for neighbor in adj[node]:
+                        if seen[neighbor] != generation:
+                            seen[neighbor] = generation
+                            pred[neighbor] = node
+                            discover(neighbor)
+                if stop:
+                    break
+            frontier = next_frontier
+            level = next_level
+        return order
+
+    def _as_dicts(
+        self, order: Sequence[int]
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        """Materialize the arena into the public dict-shaped results.
+
+        ``order[0]`` is always the source -- the only settled node without a
+        predecessor -- so the predecessor map simply skips it.
+        """
+        dist = self._dist
+        pred = self._pred
+        distances = {node: dist[node] for node in order}
+        iterator = iter(order)
+        next(iterator, None)
+        predecessors = {node: pred[node] for node in iterator}
+        return distances, predecessors
+
+    # -- public kernels (dict-shaped, mirroring shortest_paths) -------------
+
+    def dijkstra(
+        self, source: int, *, targets: Iterable[int] | None = None
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        """Single-source shortest paths; see :func:`shortest_paths.dijkstra`."""
+        return self._as_dicts(self._search(source, targets=targets))
+
+    def dijkstra_k_nearest(
+        self, source: int, k: int
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        """Truncated search settling the ``k`` nodes nearest ``source``."""
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        return self._as_dicts(self._search(source, k=k))
+
+    def dijkstra_radius(
+        self, source: int, radius: float, *, inclusive: bool = False
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        """Radius-bounded search (strict boundary unless ``inclusive``)."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        return self._as_dicts(
+            self._search(source, radius=radius, inclusive=inclusive)
+        )
+
+    def spt_rows(
+        self, source: int, *, fill: float = 0.0
+    ) -> tuple[list[float], list[int]]:
+        """Full shortest-path tree as dense rows indexed by node id.
+
+        Returns ``(dist_row, parent_row)``; unreachable nodes keep ``fill``
+        and ``-1`` (the converged-state models assume connected topologies
+        and historically used a 0.0 fill).
+        """
+        dist_row = [fill] * self.num_nodes
+        parent_row = [-1] * self.num_nodes
+        # The search writes distances/parents straight into the rows; only
+        # settled nodes are touched, so unreachable ones keep the fill.
+        self._search(source, out=(dist_row, parent_row))
+        return dist_row, parent_row
+
+    # -- batched drivers ----------------------------------------------------
+
+    def batched_spt(
+        self, sources: Iterable[int], *, fill: float = 0.0
+    ) -> Iterator[tuple[int, list[float], list[int]]]:
+        """Yield ``(source, dist_row, parent_row)`` for each source.
+
+        All searches share one scratch arena; only the dense output rows are
+        allocated per source.
+        """
+        for source in sources:
+            dist_row, parent_row = self.spt_rows(source, fill=fill)
+            yield source, dist_row, parent_row
+
+    def batched_k_nearest(
+        self, k: int, nodes: Iterable[int] | None = None
+    ) -> list[tuple[dict[int, float], dict[int, int]]]:
+        """Run :meth:`dijkstra_k_nearest` for every node (or ``nodes``)."""
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        sources = range(self.num_nodes) if nodes is None else nodes
+        return [self._as_dicts(self._search(v, k=k)) for v in sources]
+
+    def batched_radius(
+        self,
+        radii: Sequence[float],
+        nodes: Sequence[int] | None = None,
+        *,
+        inclusive: bool = False,
+    ) -> list[tuple[dict[int, float], dict[int, int]]]:
+        """Run :meth:`dijkstra_radius` per node with its own radius.
+
+        ``radii`` aligns with ``nodes`` (default: all nodes in id order) and
+        must cover every source -- a short list would otherwise silently
+        truncate the batch.
+        """
+        sources = range(self.num_nodes) if nodes is None else nodes
+        if len(radii) != len(sources):
+            raise ValueError(
+                f"radii must have exactly {len(sources)} entries, "
+                f"got {len(radii)}"
+            )
+        results = []
+        for node, radius in zip(sources, radii):
+            if radius < 0:
+                raise ValueError(f"radius must be >= 0, got {radius}")
+            results.append(
+                self._as_dicts(
+                    self._search(node, radius=radius, inclusive=inclusive)
+                )
+            )
+        return results
+
+    def batched_target_distances(
+        self, pairs: Iterable[tuple[int, int]]
+    ) -> dict[tuple[int, int], float]:
+        """Shortest distances for source-destination pairs.
+
+        Pairs are grouped by source; each distinct source runs one
+        early-stopping search over the shared arena.  Raises ``ValueError``
+        if any target is unreachable from its source.
+        """
+        by_source: dict[int, set[int]] = {}
+        for source, target in pairs:
+            by_source.setdefault(source, set()).add(target)
+        result: dict[tuple[int, int], float] = {}
+        dist = self._dist
+        done = self._done
+        for source, targets in by_source.items():
+            self._search(source, targets=targets)
+            generation = self._generation
+            for target in targets:
+                if done[target] != generation:
+                    raise ValueError(
+                        f"node {target} unreachable from {source}; "
+                        "topology must be connected"
+                    )
+                result[(source, target)] = dist[target]
+        return result
+
+
+# -- multiprocessing fan-out ------------------------------------------------
+#
+# The per-node vicinity and cluster builds are embarrassingly parallel: every
+# search is independent and the graph is read-only.  Each worker process
+# builds its own CSR snapshot once (searches are arena-stateful, so snapshots
+# cannot be shared across processes) and then streams chunks of nodes.
+
+_WORKER_CSR: CSRGraph | None = None
+
+
+def _parallel_init(topology: "Topology") -> None:
+    global _WORKER_CSR
+    _WORKER_CSR = CSRGraph.from_topology(topology)
+
+
+def _k_nearest_chunk(
+    task: tuple[int, list[int]]
+) -> list[tuple[dict[int, float], dict[int, int]]]:
+    k, nodes = task
+    assert _WORKER_CSR is not None
+    return _WORKER_CSR.batched_k_nearest(k, nodes)
+
+
+def _radius_chunk(
+    task: tuple[list[int], list[float]]
+) -> list[tuple[dict[int, float], dict[int, int]]]:
+    nodes, radii = task
+    assert _WORKER_CSR is not None
+    return _WORKER_CSR.batched_radius(radii, nodes)
+
+
+def _chunks(items: list, count: int) -> list[list]:
+    size = max(1, -(-len(items) // count))
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def parallel_k_nearest(
+    topology: "Topology", k: int, *, workers: int = 1
+) -> list[tuple[dict[int, float], dict[int, int]]]:
+    """Per-node *k*-nearest searches, optionally fanned out over processes.
+
+    With ``workers <= 1`` this is the serial batched driver.  Results are
+    identical either way (each search is independent and deterministic);
+    ordering is by node id.
+    """
+    nodes = list(topology.nodes())
+    if workers <= 1 or len(nodes) < 4 * workers:
+        return topology.csr().batched_k_nearest(k)
+    from multiprocessing import Pool
+
+    tasks = [(k, chunk) for chunk in _chunks(nodes, workers * 4)]
+    with Pool(workers, initializer=_parallel_init, initargs=(topology,)) as pool:
+        chunked = pool.map(_k_nearest_chunk, tasks)
+    return [result for chunk in chunked for result in chunk]
+
+
+def parallel_radius(
+    topology: "Topology", radii: Sequence[float], *, workers: int = 1
+) -> list[tuple[dict[int, float], dict[int, int]]]:
+    """Per-node radius-bounded searches, optionally fanned out over processes.
+
+    ``radii[v]`` bounds node ``v``'s search (strict boundary, matching the
+    S4 cluster definition).  Results are ordered by node id.
+    """
+    nodes = list(topology.nodes())
+    if len(radii) != len(nodes):
+        raise ValueError(
+            f"radii must have exactly {len(nodes)} entries, got {len(radii)}"
+        )
+    if workers <= 1 or len(nodes) < 4 * workers:
+        return topology.csr().batched_radius(radii)
+    from multiprocessing import Pool
+
+    node_chunks = _chunks(nodes, workers * 4)
+    tasks = []
+    start = 0
+    for chunk in node_chunks:
+        tasks.append((chunk, list(radii[start : start + len(chunk)])))
+        start += len(chunk)
+    with Pool(workers, initializer=_parallel_init, initargs=(topology,)) as pool:
+        chunked = pool.map(_radius_chunk, tasks)
+    return [result for chunk in chunked for result in chunk]

@@ -1,0 +1,51 @@
+"""Shortest-path engine selection.
+
+Two engines implement the :mod:`repro.graphs.shortest_paths` contract:
+
+* ``"csr"`` (default) -- the flat-array kernels of
+  :mod:`repro.graphs.csr`, with generation-stamped scratch, a BFS fast path
+  for unit-weight graphs, and batched drivers.
+* ``"reference"`` -- the original dict-based heapq implementation
+  (:mod:`repro.graphs._reference_paths`), kept as the differential-testing
+  oracle and as the "before" side of the perf-regression harness
+  (``repro bench`` / ``BENCH_kernels.json``).
+
+Both engines produce identical distances and predecessors (the differential
+tests in ``tests/test_graphs_csr.py`` enforce this bit-for-bit), so the
+switch is purely a performance knob.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ENGINES", "get_engine", "set_engine", "use_engine"]
+
+ENGINES = ("csr", "reference")
+
+_engine = "csr"
+
+
+def get_engine() -> str:
+    """Return the active engine name (``"csr"`` or ``"reference"``)."""
+    return _engine
+
+
+def set_engine(name: str) -> None:
+    """Select the shortest-path engine globally."""
+    global _engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    _engine = name
+
+
+@contextmanager
+def use_engine(name: str) -> Iterator[None]:
+    """Temporarily switch engines (used by benchmarks and tests)."""
+    previous = get_engine()
+    set_engine(name)
+    try:
+        yield
+    finally:
+        set_engine(previous)

@@ -1,4 +1,4 @@
-"""Dijkstra variants tuned for compact routing.
+"""Dijkstra variants tuned for compact routing (stable public API).
 
 The compact-routing protocols need several flavors of shortest-path search:
 
@@ -13,15 +13,24 @@ The compact-routing protocols need several flavors of shortest-path search:
   the stretch and congestion metrics.
 
 All functions operate on :class:`repro.graphs.Topology` and are deterministic:
-ties in distance are broken by node id so that repeated runs (and the
-hypothesis tests) see identical outputs.
+ties in distance are broken by settling in ``(distance, node id)`` order and
+-- for predecessors -- toward the smaller predecessor id, the same rule in
+every variant.
+
+Since the CSR kernel refactor these functions are thin wrappers: by default
+they dispatch to the flat-array engine in :mod:`repro.graphs.csr` (cached per
+topology via :meth:`Topology.csr`), falling back to the original dict-based
+implementation in :mod:`repro.graphs._reference_paths` when the
+``"reference"`` engine is selected (see :mod:`repro.graphs.engine`).  The two
+engines return bit-identical results; the differential tests enforce it.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Iterable, Mapping, Sequence
 
+from repro.graphs import _reference_paths
+from repro.graphs.engine import get_engine
 from repro.graphs.topology import Topology
 
 __all__ = [
@@ -63,41 +72,9 @@ def dijkstra(
         hop on one shortest path (ties broken toward smaller node ids).
         ``predecessors`` has no entry for ``source``.
     """
-    adjacency = topology.adjacency
-    distances: dict[int, float] = {}
-    predecessors: dict[int, int] = {}
-    remaining = set(targets) if targets is not None else None
-    # Heap entries are (distance, node, predecessor); the node-id tie-break
-    # comes from pushing candidates in neighbor order and relying on the
-    # strict-improvement test below.
-    heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
-    best_seen: dict[int, float] = {source: 0.0}
-    best_pred: dict[int, int] = {}
-    while heap:
-        dist, node, pred = heapq.heappop(heap)
-        if node in distances:
-            continue
-        distances[node] = dist
-        if pred >= 0:
-            predecessors[node] = pred
-        if remaining is not None:
-            remaining.discard(node)
-            if not remaining:
-                break
-        for neighbor, weight in adjacency[node]:
-            if neighbor in distances:
-                continue
-            candidate = dist + weight
-            seen = best_seen.get(neighbor)
-            if (
-                seen is None
-                or candidate < seen
-                or (candidate == seen and node < best_pred.get(neighbor, node + 1))
-            ):
-                best_seen[neighbor] = candidate
-                best_pred[neighbor] = node
-                heapq.heappush(heap, (candidate, neighbor, node))
-    return distances, predecessors
+    if get_engine() == "csr":
+        return topology.csr().dijkstra(source, targets=targets)
+    return _reference_paths.dijkstra(topology, source, targets=targets)
 
 
 def dijkstra_k_nearest(
@@ -118,29 +95,9 @@ def dijkstra_k_nearest(
         connected component of ``source`` has fewer than ``k`` nodes, the
         whole component is returned.
     """
-    if k <= 0:
-        raise ValueError(f"k must be > 0, got {k}")
-    adjacency = topology.adjacency
-    distances: dict[int, float] = {}
-    predecessors: dict[int, int] = {}
-    heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
-    best_seen: dict[int, float] = {source: 0.0}
-    while heap and len(distances) < k:
-        dist, node, pred = heapq.heappop(heap)
-        if node in distances:
-            continue
-        distances[node] = dist
-        if pred >= 0:
-            predecessors[node] = pred
-        for neighbor, weight in adjacency[node]:
-            if neighbor in distances:
-                continue
-            candidate = dist + weight
-            seen = best_seen.get(neighbor)
-            if seen is None or candidate < seen:
-                best_seen[neighbor] = candidate
-                heapq.heappush(heap, (candidate, neighbor, node))
-    return distances, predecessors
+    if get_engine() == "csr":
+        return topology.csr().dijkstra_k_nearest(source, k)
+    return _reference_paths.dijkstra_k_nearest(topology, source, k)
 
 
 def dijkstra_radius(
@@ -159,34 +116,11 @@ def dijkstra_radius(
         the S4 cluster definition ``d(v, w) < d(w, ℓ_w)``.  If True, nodes at
         exactly ``radius`` are included.
     """
-    if radius < 0:
-        raise ValueError(f"radius must be >= 0, got {radius}")
-    adjacency = topology.adjacency
-    distances: dict[int, float] = {}
-    predecessors: dict[int, int] = {}
-    heap: list[tuple[float, int, int]] = [(0.0, source, -1)]
-    best_seen: dict[int, float] = {source: 0.0}
-    while heap:
-        dist, node, pred = heapq.heappop(heap)
-        if node in distances:
-            continue
-        if inclusive:
-            if dist > radius:
-                break
-        elif dist >= radius and node != source:
-            break
-        distances[node] = dist
-        if pred >= 0:
-            predecessors[node] = pred
-        for neighbor, weight in adjacency[node]:
-            if neighbor in distances:
-                continue
-            candidate = dist + weight
-            seen = best_seen.get(neighbor)
-            if seen is None or candidate < seen:
-                best_seen[neighbor] = candidate
-                heapq.heappush(heap, (candidate, neighbor, node))
-    return distances, predecessors
+    if get_engine() == "csr":
+        return topology.csr().dijkstra_radius(source, radius, inclusive=inclusive)
+    return _reference_paths.dijkstra_radius(
+        topology, source, radius, inclusive=inclusive
+    )
 
 
 def shortest_path_tree(
@@ -250,9 +184,10 @@ def path_length(topology: Topology, path: Sequence[int]) -> float:
         raise ValueError("path must contain at least one node")
     total = 0.0
     for u, v in zip(path, path[1:]):
-        if not topology.has_edge(u, v):
+        weight = topology.get_edge_weight(u, v)
+        if weight is None:
             raise ValueError(f"path uses non-existent edge ({u}, {v})")
-        total += topology.edge_weight(u, v)
+        total += weight
     return total
 
 
@@ -261,21 +196,11 @@ def all_pairs_sampled_distances(
 ) -> dict[tuple[int, int], float]:
     """Return shortest distances for the given source-destination pairs.
 
-    Sources are grouped so each distinct source runs a single Dijkstra that
-    stops when all of its sampled targets are settled.  Used as the stretch
+    Sources are grouped so each distinct source runs a single early-stopping
+    search; on the CSR engine all searches share one scratch arena
+    (:meth:`CSRGraph.batched_target_distances`).  Used as the stretch
     denominator for sampled pairs on large topologies, as in §5.1.
     """
-    by_source: dict[int, set[int]] = {}
-    pair_list = list(pairs)
-    for source, target in pair_list:
-        by_source.setdefault(source, set()).add(target)
-    result: dict[tuple[int, int], float] = {}
-    for source, targets in by_source.items():
-        distances, _ = dijkstra(topology, source, targets=targets)
-        for target in targets:
-            if target not in distances:
-                raise ValueError(
-                    f"node {target} unreachable from {source}; topology must be connected"
-                )
-            result[(source, target)] = distances[target]
-    return result
+    if get_engine() == "csr":
+        return topology.csr().batched_target_distances(pairs)
+    return _reference_paths.all_pairs_sampled_distances(topology, pairs)

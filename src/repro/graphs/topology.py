@@ -10,7 +10,10 @@ inside the Dijkstra variants.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.csr import CSRGraph
 
 __all__ = ["Topology"]
 
@@ -34,7 +37,7 @@ class Topology:
       :mod:`repro.graphs.shortest_paths` read ``topology.adjacency`` directly.
     """
 
-    __slots__ = ("_num_nodes", "_adjacency", "_edge_weights", "name")
+    __slots__ = ("_num_nodes", "_adjacency", "_edge_weights", "_csr", "name")
 
     def __init__(self, num_nodes: int, *, name: str = "topology") -> None:
         if num_nodes < 0:
@@ -44,6 +47,7 @@ class Topology:
             [] for _ in range(self._num_nodes)
         ]
         self._edge_weights: dict[tuple[int, int], float] = {}
+        self._csr: "CSRGraph | None" = None
         self.name = name
 
     # -- construction -----------------------------------------------------
@@ -66,10 +70,12 @@ class Topology:
                 self._edge_weights[key] = float(weight)
                 self._replace_adjacency_weight(u, v, float(weight))
                 self._replace_adjacency_weight(v, u, float(weight))
+                self._csr = None
             return
         self._edge_weights[key] = float(weight)
         self._adjacency[u].append((v, float(weight)))
         self._adjacency[v].append((u, float(weight)))
+        self._csr = None
 
     def add_edges_from(
         self, edges: Iterable[tuple[int, int] | tuple[int, int, float]]
@@ -145,6 +151,16 @@ class Topology:
         key = (u, v) if u < v else (v, u)
         return self._edge_weights[key]
 
+    def get_edge_weight(
+        self, u: int, v: int, default: float | None = None
+    ) -> float | None:
+        """Return the weight of edge ``{u, v}``, or ``default`` if absent.
+
+        Single dict lookup; the hot-path alternative to calling
+        :meth:`has_edge` followed by :meth:`edge_weight`.
+        """
+        return self._edge_weights.get((u, v) if u < v else (v, u), default)
+
     def total_weight(self) -> float:
         """Return the sum of all edge weights."""
         return sum(self._edge_weights.values())
@@ -209,9 +225,22 @@ class Topology:
         largest = max(components, key=len)
         mapping = {old: new for new, old in enumerate(sorted(largest))}
         sub = Topology(len(largest), name=self.name)
-        for u, v, weight in self.edges():
-            if u in mapping and v in mapping:
-                sub.add_edge(mapping[u], mapping[v], weight)
+        # Direct O(E) construction: every surviving edge is already validated
+        # and deduplicated in this topology, so replaying add_edge per edge
+        # (validation + duplicate collapse) would only add overhead.  The
+        # mapping is monotone, so key ordering is preserved.
+        sub_weights = sub._edge_weights
+        sub_adjacency = sub._adjacency
+        for (u, v), weight in self._edge_weights.items():
+            new_u = mapping.get(u)
+            if new_u is None:
+                continue
+            new_v = mapping.get(v)
+            if new_v is None:
+                continue
+            sub_weights[(new_u, new_v)] = weight
+            sub_adjacency[new_u].append((new_v, weight))
+            sub_adjacency[new_v].append((new_u, weight))
         return sub, mapping
 
     # -- conversions -------------------------------------------------------
@@ -240,11 +269,51 @@ class Topology:
         return topology
 
     def copy(self) -> "Topology":
-        """Return a deep copy of this topology."""
+        """Return a deep copy of this topology.
+
+        O(E): adjacency rows and the edge-weight table are copied directly
+        (they are already validated and deduplicated), instead of replaying
+        ``add_edge`` per edge.
+        """
         duplicate = Topology(self._num_nodes, name=self.name)
-        for u, v, weight in self.edges():
-            duplicate.add_edge(u, v, weight)
+        duplicate._adjacency = [list(row) for row in self._adjacency]
+        duplicate._edge_weights = dict(self._edge_weights)
         return duplicate
+
+    # -- CSR kernel cache --------------------------------------------------
+
+    def csr(self) -> "CSRGraph":
+        """Return the cached CSR kernel snapshot of this topology.
+
+        Built lazily on first use and invalidated whenever the topology
+        mutates (``add_edge``), so callers can hold a ``Topology`` and always
+        see a kernel consistent with the current edges.
+        """
+        if self._csr is None:
+            from repro.graphs.csr import CSRGraph
+
+            self._csr = CSRGraph.from_topology(self)
+        return self._csr
+
+    # -- pickling ----------------------------------------------------------
+    # The CSR snapshot (arrays + scratch arena) is cheap to rebuild and
+    # dropped from the pickle so multiprocessing fan-outs ship only the
+    # adjacency structure to worker processes.
+
+    def __getstate__(self) -> dict:
+        return {
+            "_num_nodes": self._num_nodes,
+            "_adjacency": self._adjacency,
+            "_edge_weights": self._edge_weights,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._num_nodes = state["_num_nodes"]
+        self._adjacency = state["_adjacency"]
+        self._edge_weights = state["_edge_weights"]
+        self.name = state["name"]
+        self._csr = None
 
     # -- dunder ------------------------------------------------------------
 

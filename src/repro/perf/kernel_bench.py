@@ -1,0 +1,236 @@
+"""Before/after benchmarks for the CSR shortest-path kernels.
+
+Every benchmark times the same workload twice:
+
+* **before** -- the dict-based reference engine
+  (:mod:`repro.graphs._reference_paths`), run through the public API with
+  ``use_engine("reference")``; the end-to-end benchmarks additionally pass
+  ``share_substrate=False`` so the "before" side reproduces the seed
+  implementation exactly (S4 rebuilding the landmark trees NDDisco already
+  computed).
+* **after** -- the CSR engine (:mod:`repro.graphs.csr`) exactly as the
+  library runs by default.
+
+Both engines return bit-identical results (enforced by the differential
+tests in ``tests/test_graphs_csr.py``), so the ratio is a pure performance
+number.  Timings are best-of-N wall clock; graphs use the experiments'
+canonical ``average_degree=8.0``.
+
+``repro bench`` runs :func:`bench_kernels` and writes
+``BENCH_kernels.json``; see the "Performance architecture" section of
+``ROADMAP.md`` for how to read the file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from typing import Callable
+
+from repro.core.vicinity import vicinity_size
+from repro.graphs import _reference_paths as reference
+from repro.graphs.engine import use_engine
+from repro.graphs.generators import geometric_random_graph, gnm_random_graph
+from repro.graphs.sampling import sample_pairs
+from repro.graphs.topology import Topology
+from repro.staticsim.simulation import StaticSimulation
+
+__all__ = ["BENCH_SCHEMA", "bench_kernels", "write_bench_json"]
+
+BENCH_SCHEMA = "repro-bench-kernels/v1"
+
+
+def _best_of(function: Callable[[], None], repeats: int) -> float:
+    """Best-of-N wall-clock seconds for one call of ``function``."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entry(
+    name: str,
+    params: dict,
+    before: Callable[[], None],
+    after: Callable[[], None],
+    *,
+    repeats: int,
+    results: dict[str, dict],
+) -> None:
+    before_s = _best_of(before, repeats)
+    after_s = _best_of(after, repeats)
+    results[name] = {
+        "params": params,
+        "before_s": round(before_s, 6),
+        "after_s": round(after_s, 6),
+        "speedup": round(before_s / after_s, 3) if after_s > 0 else math.inf,
+    }
+
+
+def _fresh(topology: Topology) -> Topology:
+    """Copy ``topology`` so CSR snapshot build cost lands inside the timer."""
+    return topology.copy()
+
+
+def bench_kernels(
+    *, quick: bool = False, workers: int | None = None
+) -> dict:
+    """Run every kernel and end-to-end benchmark; return the report dict.
+
+    Parameters
+    ----------
+    quick:
+        Shrink every workload (used by CI smoke runs and the pytest
+        benchmark); the numbers are then only a canary, not the headline.
+    workers:
+        If given and > 1, adds parallel variants of the end-to-end build
+        using the multiprocessing fan-out.
+    """
+    results: dict[str, dict] = {}
+
+    # -- full single-source Dijkstra ------------------------------------
+    n_full = 512 if quick else 4096
+    sources = list(range(0, n_full, max(1, n_full // (4 if quick else 8))))
+    repeats = 2 if quick else 3
+
+    gnm = gnm_random_graph(n_full, seed=3, average_degree=8.0)
+    csr = gnm.csr()  # built outside the timer; see staticsim for build cost
+    _entry(
+        f"dijkstra_full/gnm-{n_full}",
+        {"family": "gnm", "n": n_full, "sources": len(sources), "unit_weights": True},
+        lambda: [reference.dijkstra(gnm, s) for s in sources],
+        lambda: [csr.dijkstra(s) for s in sources],
+        repeats=repeats,
+        results=results,
+    )
+
+    geo = geometric_random_graph(n_full, seed=3, average_degree=8.0)
+    geo_csr = geo.csr()
+    _entry(
+        f"dijkstra_full/geometric-{n_full}",
+        {
+            "family": "geometric",
+            "n": n_full,
+            "sources": len(sources),
+            "unit_weights": False,
+        },
+        lambda: [reference.dijkstra(geo, s) for s in sources],
+        lambda: [geo_csr.dijkstra(s) for s in sources],
+        repeats=repeats,
+        results=results,
+    )
+
+    # -- truncated and bounded kernels ----------------------------------
+    k = vicinity_size(n_full)
+    k_sources = range(64 if quick else 256)
+    _entry(
+        f"k_nearest/gnm-{n_full}",
+        {"family": "gnm", "n": n_full, "k": k, "sources": len(k_sources)},
+        lambda: [reference.dijkstra_k_nearest(gnm, s, k) for s in k_sources],
+        lambda: csr.batched_k_nearest(k, k_sources),
+        repeats=repeats,
+        results=results,
+    )
+
+    radius = 3.0
+    _entry(
+        f"radius/gnm-{n_full}",
+        {"family": "gnm", "n": n_full, "radius": radius, "sources": len(k_sources)},
+        lambda: [reference.dijkstra_radius(gnm, s, radius) for s in k_sources],
+        lambda: csr.batched_radius([radius] * len(k_sources), k_sources),
+        repeats=repeats,
+        results=results,
+    )
+
+    pairs = sample_pairs(gnm, 100 if quick else 500, seed=11)
+    _entry(
+        f"batched_targets/gnm-{n_full}",
+        {"family": "gnm", "n": n_full, "pairs": len(pairs)},
+        lambda: reference.all_pairs_sampled_distances(gnm, pairs),
+        lambda: csr.batched_target_distances(pairs),
+        repeats=repeats,
+        results=results,
+    )
+
+    # -- end-to-end converged-state construction ------------------------
+    # "before" = reference engine + no substrate sharing: exactly the work
+    # the seed implementation performed.  "after" = the library's default
+    # path, including the (freshly timed) CSR snapshot build.
+    def staticsim_case(name: str, topology: Topology, *, repeats: int) -> None:
+        def before() -> None:
+            with use_engine("reference"):
+                StaticSimulation(
+                    _fresh(topology),
+                    ("nd-disco", "s4"),
+                    seed=1,
+                    share_substrate=False,
+                )
+
+        def after() -> None:
+            StaticSimulation(_fresh(topology), ("nd-disco", "s4"), seed=1)
+
+        _entry(
+            name,
+            {
+                "family": topology.name,
+                "n": topology.num_nodes,
+                "protocols": ["nd-disco", "s4"],
+            },
+            before,
+            after,
+            repeats=repeats,
+            results=results,
+        )
+        if workers and workers > 1:
+            options = {
+                "nd-disco": {"workers": workers},
+                "s4": {"workers": workers},
+            }
+            after_parallel = _best_of(
+                lambda: StaticSimulation(
+                    _fresh(topology),
+                    ("nd-disco", "s4"),
+                    seed=1,
+                    scheme_options=options,
+                ),
+                repeats,
+            )
+            results[name + f"/workers-{workers}"] = {
+                "params": {**results[name]["params"], "workers": workers},
+                "before_s": results[name]["before_s"],
+                "after_s": round(after_parallel, 6),
+                "speedup": round(results[name]["before_s"] / after_parallel, 3),
+            }
+
+    n_sim = 256 if quick else 2048
+    staticsim_case(
+        f"staticsim/gnm-{n_sim}",
+        gnm_random_graph(n_sim, seed=3, average_degree=8.0),
+        repeats=2 if quick else 3,
+    )
+    if not quick:
+        staticsim_case(
+            "staticsim/geometric-1024",
+            geometric_random_graph(1024, seed=3, average_degree=8.0),
+            repeats=2,
+        )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": results,
+    }
+
+
+def write_bench_json(report: dict, path: str) -> None:
+    """Write a :func:`bench_kernels` report to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -32,12 +32,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.landmarks import select_landmarks
+from repro.core.landmarks import closest_landmarks, landmark_spts, select_landmarks
 from repro.core.resolution import LandmarkResolutionDatabase
 from repro.addressing.address import Address, NAME_BYTES_IPV4
 from repro.addressing.explicit_route import ExplicitRoute
 from repro.addressing.labels import LabelCodec
-from repro.graphs.shortest_paths import dijkstra, dijkstra_radius, extract_path
+from repro.graphs.csr import parallel_radius
+from repro.graphs.engine import get_engine
+from repro.graphs.shortest_paths import dijkstra_radius, extract_path
 from repro.graphs.topology import Topology
 from repro.naming.names import FlatName, name_for_node
 from repro.protocols.base import RouteResult, RoutingScheme
@@ -63,6 +65,18 @@ class S4Routing(RoutingScheme):
     resolve_first_packet:
         If True (default), first packets detour through the location
         service's home landmark for the destination.
+    substrate:
+        Optional :class:`~repro.core.nddisco.NDDiscoRouting` built on the
+        same topology and landmark set.  The converged landmark substrate --
+        SPT rows, closest-landmark rows, addresses, and (unless ``names``
+        overrides them) names -- is deterministic given topology and
+        landmarks, so it is reused instead of recomputed, exactly as one
+        deployment running both schemes would share it.  Treated as
+        read-only.  :class:`~repro.staticsim.simulation.StaticSimulation`
+        passes NDDisco here when the schemes share a landmark set.
+    workers:
+        Opt-in multiprocessing fan-out for the per-node cluster ("ball")
+        searches; ``None`` or ``1`` runs the serial batched driver.
     """
 
     name = "S4"
@@ -75,13 +89,18 @@ class S4Routing(RoutingScheme):
         landmarks: set[int] | None = None,
         names: Sequence[FlatName] | None = None,
         resolve_first_packet: bool = True,
+        substrate: "object | None" = None,
+        workers: int | None = None,
     ) -> None:
         super().__init__(topology)
         n = topology.num_nodes
         self._resolve_first_packet = resolve_first_packet
-        self._names = (
-            list(names) if names is not None else [name_for_node(v) for v in range(n)]
-        )
+        if names is not None:
+            self._names = list(names)
+        elif substrate is not None:
+            self._names = list(substrate.names)
+        else:
+            self._names = [name_for_node(v) for v in range(n)]
         if len(self._names) != n:
             raise ValueError(f"names must have exactly {n} entries")
 
@@ -91,41 +110,45 @@ class S4Routing(RoutingScheme):
         if not self._landmarks:
             raise ValueError("landmark set must be non-empty")
 
-        # Landmark shortest-path trees (distances and parents, dense lists).
-        self._landmark_distances: dict[int, list[float]] = {}
-        self._landmark_parents: dict[int, list[int]] = {}
-        for landmark in sorted(self._landmarks):
-            distances, parents = dijkstra(topology, landmark)
-            dist_row = [0.0] * n
-            parent_row = [-1] * n
-            for node, value in distances.items():
-                dist_row[node] = value
-            for node, parent in parents.items():
-                parent_row[node] = parent
-            self._landmark_distances[landmark] = dist_row
-            self._landmark_parents[landmark] = parent_row
-
-        self._closest_landmark: list[int] = []
-        self._landmark_distance_of: list[float] = []
-        sorted_landmarks = sorted(self._landmarks)
-        for node in range(n):
-            best = min(
-                sorted_landmarks,
-                key=lambda lm: (self._landmark_distances[lm][node], lm),
+        # Landmark shortest-path trees (distances and parents, dense lists),
+        # either shared from the sibling scheme or built by the batched
+        # driver.
+        if substrate is not None:
+            if substrate.topology is not topology:
+                raise ValueError("substrate must be built on the same topology")
+            if substrate.landmarks != self._landmarks:
+                raise ValueError("substrate must share this scheme's landmark set")
+            spts = substrate.landmark_spts
+            self._closest_landmark, self._landmark_distance_of = (
+                substrate.closest_landmark_rows
             )
-            self._closest_landmark.append(best)
-            self._landmark_distance_of.append(self._landmark_distances[best][node])
+        else:
+            spts = landmark_spts(topology, self._landmarks)
+            self._closest_landmark, self._landmark_distance_of = (
+                closest_landmarks(spts, n)
+            )
+        self._landmark_distances: dict[int, list[float]] = {
+            landmark: rows[0] for landmark, rows in spts.items()
+        }
+        self._landmark_parents: dict[int, list[int]] = {
+            landmark: rows[1] for landmark, rows in spts.items()
+        }
 
         # Reverse-cluster ("ball") searches: for each node w, find every node
         # v with d(w, v) < d(w, ℓw); those v have w in their cluster.  The
         # search tree also provides the shortest path from w back to v, which
         # is the (reversed) route v uses to reach w.
+        radii = self._landmark_distance_of
+        if get_engine() == "csr":
+            balls = parallel_radius(topology, radii, workers=workers or 1)
+        else:
+            balls = [
+                dijkstra_radius(topology, node, radii[node]) for node in range(n)
+            ]
         self._ball_distances: list[dict[int, float]] = []
         self._ball_parents: list[dict[int, int]] = []
         cluster_sizes = [0] * n
-        for node in range(n):
-            radius = self._landmark_distance_of[node]
-            distances, parents = dijkstra_radius(topology, node, radius)
+        for node, (distances, parents) in enumerate(balls):
             self._ball_distances.append(distances)
             self._ball_parents.append(parents)
             for member in distances:
@@ -134,15 +157,23 @@ class S4Routing(RoutingScheme):
         self._cluster_sizes = cluster_sizes
 
         # Location service over the landmarks (consistent hashing of names).
-        self._codec = LabelCodec(topology)
-        self._addresses: list[Address] = []
-        for node in range(n):
-            landmark = self._closest_landmark[node]
-            tree_path = _extract_path_dense(
-                self._landmark_parents[landmark], landmark, node
-            )
-            route = ExplicitRoute.from_path(self._codec, tree_path)
-            self._addresses.append(Address(node=node, landmark=landmark, route=route))
+        # Addresses are a pure function of topology and landmark set, so a
+        # shared substrate supplies them (and its codec) ready-made.
+        if substrate is not None:
+            self._codec = substrate.codec
+            self._addresses = list(substrate.addresses)
+        else:
+            self._codec = LabelCodec(topology)
+            self._addresses = []
+            for node in range(n):
+                landmark = self._closest_landmark[node]
+                tree_path = _extract_path_dense(
+                    self._landmark_parents[landmark], landmark, node
+                )
+                route = ExplicitRoute.from_path(self._codec, tree_path)
+                self._addresses.append(
+                    Address(node=node, landmark=landmark, route=route)
+                )
         self._resolution = LandmarkResolutionDatabase(self._landmarks)
         self._resolution.populate(self._names, self._addresses)
 

@@ -65,6 +65,12 @@ class StaticSimulation:
         Overlay fingers per node in Disco.
     scheme_options:
         Extra per-protocol constructor options, keyed by protocol name.
+    share_substrate:
+        When True (default), protocols built on the same landmark set also
+        share the landmark shortest-path trees (NDDisco's trees are handed
+        to S4), exactly as one deployment would.  Set False to rebuild every
+        scheme from scratch -- the perf harness uses this to reproduce the
+        seed implementation's behavior as its "before" measurement.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class StaticSimulation:
         shortcut_mode: ShortcutMode = ShortcutMode.NO_PATH_KNOWLEDGE,
         num_fingers: int = 1,
         scheme_options: Mapping[str, Mapping[str, object]] | None = None,
+        share_substrate: bool = True,
     ) -> None:
         if not protocols:
             raise ValueError("at least one protocol is required")
@@ -83,6 +90,7 @@ class StaticSimulation:
         self._seed = seed
         self._shortcut_mode = shortcut_mode
         self._num_fingers = num_fingers
+        self._share_substrate = share_substrate
         self._options = {
             name.lower(): dict(opts) for name, opts in (scheme_options or {}).items()
         }
@@ -127,6 +135,11 @@ class StaticSimulation:
                     "landmarks" not in options
                 ):
                     options["landmarks"] = get_nddisco().landmarks
+                    # Identical landmark set implies identical SPTs,
+                    # addresses, and closest-landmark rows; hand NDDisco's
+                    # converged substrate to S4 instead of recomputing it.
+                    if self._share_substrate and "substrate" not in options:
+                        options["substrate"] = get_nddisco()
                 scheme = build_scheme("s4", self._topology, seed=self._seed, **options)
             else:
                 options = self._options.get(name, {})

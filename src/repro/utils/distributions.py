@@ -115,13 +115,18 @@ def summarize(values: Iterable[float]) -> Summary:
     if not data:
         raise ValueError("summarize() of empty sequence")
     count = len(data)
-    mean = sum(data) / count
+    minimum = min(data)
+    maximum = max(data)
+    # Rounding in the running sum can push the raw mean marginally outside
+    # [min, max] (e.g. mean([1.9, 1.9, 1.9]) == 1.8999999999999997); clamp so
+    # the Summary invariants hold exactly.
+    mean = min(max(sum(data) / count, minimum), maximum)
     variance = sum((v - mean) ** 2 for v in data) / count
     return Summary(
         count=count,
         mean=mean,
-        minimum=min(data),
-        maximum=max(data),
+        minimum=minimum,
+        maximum=maximum,
         median=percentile(data, 50.0),
         p95=percentile(data, 95.0),
         p99=percentile(data, 99.0),

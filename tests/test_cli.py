@@ -83,3 +83,18 @@ class TestCommands:
         )
         assert code == 0
         assert "largest connected component" in capsys.readouterr().out
+
+    def test_bench_quick_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_kernels.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "staticsim/gnm-256" in output
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro-bench-kernels/v1"
+        assert report["quick"] is True
+        for entry in report["benchmarks"].values():
+            assert entry["before_s"] > 0
+            assert entry["after_s"] > 0
+            assert entry["speedup"] > 0

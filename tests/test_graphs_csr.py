@@ -1,0 +1,388 @@
+"""Differential tests: CSR kernels vs the dict-based reference engine.
+
+The CSR subsystem (:mod:`repro.graphs.csr`) must be a pure performance
+change: for every kernel, every topology family, and every truncation mode,
+distances *and* predecessors must match the reference implementation
+bit-for-bit -- including the shared equal-distance smaller-predecessor
+tie-break that this refactor extended from ``dijkstra`` to the truncated
+variants.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import _reference_paths as reference
+from repro.graphs.csr import CSRGraph, parallel_k_nearest, parallel_radius
+from repro.graphs.engine import get_engine, set_engine, use_engine
+from repro.graphs.generators import (
+    geometric_random_graph,
+    gnm_random_graph,
+    grid_graph,
+    ring_graph,
+    star_graph,
+    two_level_tree,
+)
+from repro.graphs.shortest_paths import (
+    all_pairs_sampled_distances,
+    dijkstra,
+    dijkstra_k_nearest,
+    dijkstra_radius,
+)
+from repro.graphs.topology import Topology
+
+
+def _families() -> dict:
+    """Topology families covering unit weights, real weights, and tie-heavy
+    regular structure."""
+    return {
+        "gnm": gnm_random_graph(90, seed=3, average_degree=6.0),
+        "geometric": geometric_random_graph(90, seed=4, average_degree=7.0),
+        "grid": grid_graph(9, 10),
+        "two-level-tree": two_level_tree(8),
+    }
+
+
+@pytest.fixture(params=list(_families()))
+def family(request):
+    return _families()[request.param]
+
+
+class TestDifferential:
+    def test_dijkstra_matches_reference(self, family):
+        csr = family.csr()
+        for source in range(0, family.num_nodes, 7):
+            assert csr.dijkstra(source) == reference.dijkstra(family, source)
+
+    def test_dijkstra_with_targets_matches_reference(self, family):
+        csr = family.csr()
+        rng = random.Random(5)
+        for source in range(0, family.num_nodes, 11):
+            targets = rng.sample(range(family.num_nodes), 6)
+            assert csr.dijkstra(source, targets=targets) == reference.dijkstra(
+                family, source, targets=targets
+            )
+
+    def test_k_nearest_matches_reference(self, family):
+        csr = family.csr()
+        for source in range(0, family.num_nodes, 9):
+            for k in (1, 2, 9, 30, family.num_nodes):
+                assert csr.dijkstra_k_nearest(
+                    source, k
+                ) == reference.dijkstra_k_nearest(family, source, k)
+
+    def test_radius_matches_reference(self, family):
+        csr = family.csr()
+        for source in range(0, family.num_nodes, 9):
+            for radius in (0.0, 1.0, 2.0, 2.5, 4.0, 100.0):
+                for inclusive in (False, True):
+                    assert csr.dijkstra_radius(
+                        source, radius, inclusive=inclusive
+                    ) == reference.dijkstra_radius(
+                        family, source, radius, inclusive=inclusive
+                    )
+
+    def test_spt_rows_match_reference(self, family):
+        csr = family.csr()
+        n = family.num_nodes
+        for source in range(0, n, 13):
+            distances, parents = reference.dijkstra(family, source)
+            dist_row, parent_row = csr.spt_rows(source)
+            assert dist_row == [distances.get(v, 0.0) for v in range(n)]
+            assert parent_row == [parents.get(v, -1) for v in range(n)]
+
+    def test_batched_target_distances_match_reference(self, family):
+        csr = family.csr()
+        rng = random.Random(9)
+        pairs = [
+            (rng.randrange(family.num_nodes), rng.randrange(family.num_nodes))
+            for _ in range(40)
+        ]
+        assert csr.batched_target_distances(
+            pairs
+        ) == reference.all_pairs_sampled_distances(family, pairs)
+
+    def test_heap_kernel_matches_bfs_on_unit_weights(self):
+        # Force the heap kernel onto a unit-weight graph: both code paths
+        # must produce identical results.
+        topology = gnm_random_graph(80, seed=6, average_degree=5.0)
+        bfs = topology.csr()
+        assert bfs.unit_weights
+        heap = CSRGraph(
+            bfs.num_nodes, bfs.offsets, bfs.neighbors, bfs.weights, False
+        )
+        for source in range(0, 80, 7):
+            assert bfs.dijkstra(source) == heap.dijkstra(source)
+            assert bfs.spt_rows(source) == heap.spt_rows(source)
+            for k in (1, 11, 80):
+                assert bfs.dijkstra_k_nearest(source, k) == heap.dijkstra_k_nearest(
+                    source, k
+                )
+            for radius in (0.0, 2.0, 3.0):
+                assert bfs.dijkstra_radius(source, radius) == heap.dijkstra_radius(
+                    source, radius
+                )
+                assert bfs.dijkstra_radius(
+                    source, radius, inclusive=True
+                ) == heap.dijkstra_radius(source, radius, inclusive=True)
+
+
+class TestSharedTieBreak:
+    """The equal-distance smaller-predecessor rule, in every variant.
+
+    On this diamond, node 3 is reachable at distance 2 through both 1 and 2;
+    the deterministic choice is predecessor 1.  The seed implementation only
+    guaranteed this for ``dijkstra``.
+    """
+
+    @pytest.fixture()
+    def diamond(self) -> Topology:
+        return Topology.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+    def test_all_variants_agree_on_tied_predecessor(self, diamond):
+        _, full = dijkstra(diamond, 0)
+        _, near = dijkstra_k_nearest(diamond, 0, 4)
+        _, ball = dijkstra_radius(diamond, 0, 2.0, inclusive=True)
+        assert full[3] == 1
+        assert near == full
+        assert ball == full
+
+    def test_weighted_ties_resolved_identically(self):
+        # Two equal-cost weighted paths 0->1->4 and 0->2->4 (cost 3.0), plus
+        # a decoy: variants must pick predecessor 1 for node 4.
+        topology = Topology.from_edges(
+            5,
+            [(0, 1, 1.0), (0, 2, 2.0), (1, 4, 2.0), (2, 4, 1.0), (0, 3, 5.0)],
+        )
+        _, full = dijkstra(topology, 0)
+        _, near = dijkstra_k_nearest(topology, 0, 5)
+        _, ball = dijkstra_radius(topology, 0, 10.0)
+        assert full[4] == 1
+        assert near == full
+        assert ball == full
+
+    def test_variants_agree_on_random_unit_graphs(self):
+        # Unit-weight random graphs are tie-heavy; an untruncated k-nearest /
+        # radius search must reproduce the full search's predecessor map.
+        for seed in range(5):
+            topology = gnm_random_graph(60, seed=seed, average_degree=5.0)
+            distances, full = dijkstra(topology, 0)
+            _, near = dijkstra_k_nearest(topology, 0, topology.num_nodes)
+            _, ball = dijkstra_radius(
+                topology, 0, max(distances.values()), inclusive=True
+            )
+            assert near == full
+            assert ball == full
+
+
+class TestCSRCache:
+    def test_snapshot_is_cached(self):
+        topology = gnm_random_graph(30, seed=1, average_degree=4.0)
+        assert topology.csr() is topology.csr()
+
+    def test_add_edge_invalidates_snapshot(self):
+        topology = Topology.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        before = topology.csr()
+        assert before.dijkstra(0)[0][3] == 3.0
+        topology.add_edge(0, 3, 1.0)
+        after = topology.csr()
+        assert after is not before
+        assert after.dijkstra(0)[0][3] == 1.0
+        # The public API picks up the new snapshot transparently.
+        assert dijkstra(topology, 0)[0][3] == 1.0
+
+    def test_duplicate_edge_weight_update_invalidates(self):
+        topology = Topology.from_edges(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        before = topology.csr()
+        topology.add_edge(0, 1, 0.5)  # collapses to the smaller weight
+        assert topology.csr() is not before
+        assert dijkstra(topology, 0)[0][1] == 0.5
+
+    def test_redundant_add_edge_keeps_snapshot(self):
+        topology = Topology.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        before = topology.csr()
+        topology.add_edge(0, 1, 5.0)  # heavier duplicate: no change
+        assert topology.csr() is before
+
+    def test_unit_weight_detection(self):
+        unit = Topology.from_edges(3, [(0, 1), (1, 2)])
+        weighted = Topology.from_edges(3, [(0, 1), (1, 2, 2.5)])
+        assert unit.csr().unit_weights
+        assert not weighted.csr().unit_weights
+
+    def test_topology_pickles_without_snapshot(self):
+        topology = gnm_random_graph(20, seed=2, average_degree=3.0)
+        topology.csr()
+        clone = pickle.loads(pickle.dumps(topology))
+        assert clone == topology
+        assert clone.csr().dijkstra(0) == topology.csr().dijkstra(0)
+
+
+class TestEngineSwitch:
+    def test_default_engine_is_csr(self):
+        assert get_engine() == "csr"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            set_engine("numpy")
+
+    def test_use_engine_restores_previous(self):
+        with use_engine("reference"):
+            assert get_engine() == "reference"
+            with use_engine("csr"):
+                assert get_engine() == "csr"
+            assert get_engine() == "reference"
+        assert get_engine() == "csr"
+
+    def test_public_api_identical_across_engines(self):
+        topology = geometric_random_graph(70, seed=8, average_degree=6.0)
+        pairs = [(0, 5), (3, 40), (3, 9), (22, 61)]
+        with use_engine("reference"):
+            expected = (
+                dijkstra(topology, 3),
+                dijkstra_k_nearest(topology, 3, 12),
+                dijkstra_radius(topology, 3, 2.0),
+                all_pairs_sampled_distances(topology, pairs),
+            )
+        actual = (
+            dijkstra(topology, 3),
+            dijkstra_k_nearest(topology, 3, 12),
+            dijkstra_radius(topology, 3, 2.0),
+            all_pairs_sampled_distances(topology, pairs),
+        )
+        assert actual == expected
+
+
+class TestBatchedDrivers:
+    def test_batched_spt_matches_single(self):
+        topology = gnm_random_graph(50, seed=3, average_degree=5.0)
+        csr = topology.csr()
+        sources = [0, 7, 21]
+        batched = {
+            source: (dist_row, parent_row)
+            for source, dist_row, parent_row in csr.batched_spt(sources)
+        }
+        for source in sources:
+            assert batched[source] == csr.spt_rows(source)
+
+    def test_batched_k_nearest_matches_single(self):
+        topology = geometric_random_graph(40, seed=5, average_degree=5.0)
+        csr = topology.csr()
+        batched = csr.batched_k_nearest(7)
+        for node in range(40):
+            assert batched[node] == csr.dijkstra_k_nearest(node, 7)
+
+    def test_batched_radius_matches_single(self):
+        topology = gnm_random_graph(40, seed=6, average_degree=5.0)
+        csr = topology.csr()
+        radii = [1.0 + (node % 3) for node in range(40)]
+        batched = csr.batched_radius(radii)
+        for node in range(40):
+            assert batched[node] == csr.dijkstra_radius(node, radii[node])
+
+    def test_batched_radius_rejects_negative(self):
+        topology = gnm_random_graph(10, seed=6, average_degree=3.0)
+        with pytest.raises(ValueError):
+            topology.csr().batched_radius([-1.0] * 10)
+
+    def test_batched_radius_rejects_short_radii(self):
+        topology = gnm_random_graph(10, seed=6, average_degree=3.0)
+        with pytest.raises(ValueError):
+            topology.csr().batched_radius([1.0] * 9)
+        with pytest.raises(ValueError):
+            topology.csr().batched_radius([1.0] * 4, nodes=[0, 1, 2])
+
+    def test_parallel_fanout_matches_serial(self):
+        topology = gnm_random_graph(48, seed=7, average_degree=5.0)
+        k = 9
+        serial = parallel_k_nearest(topology, k, workers=1)
+        fanned = parallel_k_nearest(topology, k, workers=2)
+        assert fanned == serial
+        radii = [2.0] * 48
+        assert parallel_radius(topology, radii, workers=2) == parallel_radius(
+            topology, radii, workers=1
+        )
+
+    def test_parallel_radius_length_mismatch(self):
+        topology = gnm_random_graph(10, seed=8, average_degree=3.0)
+        with pytest.raises(ValueError):
+            parallel_radius(topology, [1.0] * 3, workers=1)
+
+
+class TestKernelValidation:
+    def test_source_out_of_range(self):
+        topology = gnm_random_graph(10, seed=1, average_degree=3.0)
+        with pytest.raises(ValueError):
+            topology.csr().dijkstra(10)
+        with pytest.raises(ValueError):
+            topology.csr().dijkstra(-1)
+
+    def test_invalid_k_and_radius(self):
+        topology = gnm_random_graph(10, seed=1, average_degree=3.0)
+        with pytest.raises(ValueError):
+            topology.csr().dijkstra_k_nearest(0, 0)
+        with pytest.raises(ValueError):
+            topology.csr().dijkstra_radius(0, -0.5)
+
+    def test_unreachable_target_raises(self):
+        topology = Topology.from_edges(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            topology.csr().batched_target_distances([(0, 3)])
+
+    def test_num_edges(self):
+        topology = gnm_random_graph(30, seed=2, average_degree=4.0)
+        assert topology.csr().num_edges == topology.num_edges
+
+
+class TestPropertyBased:
+    @settings(deadline=None, max_examples=30)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_dijkstra_differential_random_gnm(self, seed):
+        topology = gnm_random_graph(30, seed=seed, average_degree=4.0)
+        assert topology.csr().dijkstra(0) == reference.dijkstra(topology, 0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=30),
+    )
+    def test_k_nearest_differential_random_gnm(self, seed, k):
+        topology = gnm_random_graph(25, seed=seed, average_degree=4.0)
+        assert topology.csr().dijkstra_k_nearest(
+            0, k
+        ) == reference.dijkstra_k_nearest(topology, 0, k)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        radius=st.floats(min_value=0.0, max_value=0.6),
+        inclusive=st.booleans(),
+    )
+    def test_radius_differential_random_geometric(self, seed, radius, inclusive):
+        topology = geometric_random_graph(25, seed=seed, average_degree=4.0)
+        assert topology.csr().dijkstra_radius(
+            0, radius, inclusive=inclusive
+        ) == reference.dijkstra_radius(topology, 0, radius, inclusive=inclusive)
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_tie_break_structured_families(self, seed):
+        rng = random.Random(seed)
+        topology = {
+            0: lambda: star_graph(12),
+            1: lambda: ring_graph(14),
+            2: lambda: grid_graph(4, 5),
+            3: lambda: two_level_tree(5),
+        }[seed % 4]()
+        source = rng.randrange(topology.num_nodes)
+        assert topology.csr().dijkstra(source) == reference.dijkstra(
+            topology, source
+        )
+        k = rng.randint(1, topology.num_nodes)
+        assert topology.csr().dijkstra_k_nearest(
+            source, k
+        ) == reference.dijkstra_k_nearest(topology, source, k)

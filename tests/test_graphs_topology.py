@@ -140,6 +140,22 @@ class TestConnectivity:
         covered = sorted(node for component in components for node in component)
         assert covered == list(range(6))
 
+    def test_largest_component_matches_add_edge_replay(self):
+        # The O(E) fast path must build the same subgraph (same relabelling,
+        # weights, and adjacency order) as replaying add_edge per edge.
+        topology = Topology.from_edges(
+            8,
+            [(5, 2, 1.5), (2, 7, 2.0), (7, 5, 0.5), (0, 1, 3.0), (3, 4, 1.0)],
+        )
+        sub, mapping = topology.largest_component_subgraph()
+        expected = Topology(len(mapping), name=topology.name)
+        for u, v, weight in topology.edges():
+            if u in mapping and v in mapping:
+                expected.add_edge(mapping[u], mapping[v], weight)
+        assert sub == expected
+        for node in sub.nodes():
+            assert sub.neighbor_weights(node) == expected.neighbor_weights(node)
+
 
 class TestConversionsAndDunder:
     def test_copy_is_independent(self):
@@ -148,6 +164,33 @@ class TestConversionsAndDunder:
         duplicate.add_edge(1, 2)
         assert topology.num_edges == 1
         assert duplicate.num_edges == 2
+
+    def test_copy_preserves_structure_exactly(self):
+        # The O(E) fast path copies adjacency rows and the weight table
+        # directly; the result must be indistinguishable from an add_edge
+        # replay, down to neighbor insertion order.
+        topology = Topology.from_edges(
+            5, [(3, 1, 2.0), (0, 1, 1.5), (1, 4, 0.5), (2, 0, 3.0)], name="orig"
+        )
+        duplicate = topology.copy()
+        assert duplicate == topology
+        assert duplicate.name == topology.name
+        for node in topology.nodes():
+            assert duplicate.neighbor_weights(node) == topology.neighbor_weights(node)
+        assert list(duplicate.edges()) == list(topology.edges())
+
+    def test_copy_does_not_share_csr_snapshot(self):
+        topology = Topology.from_edges(3, [(0, 1), (1, 2)])
+        snapshot = topology.csr()
+        duplicate = topology.copy()
+        assert duplicate.csr() is not snapshot
+
+    def test_get_edge_weight(self):
+        topology = Topology.from_edges(3, [(0, 1, 2.5)])
+        assert topology.get_edge_weight(0, 1) == 2.5
+        assert topology.get_edge_weight(1, 0) == 2.5
+        assert topology.get_edge_weight(0, 2) is None
+        assert topology.get_edge_weight(0, 2, default=-1.0) == -1.0
 
     def test_equality(self):
         a = Topology.from_edges(3, [(0, 1, 2.0)])
