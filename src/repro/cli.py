@@ -105,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also time the multiprocessing fan-out with this many workers",
     )
+    bench_parser.add_argument(
+        "--kernel",
+        choices=["heap", "bucket"],
+        default=None,
+        help="force a weighted kernel on the CSR side wherever the weight "
+        "profile allows it (A/B the indexed 4-ary heap against the Dial "
+        "bucket queue); skips the end-to-end staticsim cases, which always "
+        "auto-select; default: auto-select per topology",
+    )
     return parser
 
 
@@ -206,7 +215,9 @@ def _command_bench(args: argparse.Namespace) -> int:
         return 2
     if not existed:
         os.remove(args.out)
-    report = bench_kernels(quick=args.quick, workers=args.workers)
+    report = bench_kernels(
+        quick=args.quick, workers=args.workers, kernel=args.kernel
+    )
     rows = []
     for name, entry in report["benchmarks"].items():
         rows.append(

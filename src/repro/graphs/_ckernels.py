@@ -1,0 +1,171 @@
+"""On-demand compiler/loader for the C shortest-path kernels.
+
+``_kernels.c`` (shipped next to this module) implements the indexed 4-ary
+heap and the Dial bucket queue at C speed.  This module compiles it with the
+system C compiler the first time it is needed and memoizes the loaded
+``ctypes`` library; everything degrades gracefully:
+
+* no compiler, a failed compile, or a failed load -> :func:`load_kernels`
+  returns ``None`` and :mod:`repro.graphs.csr` silently uses its pure-Python
+  kernels (bit-identical results, just slower);
+* ``REPRO_NO_CKERNELS=1`` in the environment forces the pure-Python tier
+  (used by the test suite to cover both tiers);
+* the shared object is cached under ``_build/`` beside this file (keyed by a
+  hash of the C source), falling back to a per-user temp directory when the
+  package directory is not writable.
+
+The build is a single translation unit with no Python.h dependency, so it
+needs only a C compiler, not Python development headers.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+__all__ = ["load_kernels", "build_error"]
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_kernels.c")
+
+_lib: ctypes.CDLL | None = None
+_attempted = False
+_build_error: str | None = None
+
+_I64 = ctypes.c_int64
+_PI64 = ctypes.POINTER(ctypes.c_int64)
+_PDBL = ctypes.POINTER(ctypes.c_double)
+_PU8 = ctypes.POINTER(ctypes.c_ubyte)
+
+_HEAP4_ARGTYPES = [
+    _I64,                    # n
+    _PI64, _PI64, _PDBL,     # offsets, neighbors, weights
+    _I64,                    # source
+    _PDBL, _PI64, _PI64, _I64,  # dist, pred, seen, generation
+    _PI64,                   # order
+    _PI64, _PI64,            # heap, pos
+    _I64,                    # k
+    ctypes.c_double, _I64,   # radius, radius_mode
+    _PI64, _I64, _PU8,       # targets, num_targets, tflag
+]
+
+_DIAL_ARGTYPES = [
+    _I64,
+    _PI64, _PI64, _PDBL,
+    _I64,
+    _PDBL, _PI64, _PI64, _I64,
+    _PI64,
+    ctypes.c_double, _I64,   # quantum, num_slots
+    _PI64,                   # head
+    _PI64, _PI64,            # pool_node, pool_next
+    _PI64,                   # batch
+    _I64,
+    ctypes.c_double, _I64,
+    _PI64, _I64, _PU8,
+]
+
+
+def _compiler() -> str | None:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def _build_dir() -> str:
+    """A writable cache directory for the compiled shared object."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return override
+    return os.path.join(os.path.dirname(_SOURCE), "_build")
+
+
+def _compile(source_path: str) -> str | None:
+    """Compile ``_kernels.c``; return the cached .so path or ``None``."""
+    global _build_error
+    cc = _compiler()
+    if cc is None:
+        _build_error = "no C compiler found (cc/gcc/clang)"
+        return None
+    with open(source_path, "rb") as handle:
+        digest = hashlib.sha256(handle.read()).hexdigest()[:16]
+    tag = f"_kernels-{digest}-{sys.implementation.cache_tag}.so"
+    for directory in (_build_dir(), tempfile.gettempdir()):
+        target = os.path.join(directory, tag)
+        if os.path.exists(target):
+            return target
+        try:
+            os.makedirs(directory, exist_ok=True)
+            # Compile to a unique temp name, then atomically rename, so
+            # concurrent builders (e.g. multiprocessing workers on a cold
+            # cache) never load a half-written object.
+            fd, scratch = tempfile.mkstemp(
+                suffix=".so", prefix="_kernels-", dir=directory
+            )
+            os.close(fd)
+            command = [
+                cc, "-O3", "-fPIC", "-shared",
+                "-o", scratch, source_path,
+            ]
+            try:
+                completed = subprocess.run(
+                    command, capture_output=True, text=True, timeout=120
+                )
+            except subprocess.SubprocessError as error:
+                # Covers a hung or crashing compiler (TimeoutExpired etc.):
+                # degrade to the pure-Python tier instead of propagating.
+                os.unlink(scratch)
+                _build_error = f"{cc} failed: {error}"
+                return None
+            if completed.returncode != 0:
+                os.unlink(scratch)
+                _build_error = (
+                    f"{cc} failed: {completed.stderr.strip()[:500]}"
+                )
+                return None
+            os.replace(scratch, target)
+            return target
+        except OSError as error:
+            _build_error = f"build failed in {directory}: {error}"
+            continue
+    return None
+
+
+def load_kernels() -> ctypes.CDLL | None:
+    """Return the compiled kernel library, building it on first use.
+
+    Memoized (including negative results); returns ``None`` whenever the C
+    tier is unavailable or disabled via ``REPRO_NO_CKERNELS=1``.
+    """
+    global _lib, _attempted, _build_error
+    if os.environ.get("REPRO_NO_CKERNELS"):
+        return None
+    if _attempted:
+        return _lib
+    _attempted = True
+    try:
+        if not os.path.exists(_SOURCE):
+            _build_error = f"missing source {_SOURCE}"
+            return None
+        so_path = _compile(_SOURCE)
+        if so_path is None:
+            return None
+        lib = ctypes.CDLL(so_path)
+        lib.spt_heap4.restype = _I64
+        lib.spt_heap4.argtypes = _HEAP4_ARGTYPES
+        lib.spt_dial.restype = _I64
+        lib.spt_dial.argtypes = _DIAL_ARGTYPES
+        _lib = lib
+    except OSError as error:  # pragma: no cover - load failure is env-specific
+        _build_error = f"load failed: {error}"
+        _lib = None
+    return _lib
+
+
+def build_error() -> str | None:
+    """Why the C tier is unavailable (``None`` when it loaded or not tried)."""
+    return _build_error

@@ -1,0 +1,316 @@
+/* Weighted shortest-path kernels over CSR slabs.
+ *
+ * Compiled on demand by repro.graphs._ckernels (cc -O3 -shared) and called
+ * through ctypes; when no C compiler is available the pure-Python kernels in
+ * repro.graphs.csr run instead.  Both tiers implement the same contract, and
+ * the differential tests assert bit-identical distances and predecessors
+ * against the dict-based reference engine.
+ *
+ * Shared semantics (identical to the Python kernels):
+ *
+ *   - Nodes settle in (distance, node id) order.
+ *   - Equal-distance predecessor ties resolve toward the smaller id.
+ *   - Distances are IEEE doubles accumulated as dist[pred] + weight, so the
+ *     floating-point results match the Python engines bit for bit.
+ *   - The scratch arena (dist / pred / seen) is generation-stamped: a search
+ *     touches O(settled + scanned) state, never O(n), which keeps truncated
+ *     searches (k-nearest, radius) cheap inside large batches.
+ *
+ * Two kernels:
+ *
+ *   spt_heap4 -- Dijkstra over an indexed 4-ary heap with position-tracked
+ *     decrease-key.  Each node is stored at most once (pos[] tracks its
+ *     slot), so there are no stale entries, no tuple allocation, and no
+ *     per-search allocation at all: heap and pos are preallocated n-slot
+ *     arena arrays.
+ *
+ *   spt_dial -- Dial-style bucket queue for graphs whose weights are all
+ *     integer multiples of one power-of-two quantum.  Distances are then
+ *     exact multiples of the quantum, bucket indices are exact integers, and
+ *     the circular bucket ring needs only max_quanta + 1 slots.  Entries are
+ *     lazily deleted: a decrease appends a fresh entry and the stale one is
+ *     dropped when its slot is swept (dist[node] no longer matches the
+ *     slot's level).  Each directed edge relaxes at most once, so the entry
+ *     pool is bounded by 2m + 1 slots.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t i64;
+
+#define RADIUS_NONE 0
+#define RADIUS_STRICT 1
+#define RADIUS_INCLUSIVE 2
+
+/* Buckets hold equal-distance nodes, so ascending-id order within a bucket
+ * is exactly the global (distance, id) settle order. */
+static int cmp_i64(const void *a, const void *b)
+{
+    i64 x = *(const i64 *)a, y = *(const i64 *)b;
+    return (x > y) - (x < y);
+}
+
+static i64 setup_targets(i64 n, const i64 *targets, i64 num_targets,
+                         unsigned char *tflag)
+{
+    i64 remaining = 0;
+    memset(tflag, 0, (size_t)n);
+    for (i64 t = 0; t < num_targets; t++) {
+        if (!tflag[targets[t]]) {
+            tflag[targets[t]] = 1;
+            remaining++;
+        }
+    }
+    return remaining;
+}
+
+/* ------------------------------------------------------------------ heap4 */
+
+i64 spt_heap4(
+    i64 n,
+    const i64 *offsets, const i64 *neighbors, const double *weights,
+    i64 source,
+    double *dist, i64 *pred, i64 *seen, i64 generation,
+    i64 *order,
+    i64 *heap, i64 *pos,
+    i64 k,                       /* <= 0: unbounded */
+    double radius, i64 radius_mode,
+    const i64 *targets, i64 num_targets, unsigned char *tflag)
+{
+    i64 settled = 0, size = 1, remaining = 0;
+
+    if (num_targets > 0)
+        remaining = setup_targets(n, targets, num_targets, tflag);
+
+    seen[source] = generation;
+    dist[source] = 0.0;
+    pred[source] = -1;
+    heap[0] = source;
+    pos[source] = 0;
+
+    while (size) {
+        if (k > 0 && settled >= k)
+            break;
+        i64 node = heap[0];
+        double d = dist[node];
+        if (radius_mode == RADIUS_INCLUSIVE) {
+            if (d > radius)
+                break;
+        } else if (radius_mode == RADIUS_STRICT) {
+            if (d >= radius && node != source)
+                break;
+        }
+
+        /* pop-min: move the last leaf to the root and sift it down. */
+        size--;
+        if (size) {
+            i64 moved = heap[size];
+            double md = dist[moved];
+            i64 i = 0;
+            for (;;) {
+                i64 child = (i << 2) + 1;
+                if (child >= size)
+                    break;
+                i64 end = child + 4;
+                if (end > size)
+                    end = size;
+                i64 best = child;
+                i64 bn = heap[child];
+                double bd = dist[bn];
+                for (i64 j = child + 1; j < end; j++) {
+                    i64 cn = heap[j];
+                    double cd = dist[cn];
+                    if (cd < bd || (cd == bd && cn < bn)) {
+                        best = j;
+                        bn = cn;
+                        bd = cd;
+                    }
+                }
+                if (bd < md || (bd == md && bn < moved)) {
+                    heap[i] = bn;
+                    pos[bn] = i;
+                    i = best;
+                } else {
+                    break;
+                }
+            }
+            heap[i] = moved;
+            pos[moved] = i;
+        }
+
+        order[settled++] = node;
+        if (remaining > 0 && tflag[node]) {
+            tflag[node] = 0;
+            if (--remaining == 0)
+                break;
+        }
+
+        for (i64 e = offsets[node]; e < offsets[node + 1]; e++) {
+            i64 nb = neighbors[e];
+            double candidate = d + weights[e];
+            if (seen[nb] != generation) {
+                seen[nb] = generation;
+                dist[nb] = candidate;
+                pred[nb] = node;
+                /* insert at the end and sift up */
+                i64 i = size++;
+                while (i) {
+                    i64 parent = (i - 1) >> 2;
+                    i64 pn = heap[parent];
+                    double pd = dist[pn];
+                    if (candidate < pd || (candidate == pd && nb < pn)) {
+                        heap[i] = pn;
+                        pos[pn] = i;
+                        i = parent;
+                    } else {
+                        break;
+                    }
+                }
+                heap[i] = nb;
+                pos[nb] = i;
+            } else {
+                double current = dist[nb];
+                if (candidate < current) {
+                    /* decrease-key: update in place and sift up from pos. */
+                    dist[nb] = candidate;
+                    pred[nb] = node;
+                    i64 i = pos[nb];
+                    while (i) {
+                        i64 parent = (i - 1) >> 2;
+                        i64 pn = heap[parent];
+                        double pd = dist[pn];
+                        if (candidate < pd || (candidate == pd && nb < pn)) {
+                            heap[i] = pn;
+                            pos[pn] = i;
+                            i = parent;
+                        } else {
+                            break;
+                        }
+                    }
+                    heap[i] = nb;
+                    pos[nb] = i;
+                } else if (candidate == current && node < pred[nb]) {
+                    pred[nb] = node;
+                }
+            }
+        }
+    }
+    return settled;
+}
+
+/* ------------------------------------------------------------------- dial */
+
+i64 spt_dial(
+    i64 n,
+    const i64 *offsets, const i64 *neighbors, const double *weights,
+    i64 source,
+    double *dist, i64 *pred, i64 *seen, i64 generation,
+    i64 *order,
+    double quantum, i64 num_slots,   /* max_quanta + 1 circular slots */
+    i64 *head,                       /* num_slots entries, reset on exit */
+    i64 *pool_node, i64 *pool_next,  /* 2m + 1 entries */
+    i64 *batch,                      /* n-slot scratch for one bucket */
+    i64 k,
+    double radius, i64 radius_mode,
+    const i64 *targets, i64 num_targets, unsigned char *tflag)
+{
+    i64 settled = 0, pending = 1, pool_used = 0, remaining = 0;
+    i64 level_q = 0; /* current level in quanta */
+    double inv_quantum = 1.0 / quantum;
+    i64 slot, stop = 0;
+
+    if (num_targets > 0)
+        remaining = setup_targets(n, targets, num_targets, tflag);
+
+    for (slot = 0; slot < num_slots; slot++)
+        head[slot] = -1;
+
+    seen[source] = generation;
+    dist[source] = 0.0;
+    pred[source] = -1;
+    pool_node[0] = source;
+    pool_next[0] = -1;
+    head[0] = 0;
+    pool_used = 1;
+
+    while (pending && !stop) {
+        slot = level_q % num_slots;
+        i64 entry = head[slot];
+        if (entry < 0) {
+            level_q++;
+            continue;
+        }
+        head[slot] = -1;
+        double level = (double)level_q * quantum;
+
+        if (radius_mode == RADIUS_INCLUSIVE) {
+            if (level > radius)
+                break;
+        } else if (radius_mode == RADIUS_STRICT) {
+            if (level >= radius && level_q > 0)
+                break;
+        }
+
+        /* Collect the live entries; everything in this slot either has
+         * dist == level (live, final) or was decreased away (stale). */
+        i64 count = 0;
+        while (entry >= 0) {
+            i64 node = pool_node[entry];
+            pending--;
+            if (dist[node] == level)
+                batch[count++] = node;
+            entry = pool_next[entry];
+        }
+        if (count > 1)
+            qsort(batch, (size_t)count, sizeof(i64), cmp_i64);
+
+        for (i64 b = 0; b < count; b++) {
+            i64 node = batch[b];
+            if (k > 0 && settled >= k) {
+                stop = 1;
+                break;
+            }
+            order[settled++] = node;
+            if (remaining > 0 && tflag[node]) {
+                tflag[node] = 0;
+                if (--remaining == 0) {
+                    stop = 1;
+                    break;
+                }
+            }
+            for (i64 e = offsets[node]; e < offsets[node + 1]; e++) {
+                i64 nb = neighbors[e];
+                double candidate = level + weights[e];
+                if (seen[nb] != generation) {
+                    seen[nb] = generation;
+                } else {
+                    double current = dist[nb];
+                    if (candidate < current) {
+                        /* fall through to the append below */
+                    } else {
+                        if (candidate == current && node < pred[nb])
+                            pred[nb] = node;
+                        continue;
+                    }
+                }
+                dist[nb] = candidate;
+                pred[nb] = node;
+                i64 cslot = (i64)(candidate * inv_quantum) % num_slots;
+                pool_node[pool_used] = nb;
+                pool_next[pool_used] = head[cslot];
+                head[cslot] = pool_used;
+                pool_used++;
+                pending++;
+            }
+        }
+        level_q++;
+    }
+
+    /* Leave the ring clean for the next search (only slots that may still
+     * hold entries: those of pending stale nodes).  O(num_slots). */
+    for (slot = 0; slot < num_slots; slot++)
+        head[slot] = -1;
+    return settled;
+}

@@ -9,20 +9,43 @@ a :class:`~repro.graphs.topology.Topology`:
 * ``neighbors`` -- ``array('q')`` of length ``2m`` with the edge endpoints.
 * ``weights`` -- ``array('d')`` of length ``2m`` with the edge weights.
 
-On top of that snapshot sit the three Dijkstra variants the protocols need
-(full single-source, *k*-nearest truncated, radius-bounded), implemented over
-a preallocated scratch arena -- distance / predecessor / visited arrays that
+On top of that snapshot sit the Dijkstra variants the protocols need (full
+single-source, *k*-nearest truncated, radius-bounded), running over a
+preallocated scratch arena -- distance / predecessor / visited arrays that
 are *generation-stamped* rather than reallocated or cleared per search, so a
-batch of ``n`` searches touches no per-call O(n) setup.  When every edge
-weight is exactly 1.0 the kernels automatically switch to a level-ordered BFS
-that produces bit-identical results to the heap kernel while skipping all
-heap traffic.
+batch of ``n`` searches touches no per-call O(n) setup.
 
-Determinism: all kernels settle nodes in ``(distance, node id)`` order and
-break equal-distance predecessor ties toward the smaller predecessor id --
-one shared rule across every variant (the dict-based seed implementation only
-applied it to full Dijkstra; see ``dijkstra`` in
-:mod:`repro.graphs._reference_paths`).
+Kernel selection
+----------------
+
+The snapshot carries a :class:`WeightProfile` (cached on the topology
+alongside the CSR snapshot, invalidated on mutation) and picks one of three
+kernels per graph, all bit-identical to each other and to the dict-based
+reference engine:
+
+=========  ==========================================  =====================
+kernel     eligible when                               implementation
+=========  ==========================================  =====================
+``bucket`` every weight is an exact integer multiple   Dial-style bucket
+           of one power-of-two quantum, with           queue (lazy deletion,
+           ``max_weight / quantum <= 1024``            per-level id sort)
+``bfs``    all weights are exactly 1.0 (pure-Python    level-ordered BFS
+           tier only; the C tier's bucket queue
+           covers unit weights)
+``heap``   anything else (irregular float weights,     indexed 4-ary heap
+           e.g. geometric latencies)                   with decrease-key (C)
+                                                       / lazy ``heapq`` (py)
+=========  ==========================================  =====================
+
+When a C compiler is available, :mod:`repro.graphs._ckernels` compiles the
+``heap`` and ``bucket`` kernels to native code (``_kernels.c``) and the
+searches run there; otherwise the pure-Python implementations in this module
+run.  The tie-break contract is identical everywhere: nodes settle in
+``(distance, node id)`` order and equal-distance predecessor ties resolve
+toward the smaller predecessor id, so engines and tiers can be differential-
+tested bit for bit.  (A pure-Python indexed 4-ary heap was measured slower
+than C-implemented ``heapq`` under CPython, which is why the Python ``heap``
+tier keeps the lazy ``heapq`` kernel; see ``docs/ARCHITECTURE.md``.)
 
 Batched drivers (:meth:`CSRGraph.batched_spt`,
 :meth:`CSRGraph.batched_k_nearest`, :meth:`CSRGraph.batched_radius`,
@@ -34,21 +57,154 @@ vicinity and cluster builds.
 The stable public API remains :mod:`repro.graphs.shortest_paths`; callers
 normally obtain a kernel via :meth:`Topology.csr`, which caches the snapshot
 and invalidates it when the topology mutates.
+
+Examples
+--------
+The snapshot exposes the same dict-shaped searches as the public API:
+
+>>> from repro.graphs.topology import Topology
+>>> topology = Topology.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+>>> distances, predecessors = topology.csr().dijkstra(0)
+>>> distances[3], predecessors[3]
+(2.0, 1)
+
+The weight profile drives kernel selection; quantized weights select the
+bucket queue and irregular weights fall back to the heap:
+
+>>> quantized = Topology.from_edges(3, [(0, 1, 0.5), (1, 2, 2.5)])
+>>> quantized.csr().kernel
+'bucket'
+>>> irregular = Topology.from_edges(3, [(0, 1, 0.3), (1, 2, 2.5)])
+>>> irregular.csr().kernel
+'heap'
 """
 
 from __future__ import annotations
 
+import ctypes
 import heapq
 import math
 from array import array
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.graphs import _ckernels
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.graphs.topology import Topology
 
-__all__ = ["CSRGraph", "parallel_k_nearest", "parallel_radius"]
+__all__ = [
+    "CSRGraph",
+    "WeightProfile",
+    "profile_weights",
+    "DIAL_MAX_QUANTA",
+    "KERNELS",
+    "parallel_k_nearest",
+    "parallel_radius",
+]
 
 _INF = math.inf
+
+#: Kernel names accepted by ``kernel=`` overrides (``None`` means auto).
+KERNELS = ("bfs", "bucket", "heap")
+
+#: Bucket-queue eligibility bound: ``max_weight / quantum`` must not exceed
+#: this, which caps both the circular bucket ring and the number of empty
+#: levels a sweep can cross between settles.
+DIAL_MAX_QUANTA = 1024
+
+_RADIUS_NONE, _RADIUS_STRICT, _RADIUS_INCLUSIVE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class WeightProfile:
+    """Summary of a graph's edge weights, used to pick the search kernel.
+
+    Attributes
+    ----------
+    unit:
+        True when every weight is exactly ``1.0`` (hop-count graphs: G(n,m),
+        the synthetic AS-level / router-level Internet maps).
+    min_weight / max_weight:
+        Extremes over all edge weights (both ``1.0`` for an edgeless graph).
+    quantum:
+        The largest power of two ``q`` such that every weight is an *exact*
+        integer multiple of ``q`` -- or ``None`` when no such quantum keeps
+        ``max_weight / q`` within :data:`DIAL_MAX_QUANTA`.  Power-of-two
+        quanta make every path distance an exact multiple of ``q`` in IEEE
+        arithmetic, so Dial bucket indices are exact integers and the bucket
+        queue is bit-identical to the heap kernel.
+    max_quanta:
+        ``int(max_weight / quantum)`` when a quantum exists, else ``None``.
+
+    Examples
+    --------
+    >>> profile_weights([1.0, 1.0]).unit
+    True
+    >>> profile_weights([0.5, 2.5, 1.0]).quantum
+    0.5
+    >>> profile_weights([0.1, 0.2]).quantum is None  # 0.1 is not p/2**k
+    True
+    """
+
+    unit: bool
+    min_weight: float
+    max_weight: float
+    quantum: float | None
+    max_quanta: int | None
+
+    @property
+    def bucket_ok(self) -> bool:
+        """True when the Dial bucket queue is applicable to this graph."""
+        return self.quantum is not None
+
+
+def _pow2_divisor(weight: float) -> float:
+    """Largest power of two that divides ``weight`` exactly."""
+    mantissa, exponent = math.frexp(weight)
+    bits = int(mantissa * 9007199254740992.0)  # 2**53; exact for a double
+    trailing = (bits & -bits).bit_length() - 1
+    return math.ldexp(1.0, exponent - 53 + trailing)
+
+
+def profile_weights(weights: Iterable[float]) -> WeightProfile:
+    """Profile an iterable of edge weights in one pass.
+
+    See :class:`WeightProfile` for the meaning of the fields.  An empty
+    iterable profiles as a unit-weight graph (the kernels never read weights
+    of an edgeless graph).
+    """
+    min_weight = _INF
+    max_weight = 0.0
+    quantum = _INF
+    unit = True
+    eligible = True
+    for weight in weights:
+        if weight < min_weight:
+            min_weight = weight
+        if weight > max_weight:
+            max_weight = weight
+        if weight != 1.0:
+            unit = False
+        if eligible:
+            if not math.isfinite(weight):
+                # inf (and NaN) weights are accepted by Topology.add_edge;
+                # they have no power-of-two quantum, so route to the heap
+                # kernel rather than crash in _pow2_divisor.
+                eligible = False
+                continue
+            divisor = _pow2_divisor(weight)
+            if divisor < quantum:
+                quantum = divisor
+            if max_weight / quantum > DIAL_MAX_QUANTA:
+                eligible = False
+    if max_weight == 0.0:  # no edges
+        return WeightProfile(True, 1.0, 1.0, 1.0, 1)
+    if eligible and max_weight / quantum <= DIAL_MAX_QUANTA:
+        return WeightProfile(
+            unit, min_weight, max_weight, quantum, int(max_weight / quantum)
+        )
+    return WeightProfile(unit, min_weight, max_weight, None, None)
 
 
 class CSRGraph:
@@ -59,6 +215,25 @@ class CSRGraph:
     the next :meth:`Topology.csr` call.  The scratch arrays make a single
     instance non-reentrant -- one search at a time per ``CSRGraph`` (each
     process in a :func:`parallel_k_nearest` fan-out builds its own).
+
+    Parameters
+    ----------
+    num_nodes, offsets, neighbors, weights:
+        The CSR slabs (see the module docstring for the layout).
+    unit_weights:
+        Optional override of the profiled ``unit`` flag, kept for backward
+        compatibility; pass ``None`` (default) to trust the profile.
+    profile:
+        Precomputed :class:`WeightProfile`; computed from ``weights`` when
+        omitted.
+    kernel:
+        Force ``"bfs"`` / ``"bucket"`` / ``"heap"`` instead of the profiled
+        choice (used by the ``repro bench --kernel`` A/B harness and the
+        differential tests).  Raises ``ValueError`` when the forced kernel
+        is not applicable to this graph's weights.
+    use_c:
+        Force the C tier on (``True``) or off (``False``); default ``None``
+        autodetects via :func:`repro.graphs._ckernels.load_kernels`.
     """
 
     __slots__ = (
@@ -66,7 +241,11 @@ class CSRGraph:
         "offsets",
         "neighbors",
         "weights",
+        "profile",
         "unit_weights",
+        "kernel",
+        "tier",
+        "_clib",
         "_adj",
         "_arc",
         "_dist",
@@ -74,6 +253,8 @@ class CSRGraph:
         "_seen",
         "_done",
         "_generation",
+        "_buckets",
+        "_c",
     )
 
     def __init__(
@@ -82,57 +263,101 @@ class CSRGraph:
         offsets: array,
         neighbors: array,
         weights: array,
-        unit_weights: bool,
+        unit_weights: bool | None = None,
+        *,
+        profile: WeightProfile | None = None,
+        kernel: str | None = None,
+        use_c: bool | None = None,
     ) -> None:
         self.num_nodes = num_nodes
         self.offsets = offsets
         self.neighbors = neighbors
         self.weights = weights
-        self.unit_weights = unit_weights
-        # Hot-loop views of the flat arrays.  CPython boxes a fresh object on
-        # every ``array('q')``/``array('d')`` index, which would dominate the
-        # kernel runtime, so the scan loops iterate per-node slabs of
-        # ready-made ints / (neighbor, weight) tuples carved once from the
-        # CSR slab here.  The heap kernel's tuple slab is only built when the
-        # graph is weighted (the BFS fast path never reads weights).
-        offs = offsets.tolist()
-        nbrs = neighbors.tolist()
-        self._adj: list[list[int]] = [
-            nbrs[offs[node] : offs[node + 1]] for node in range(num_nodes)
-        ]
-        if unit_weights:
-            self._arc: list[list[tuple[int, float]]] = []
+        if profile is None:
+            profile = profile_weights(weights)
+        if unit_weights is not None and unit_weights != profile.unit:
+            # Explicit override (tests force the weighted kernels onto
+            # unit-weight graphs): disable the unit/bucket fast paths.
+            profile = WeightProfile(
+                unit_weights, profile.min_weight, profile.max_weight,
+                None, None,
+            )
+        self.profile = profile
+        self.unit_weights = profile.unit
+        if use_c is None:
+            self._clib = _ckernels.load_kernels()
+        elif use_c:
+            self._clib = _ckernels.load_kernels()
+            if self._clib is None:
+                raise RuntimeError(
+                    f"C kernels unavailable: {_ckernels.build_error()}"
+                )
         else:
-            arcs = list(zip(nbrs, weights.tolist()))
-            self._arc = [
-                arcs[offs[node] : offs[node + 1]] for node in range(num_nodes)
-            ]
-        # Scratch arena: the generation stamps make clearing O(0) per search.
-        self._dist: list[float] = [_INF] * num_nodes
-        self._pred: list[int] = [-1] * num_nodes
-        self._seen: list[int] = [0] * num_nodes
-        self._done: list[int] = [0] * num_nodes
+            self._clib = None
+        self.kernel = self._select_kernel(kernel)
+        self.tier = (
+            "c" if self._clib is not None and self.kernel != "bfs" else
+            "python"
+        )
+        # Hot-loop slabs and scratch arenas are built lazily per tier (the C
+        # tier never needs the Python tuple slabs, and vice versa).
+        self._adj: list[list[int]] | None = None
+        self._arc: list[list[tuple[int, float]]] | None = None
+        self._dist: Sequence[float] | None = None
+        self._pred: Sequence[int] | None = None
+        self._seen = None
+        self._done = None
         self._generation = 0
+        self._buckets: list[list[int]] = []
+        self._c: dict | None = None
+
+    def _select_kernel(self, forced: str | None) -> str:
+        profile = self.profile
+        if forced is not None:
+            if forced not in KERNELS:
+                raise ValueError(
+                    f"unknown kernel {forced!r}; expected one of {KERNELS}"
+                )
+            if forced == "bfs" and not profile.unit:
+                raise ValueError("bfs kernel requires unit weights")
+            if forced == "bucket" and not profile.bucket_ok:
+                raise ValueError(
+                    "bucket kernel requires power-of-two-quantized weights "
+                    f"with max_weight/quantum <= {DIAL_MAX_QUANTA}"
+                )
+            return forced
+        if self._clib is not None:
+            return "bucket" if profile.bucket_ok else "heap"
+        if profile.unit:
+            return "bfs"
+        if profile.bucket_ok:
+            return "bucket"
+        return "heap"
 
     @classmethod
-    def from_topology(cls, topology: "Topology") -> "CSRGraph":
+    def from_topology(
+        cls,
+        topology: "Topology",
+        *,
+        kernel: str | None = None,
+        use_c: bool | None = None,
+    ) -> "CSRGraph":
         """Build a CSR snapshot of ``topology`` (adjacency order preserved).
 
         The flat slabs are assembled as Python lists first and converted to
         arrays in one C-level pass, instead of an ``array.append`` per edge.
+        The weight profile comes from :meth:`Topology.weight_profile`, which
+        caches it alongside the snapshot.
         """
         num_nodes = topology.num_nodes
         offsets = [0] * (num_nodes + 1)
         neighbors: list[int] = []
         weights: list[float] = []
-        unit = True
         position = 0
         for node, row in enumerate(topology.adjacency):
             for neighbor, weight in row:
                 neighbors.append(neighbor)
                 weights.append(weight)
-                if weight != 1.0:
-                    unit = False
             position += len(row)
             offsets[node + 1] = position
         return cls(
@@ -140,7 +365,9 @@ class CSRGraph:
             array("q", offsets),
             array("q", neighbors),
             array("d", weights),
-            unit,
+            profile=topology.weight_profile(),
+            kernel=kernel,
+            use_c=use_c,
         )
 
     @property
@@ -148,7 +375,109 @@ class CSRGraph:
         """Number of undirected edges in the snapshot."""
         return len(self.neighbors) // 2
 
-    # -- core search kernels ------------------------------------------------
+    # -- lazy slabs and arenas ----------------------------------------------
+
+    def _adj_slab(self) -> list[list[int]]:
+        """Per-node neighbor-id lists (Python BFS kernel)."""
+        if self._adj is None:
+            offs = self.offsets.tolist()
+            nbrs = self.neighbors.tolist()
+            self._adj = [
+                nbrs[offs[node] : offs[node + 1]]
+                for node in range(self.num_nodes)
+            ]
+        return self._adj
+
+    def _arc_slab(self) -> list[list[tuple[int, float]]]:
+        """Per-node (neighbor, weight) tuple lists (Python weighted kernels).
+
+        CPython boxes a fresh object on every ``array`` index, which would
+        dominate the kernel runtime, so the scan loops iterate ready-made
+        tuples carved once from the CSR slab here.
+        """
+        if self._arc is None:
+            offs = self.offsets.tolist()
+            arcs = list(zip(self.neighbors.tolist(), self.weights.tolist()))
+            self._arc = [
+                arcs[offs[node] : offs[node + 1]]
+                for node in range(self.num_nodes)
+            ]
+        return self._arc
+
+    def _py_arena(self) -> None:
+        """Scratch arena for the Python kernels (generation-stamped)."""
+        if self._seen is None:
+            n = self.num_nodes
+            self._dist = [_INF] * n
+            self._pred = [-1] * n
+            self._seen = [0] * n
+            self._done = [0] * n
+
+    def _c_arena(self) -> dict:
+        """Scratch arena + cached ctypes pointers for the active C kernel.
+
+        Only the buffers the selected kernel reads are allocated: the heap
+        kernel needs ``heap``/``pos`` (n slots each), the dial kernel needs
+        the entry pool (2m + 1 slots), the bucket ring, and a sort batch.
+        """
+        if self._c is None:
+            n = self.num_nodes
+            dist = array("d", bytes(8 * n))
+            pred = array("q", bytes(8 * n))
+            seen = array("q", bytes(8 * n))
+            order = array("q", bytes(8 * n))
+            tflag = bytearray(max(n, 1))
+
+            def ptr_d(a: array):
+                return (ctypes.c_double * len(a)).from_buffer(a) if a else None
+
+            def ptr_q(a: array):
+                return (ctypes.c_int64 * len(a)).from_buffer(a) if a else None
+
+            self._c = {
+                "dist": dist,
+                "pred": pred,
+                "seen": seen,
+                "order": order,
+                "p_offsets": ptr_q(self.offsets),
+                "p_neighbors": ptr_q(self.neighbors),
+                "p_weights": ptr_d(self.weights),
+                "p_dist": ptr_d(dist),
+                "p_pred": ptr_q(pred),
+                "p_seen": ptr_q(seen),
+                "p_order": ptr_q(order),
+                "p_tflag": (ctypes.c_ubyte * len(tflag)).from_buffer(tflag),
+            }
+            buffers = [tflag]
+            if self.kernel == "bucket":
+                num_arcs = len(self.neighbors)
+                batch = array("q", bytes(8 * n))
+                pool_node = array("q", bytes(8 * (num_arcs + 1)))
+                pool_next = array("q", bytes(8 * (num_arcs + 1)))
+                slots = (self.profile.max_quanta or 0) + 1
+                head = array("q", bytes(8 * slots))
+                self._c.update(
+                    {
+                        "p_batch": ptr_q(batch),
+                        "p_pool_node": ptr_q(pool_node),
+                        "p_pool_next": ptr_q(pool_next),
+                        "p_head": ptr_q(head),
+                        "slots": slots,
+                    }
+                )
+                buffers += [batch, pool_node, pool_next, head]
+            else:
+                heap_arr = array("q", bytes(8 * n))
+                pos = array("q", bytes(8 * n))
+                self._c.update({"p_heap": ptr_q(heap_arr), "p_pos": ptr_q(pos)})
+                buffers += [heap_arr, pos]
+            # Keep the buffers alive for the lifetime of the pointers.
+            self._c["_buffers"] = buffers
+            self._dist = dist
+            self._pred = pred
+        return self._c
+
+    # -- core search dispatch ----------------------------------------------
 
     def _search(
         self,
@@ -167,18 +496,106 @@ class CSRGraph:
         until the next search reuses the arena).  ``out`` redirects those
         writes into caller-owned dense rows instead (full searches only --
         with truncation, discovered-but-unsettled nodes would leak partial
-        values into the rows).  The ``_done`` stamps consumed by
-        :meth:`batched_target_distances` are only maintained when ``targets``
-        is given.
+        values into the rows; the C tier copies settled rows after the
+        search instead, see :meth:`spt_rows`).  The settled stamps consumed
+        by :meth:`batched_target_distances` are only maintained when
+        ``targets`` is given.
         """
         if not 0 <= source < self.num_nodes:
             raise ValueError(
                 f"node {source} out of range for graph with "
                 f"{self.num_nodes} nodes"
             )
-        if self.unit_weights:
+        if targets is not None:
+            targets = set(targets)
+            for target in targets:
+                if not 0 <= target < self.num_nodes:
+                    raise ValueError(
+                        f"target {target} out of range for graph with "
+                        f"{self.num_nodes} nodes"
+                    )
+        if self.tier == "c":
+            assert out is None, "C tier writes rows post-search"
+            return self._search_c(source, targets, k, radius, inclusive)
+        if self.kernel == "bfs":
             return self._search_bfs(source, targets, k, radius, inclusive, out)
+        if self.kernel == "bucket":
+            return self._search_dial(
+                source, targets, k, radius, inclusive, out
+            )
         return self._search_heap(source, targets, k, radius, inclusive, out)
+
+    # -- C tier -------------------------------------------------------------
+
+    def _search_c(
+        self,
+        source: int,
+        targets: set[int] | None,
+        k: int | None,
+        radius: float | None,
+        inclusive: bool,
+    ) -> list[int]:
+        arena = self._c_arena()
+        self._generation += 1
+        if targets is not None:
+            target_arr = array("q", targets)
+            p_targets = (
+                (ctypes.c_int64 * len(target_arr)).from_buffer(target_arr)
+                if target_arr
+                else None
+            )
+            num_targets = len(target_arr)
+            if num_targets == 0:
+                # In C, num_targets == 0 means "no target bound"; the Python
+                # kernels stop after settling the source when the target set
+                # is empty, so mirror that with a k = 1 truncation.
+                k = 1
+        else:
+            p_targets = None
+            num_targets = 0
+        if radius is None:
+            radius_val, radius_mode = -1.0, _RADIUS_NONE
+        else:
+            radius_val = radius
+            radius_mode = _RADIUS_INCLUSIVE if inclusive else _RADIUS_STRICT
+        common = (
+            self.num_nodes,
+            arena["p_offsets"],
+            arena["p_neighbors"],
+            arena["p_weights"],
+            source,
+            arena["p_dist"],
+            arena["p_pred"],
+            arena["p_seen"],
+            self._generation,
+            arena["p_order"],
+        )
+        tail = (
+            k or 0,
+            radius_val,
+            radius_mode,
+            p_targets,
+            num_targets,
+            arena["p_tflag"],
+        )
+        if self.kernel == "bucket":
+            count = self._clib.spt_dial(
+                *common,
+                self.profile.quantum,
+                arena["slots"],
+                arena["p_head"],
+                arena["p_pool_node"],
+                arena["p_pool_next"],
+                arena["p_batch"],
+                *tail,
+            )
+        else:
+            count = self._clib.spt_heap4(
+                *common, arena["p_heap"], arena["p_pos"], *tail
+            )
+        return arena["order"][:count].tolist()
+
+    # -- Python heap kernel (lazy heapq; the no-compiler fallback) ----------
 
     def _search_heap(
         self,
@@ -189,6 +606,7 @@ class CSRGraph:
         inclusive: bool,
         out: tuple[list[float], list[int]] | None = None,
     ) -> list[int]:
+        self._py_arena()
         self._generation += 1
         generation = self._generation
         if out is None:
@@ -198,7 +616,7 @@ class CSRGraph:
             dist, pred = out
         seen = self._seen
         done = self._done
-        arcs = self._arc
+        arcs = self._arc_slab()
         order: list[int] = []
         settle = order.append
         remaining = set(targets) if targets is not None else None
@@ -249,6 +667,120 @@ class CSRGraph:
                         pred[neighbor] = node
         return order
 
+    # -- Python Dial bucket kernel ------------------------------------------
+
+    def _search_dial(
+        self,
+        source: int,
+        targets: Iterable[int] | None,
+        k: int | None,
+        radius: float | None,
+        inclusive: bool,
+        out: tuple[list[float], list[int]] | None = None,
+    ) -> list[int]:
+        """Dial bucket queue for power-of-two-quantized weights.
+
+        Distances are exact multiples of ``profile.quantum``, so bucket
+        indices are exact integers and every bucket holds equal-distance
+        nodes: sorting a bucket by id reproduces the global
+        ``(distance, id)`` settle order.  Decreases append a fresh entry and
+        leave the stale one behind; a sweep drops entries whose recorded
+        distance no longer matches the bucket level.  Buckets live in a
+        persistent arena list, cleared as they are swept (plus a tail
+        cleanup on truncated searches).
+        """
+        self._py_arena()
+        self._generation += 1
+        generation = self._generation
+        if out is None:
+            dist = self._dist
+            pred = self._pred
+        else:
+            dist, pred = out
+        seen = self._seen
+        done = self._done
+        arcs = self._arc_slab()
+        quantum = self.profile.quantum
+        inv_quantum = 1.0 / quantum
+        order: list[int] = []
+        settle = order.append
+        remaining = set(targets) if targets is not None else None
+        seen[source] = generation
+        dist[source] = 0.0
+        pred[source] = -1
+        buckets = self._buckets
+        if not buckets:
+            buckets.append([])
+        num_buckets = len(buckets)
+        buckets[0].append(source)
+        pending = 1
+        index = 0
+        stop = False
+        while pending and not stop:
+            bucket = buckets[index]
+            if not bucket:
+                index += 1
+                continue
+            level = index * quantum
+            if radius is not None:
+                if inclusive:
+                    if level > radius:
+                        break
+                elif level >= radius and index > 0:
+                    break
+            if len(bucket) > 1:
+                bucket.sort()
+            for node in bucket:
+                pending -= 1
+                if dist[node] != level:
+                    continue  # stale entry; settled at a smaller distance
+                if k is not None and len(order) >= k:
+                    stop = True
+                    break
+                done[node] = generation
+                settle(node)
+                if remaining is not None:
+                    remaining.discard(node)
+                    if not remaining:
+                        stop = True
+                        break
+                for neighbor, weight in arcs[node]:
+                    candidate = level + weight
+                    if seen[neighbor] != generation:
+                        seen[neighbor] = generation
+                    else:
+                        current = dist[neighbor]
+                        if candidate < current:
+                            pass  # fall through to the append below
+                        else:
+                            if (
+                                candidate == current
+                                and node < pred[neighbor]
+                            ):
+                                pred[neighbor] = node
+                            continue
+                    dist[neighbor] = candidate
+                    pred[neighbor] = node
+                    slot = int(candidate * inv_quantum)
+                    if slot >= num_buckets:
+                        buckets.extend(
+                            [] for _ in range(slot + 1 - num_buckets)
+                        )
+                        num_buckets = slot + 1
+                    buckets[slot].append(neighbor)
+                    pending += 1
+            bucket.clear()
+            index += 1
+        if pending:
+            # Truncated search: drop the entries the sweep never reached so
+            # the arena is clean for the next search.
+            for bucket in buckets[index:]:
+                if bucket:
+                    bucket.clear()
+        return order
+
+    # -- Python BFS kernel ---------------------------------------------------
+
     def _search_bfs(
         self,
         source: int,
@@ -271,6 +803,7 @@ class CSRGraph:
         discovery: a truncated search discovers far more nodes than it
         settles, and nothing reads the distance of an unsettled node.
         """
+        self._py_arena()
         self._generation += 1
         generation = self._generation
         if out is None:
@@ -280,7 +813,7 @@ class CSRGraph:
             dist, pred = out
         seen = self._seen
         done = self._done
-        adj = self._adj
+        adj = self._adj_slab()
         order: list[int] = []
         remaining = set(targets) if targets is not None else None
         seen[source] = generation
@@ -360,7 +893,13 @@ class CSRGraph:
     def dijkstra(
         self, source: int, *, targets: Iterable[int] | None = None
     ) -> tuple[dict[int, float], dict[int, int]]:
-        """Single-source shortest paths; see :func:`shortest_paths.dijkstra`."""
+        """Single-source shortest paths; see :func:`shortest_paths.dijkstra`.
+
+        >>> from repro.graphs.topology import Topology
+        >>> csr = Topology.from_edges(3, [(0, 1, 2.0), (1, 2, 0.5)]).csr()
+        >>> csr.dijkstra(0)
+        ({0: 0.0, 1: 2.0, 2: 2.5}, {1: 0, 2: 1})
+        """
         return self._as_dicts(self._search(source, targets=targets))
 
     def dijkstra_k_nearest(
@@ -374,7 +913,21 @@ class CSRGraph:
     def dijkstra_radius(
         self, source: int, radius: float, *, inclusive: bool = False
     ) -> tuple[dict[int, float], dict[int, int]]:
-        """Radius-bounded search (strict boundary unless ``inclusive``)."""
+        """Radius-bounded search.
+
+        The boundary is *strict* by default -- a node at exactly ``radius``
+        is excluded, matching the S4 cluster definition
+        ``d(v, w) < d(w, l_w)`` -- and ``inclusive=True`` makes the
+        comparison ``<=``.  The source always settles, even with
+        ``radius=0.0``.
+
+        >>> from repro.graphs.topology import Topology
+        >>> csr = Topology.from_edges(3, [(0, 1, 1.5), (1, 2, 1.5)]).csr()
+        >>> sorted(csr.dijkstra_radius(0, 3.0)[0])
+        [0, 1]
+        >>> sorted(csr.dijkstra_radius(0, 3.0, inclusive=True)[0])
+        [0, 1, 2]
+        """
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
         return self._as_dicts(
@@ -390,6 +943,20 @@ class CSRGraph:
         and ``-1`` (the converged-state models assume connected topologies
         and historically used a 0.0 fill).
         """
+        if self.tier == "c":
+            order = self._search(source)
+            dist_row = self._c["dist"].tolist()
+            parent_row = self._c["pred"].tolist()
+            if len(order) < self.num_nodes:
+                # Disconnected graph: unreached slots hold stale values from
+                # earlier searches; restore the fill contract.
+                generation = self._generation
+                seen = self._c["seen"]
+                for node in range(self.num_nodes):
+                    if seen[node] != generation:
+                        dist_row[node] = fill
+                        parent_row[node] = -1
+            return dist_row, parent_row
         dist_row = [fill] * self.num_nodes
         parent_row = [-1] * self.num_nodes
         # The search writes distances/parents straight into the rows; only
@@ -431,7 +998,8 @@ class CSRGraph:
 
         ``radii`` aligns with ``nodes`` (default: all nodes in id order) and
         must cover every source -- a short list would otherwise silently
-        truncate the batch.
+        truncate the batch.  The boundary is strict unless ``inclusive``
+        (see :meth:`dijkstra_radius`).
         """
         sources = range(self.num_nodes) if nodes is None else nodes
         if len(radii) != len(sources):
@@ -463,13 +1031,17 @@ class CSRGraph:
         for source, target in pairs:
             by_source.setdefault(source, set()).add(target)
         result: dict[tuple[int, int], float] = {}
-        dist = self._dist
-        done = self._done
+        c_tier = self.tier == "c"
         for source, targets in by_source.items():
             self._search(source, targets=targets)
             generation = self._generation
+            # A target settled iff it was stamped: the search only stops
+            # early once every target settled, and at exhaustion every
+            # discovered node is settled.
+            settled = self._c["seen"] if c_tier else self._done
+            dist = self._dist
             for target in targets:
-                if done[target] != generation:
+                if settled[target] != generation:
                     raise ValueError(
                         f"node {target} unreachable from {source}; "
                         "topology must be connected"
@@ -483,14 +1055,16 @@ class CSRGraph:
 # The per-node vicinity and cluster builds are embarrassingly parallel: every
 # search is independent and the graph is read-only.  Each worker process
 # builds its own CSR snapshot once (searches are arena-stateful, so snapshots
-# cannot be shared across processes) and then streams chunks of nodes.
+# cannot be shared across processes) and then streams chunks of nodes.  The
+# parent's kernel choice (including any forced override) is forwarded so the
+# workers run the same kernel.
 
 _WORKER_CSR: CSRGraph | None = None
 
 
-def _parallel_init(topology: "Topology") -> None:
+def _parallel_init(topology: "Topology", kernel: str | None = None) -> None:
     global _WORKER_CSR
-    _WORKER_CSR = CSRGraph.from_topology(topology)
+    _WORKER_CSR = CSRGraph.from_topology(topology, kernel=kernel)
 
 
 def _k_nearest_chunk(
@@ -515,32 +1089,44 @@ def _chunks(items: list, count: int) -> list[list]:
 
 
 def parallel_k_nearest(
-    topology: "Topology", k: int, *, workers: int = 1
+    topology: "Topology", k: int, *, workers: int = 1, kernel: str | None = None
 ) -> list[tuple[dict[int, float], dict[int, int]]]:
     """Per-node *k*-nearest searches, optionally fanned out over processes.
 
     With ``workers <= 1`` this is the serial batched driver.  Results are
     identical either way (each search is independent and deterministic);
-    ordering is by node id.
+    ordering is by node id.  ``kernel`` forces a specific search kernel in
+    the serial path *and* in every worker (default: per-profile auto
+    selection, see :class:`CSRGraph`).
     """
     nodes = list(topology.nodes())
     if workers <= 1 or len(nodes) < 4 * workers:
-        return topology.csr().batched_k_nearest(k)
+        if kernel is None:
+            return topology.csr().batched_k_nearest(k)
+        return CSRGraph.from_topology(topology, kernel=kernel).batched_k_nearest(k)
     from multiprocessing import Pool
 
     tasks = [(k, chunk) for chunk in _chunks(nodes, workers * 4)]
-    with Pool(workers, initializer=_parallel_init, initargs=(topology,)) as pool:
+    with Pool(
+        workers, initializer=_parallel_init, initargs=(topology, kernel)
+    ) as pool:
         chunked = pool.map(_k_nearest_chunk, tasks)
     return [result for chunk in chunked for result in chunk]
 
 
 def parallel_radius(
-    topology: "Topology", radii: Sequence[float], *, workers: int = 1
+    topology: "Topology",
+    radii: Sequence[float],
+    *,
+    workers: int = 1,
+    kernel: str | None = None,
 ) -> list[tuple[dict[int, float], dict[int, int]]]:
     """Per-node radius-bounded searches, optionally fanned out over processes.
 
     ``radii[v]`` bounds node ``v``'s search (strict boundary, matching the
-    S4 cluster definition).  Results are ordered by node id.
+    S4 cluster definition).  Results are ordered by node id.  ``kernel``
+    forces a specific search kernel everywhere, as in
+    :func:`parallel_k_nearest`.
     """
     nodes = list(topology.nodes())
     if len(radii) != len(nodes):
@@ -548,7 +1134,9 @@ def parallel_radius(
             f"radii must have exactly {len(nodes)} entries, got {len(radii)}"
         )
     if workers <= 1 or len(nodes) < 4 * workers:
-        return topology.csr().batched_radius(radii)
+        if kernel is None:
+            return topology.csr().batched_radius(radii)
+        return CSRGraph.from_topology(topology, kernel=kernel).batched_radius(radii)
     from multiprocessing import Pool
 
     node_chunks = _chunks(nodes, workers * 4)
@@ -557,6 +1145,8 @@ def parallel_radius(
     for chunk in node_chunks:
         tasks.append((chunk, list(radii[start : start + len(chunk)])))
         start += len(chunk)
-    with Pool(workers, initializer=_parallel_init, initargs=(topology,)) as pool:
+    with Pool(
+        workers, initializer=_parallel_init, initargs=(topology, kernel)
+    ) as pool:
         chunked = pool.map(_radius_chunk, tasks)
     return [result for chunk in chunked for result in chunk]

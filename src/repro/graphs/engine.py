@@ -3,16 +3,31 @@
 Two engines implement the :mod:`repro.graphs.shortest_paths` contract:
 
 * ``"csr"`` (default) -- the flat-array kernels of
-  :mod:`repro.graphs.csr`, with generation-stamped scratch, a BFS fast path
-  for unit-weight graphs, and batched drivers.
+  :mod:`repro.graphs.csr`: generation-stamped scratch arenas, per-profile
+  kernel selection (BFS for unit weights, Dial bucket queue for quantized
+  weights, indexed 4-ary heap otherwise), an optional compiled C tier, and
+  batched drivers.
 * ``"reference"`` -- the original dict-based heapq implementation
   (:mod:`repro.graphs._reference_paths`), kept as the differential-testing
   oracle and as the "before" side of the perf-regression harness
   (``repro bench`` / ``BENCH_kernels.json``).
 
 Both engines produce identical distances and predecessors (the differential
-tests in ``tests/test_graphs_csr.py`` enforce this bit-for-bit), so the
-switch is purely a performance knob.
+tests in ``tests/test_graphs_csr.py`` and
+``tests/test_graphs_kernels_weighted.py`` enforce this bit-for-bit), so the
+switch is purely a performance knob.  The selection is global (module-level)
+rather than per-call: the protocols issue shortest-path queries from many
+layers, and a single switch point keeps an entire simulation on one engine.
+
+Examples
+--------
+>>> get_engine()
+'csr'
+>>> with use_engine("reference"):
+...     get_engine()
+'reference'
+>>> get_engine()
+'csr'
 """
 
 from __future__ import annotations
@@ -22,6 +37,7 @@ from typing import Iterator
 
 __all__ = ["ENGINES", "get_engine", "set_engine", "use_engine"]
 
+#: The selectable engine names, in preference order.
 ENGINES = ("csr", "reference")
 
 _engine = "csr"
@@ -33,7 +49,15 @@ def get_engine() -> str:
 
 
 def set_engine(name: str) -> None:
-    """Select the shortest-path engine globally."""
+    """Select the shortest-path engine globally.
+
+    Raises ``ValueError`` for unknown names:
+
+    >>> set_engine("numpy")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown engine 'numpy'; expected one of ('csr', 'reference')
+    """
     global _engine
     if name not in ENGINES:
         raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
@@ -42,7 +66,10 @@ def set_engine(name: str) -> None:
 
 @contextmanager
 def use_engine(name: str) -> Iterator[None]:
-    """Temporarily switch engines (used by benchmarks and tests)."""
+    """Temporarily switch engines (used by benchmarks and tests).
+
+    Restores the previous engine on exit, even when the body raises.
+    """
     previous = get_engine()
     set_engine(name)
     try:

@@ -115,6 +115,7 @@ def geometric_random_graph(
     average_degree: float = 8.0,
     seed: int = 0,
     latency_scale: float = 100.0,
+    latency_quantum: float | None = None,
 ) -> Topology:
     """Return a connected random geometric graph with latency edge weights.
 
@@ -125,16 +126,38 @@ def geometric_random_graph(
     latency rather than a fraction).  This is the latency-annotated topology
     family for which the paper reports the largest stretch differences
     between Disco and S4/VRR.
+
+    ``latency_quantum`` optionally rounds every latency to the nearest
+    positive multiple of the given quantum, modeling measured latencies with
+    finite timer resolution.  Choosing a power-of-two quantum (e.g. 0.25)
+    makes the topology eligible for the CSR engine's Dial bucket-queue
+    kernel (see :class:`repro.graphs.csr.WeightProfile`); node placement and
+    connectivity are unaffected by the rounding.
     """
     require_positive("num_nodes", num_nodes)
     require_positive("average_degree", average_degree)
     require_positive("latency_scale", latency_scale)
+    if latency_quantum is not None:
+        require_positive("latency_quantum", latency_quantum)
     rng = make_rng(seed, "geometric")
     # Expected degree for radius r in the unit square (ignoring boundary
     # effects) is n * pi * r^2; solve for r.
     radius = math.sqrt(average_degree / (math.pi * max(num_nodes - 1, 1)))
     positions = [(rng.random(), rng.random()) for _ in range(num_nodes)]
-    topology = Topology(num_nodes, name=f"geometric-{num_nodes}")
+    name = (
+        f"geometric-{num_nodes}"
+        if latency_quantum is None
+        else f"geometric-q-{num_nodes}"
+    )
+    topology = Topology(num_nodes, name=name)
+
+    def latency(distance: float) -> float:
+        value = distance * latency_scale
+        if latency_quantum is None:
+            return value
+        return max(
+            latency_quantum, round(value / latency_quantum) * latency_quantum
+        )
 
     # Grid-bucket the points so neighbor search is O(n) rather than O(n^2).
     cell = radius if radius > 0 else 1.0
@@ -152,7 +175,7 @@ def geometric_random_graph(
                     ox, oy = positions[other]
                     dist = math.hypot(x - ox, y - oy)
                     if dist <= radius and dist > 0:
-                        topology.add_edge(index, other, dist * latency_scale)
+                        topology.add_edge(index, other, latency(dist))
 
     # Stitch disconnected pieces together with latency proportional to the
     # actual Euclidean distance between the chosen endpoints.
@@ -166,7 +189,7 @@ def geometric_random_graph(
             ux, uy = positions[u]
             vx, vy = positions[v]
             dist = max(math.hypot(ux - vx, uy - vy), 1e-9)
-            topology.add_edge(u, v, dist * latency_scale)
+            topology.add_edge(u, v, latency(dist))
             core = core + component
     return topology
 

@@ -12,17 +12,40 @@ The compact-routing protocols need several flavors of shortest-path search:
 * Path extraction from predecessor maps and path-length evaluation, used by
   the stretch and congestion metrics.
 
-All functions operate on :class:`repro.graphs.Topology` and are deterministic:
-ties in distance are broken by settling in ``(distance, node id)`` order and
--- for predecessors -- toward the smaller predecessor id, the same rule in
-every variant.
+Determinism guarantees
+----------------------
+All functions operate on :class:`repro.graphs.Topology` and apply one shared
+rule in every variant: nodes settle in ``(distance, node id)`` order, and
+equal-distance predecessor ties resolve toward the smaller predecessor id.
+The guarantee holds across engines (CSR vs reference), across the CSR
+kernels (BFS / Dial bucket queue / indexed 4-ary heap), and across the
+compiled-C and pure-Python tiers, which is what lets the differential tests
+compare them bit for bit -- and what makes every experiment reproducible
+from its seed alone.
 
+Engine dispatch
+---------------
 Since the CSR kernel refactor these functions are thin wrappers: by default
-they dispatch to the flat-array engine in :mod:`repro.graphs.csr` (cached per
-topology via :meth:`Topology.csr`), falling back to the original dict-based
-implementation in :mod:`repro.graphs._reference_paths` when the
-``"reference"`` engine is selected (see :mod:`repro.graphs.engine`).  The two
-engines return bit-identical results; the differential tests enforce it.
+they dispatch to the flat-array engine in :mod:`repro.graphs.csr`, cached
+per topology via :meth:`Topology.csr` (the cache also holds the scratch
+arena, which lives as long as the snapshot -- results returned here are
+fresh dicts and never alias it).  The kernel is chosen per graph from the
+cached :meth:`Topology.weight_profile`; see the decision table in
+``docs/ARCHITECTURE.md``.  Selecting the ``"reference"`` engine
+(:mod:`repro.graphs.engine`) routes every call to the original dict-based
+implementation instead.
+
+Examples
+--------
+>>> from repro.graphs.topology import Topology
+>>> diamond = Topology.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+>>> distances, predecessors = dijkstra(diamond, 0)
+>>> distances[3]
+2.0
+>>> predecessors[3]  # tie between 1 and 2 resolves to the smaller id
+1
+>>> shortest_path(diamond, 0, 3)
+[0, 1, 3]
 """
 
 from __future__ import annotations
@@ -94,6 +117,13 @@ def dijkstra_k_nearest(
         As in :func:`dijkstra`, restricted to the settled nodes.  If the
         connected component of ``source`` has fewer than ``k`` nodes, the
         whole component is returned.
+
+    Examples
+    --------
+    >>> from repro.graphs.topology import Topology
+    >>> line = Topology.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    >>> sorted(dijkstra_k_nearest(line, 2, 3)[0])
+    [1, 2, 3]
     """
     if get_engine() == "csr":
         return topology.csr().dijkstra_k_nearest(source, k)
@@ -112,9 +142,24 @@ def dijkstra_radius(
     Parameters
     ----------
     inclusive:
-        If False (default) the boundary is strict (``d < radius``), matching
-        the S4 cluster definition ``d(v, w) < d(w, ℓ_w)``.  If True, nodes at
-        exactly ``radius`` are included.
+        Controls the exact-boundary behavior.  If False (default) the
+        boundary is strict (``d(source, v) < radius``), matching the S4
+        cluster definition ``d(v, w) < d(w, ℓ_w)``: a node at *exactly*
+        ``radius`` is excluded.  If True the comparison is ``<=`` and
+        boundary nodes are included.  The source itself always settles,
+        even with ``radius=0.0``.
+
+    Examples
+    --------
+    A node at exactly the radius is excluded by default and included with
+    ``inclusive=True``:
+
+    >>> from repro.graphs.topology import Topology
+    >>> path = Topology.from_edges(3, [(0, 1, 1.5), (1, 2, 1.5)])
+    >>> sorted(dijkstra_radius(path, 0, 3.0)[0])
+    [0, 1]
+    >>> sorted(dijkstra_radius(path, 0, 3.0, inclusive=True)[0])
+    [0, 1, 2]
     """
     if get_engine() == "csr":
         return topology.csr().dijkstra_radius(source, radius, inclusive=inclusive)
@@ -179,6 +224,13 @@ def path_length(topology: Topology, path: Sequence[int]) -> float:
     ------
     ValueError
         If the path is empty or uses a non-existent edge.
+
+    Examples
+    --------
+    >>> from repro.graphs.topology import Topology
+    >>> path = Topology.from_edges(3, [(0, 1, 1.5), (1, 2, 2.0)])
+    >>> path_length(path, [0, 1, 2])
+    3.5
     """
     if not path:
         raise ValueError("path must contain at least one node")
@@ -200,6 +252,11 @@ def all_pairs_sampled_distances(
     search; on the CSR engine all searches share one scratch arena
     (:meth:`CSRGraph.batched_target_distances`).  Used as the stretch
     denominator for sampled pairs on large topologies, as in §5.1.
+
+    Raises
+    ------
+    ValueError
+        If any target is unreachable from its source.
     """
     if get_engine() == "csr":
         return topology.csr().batched_target_distances(pairs)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.graphs.csr import CSRGraph
+    from repro.graphs.csr import CSRGraph, WeightProfile
 
 __all__ = ["Topology"]
 
@@ -37,7 +37,14 @@ class Topology:
       :mod:`repro.graphs.shortest_paths` read ``topology.adjacency`` directly.
     """
 
-    __slots__ = ("_num_nodes", "_adjacency", "_edge_weights", "_csr", "name")
+    __slots__ = (
+        "_num_nodes",
+        "_adjacency",
+        "_edge_weights",
+        "_csr",
+        "_weight_profile",
+        "name",
+    )
 
     def __init__(self, num_nodes: int, *, name: str = "topology") -> None:
         if num_nodes < 0:
@@ -48,6 +55,7 @@ class Topology:
         ]
         self._edge_weights: dict[tuple[int, int], float] = {}
         self._csr: "CSRGraph | None" = None
+        self._weight_profile: "WeightProfile | None" = None
         self.name = name
 
     # -- construction -----------------------------------------------------
@@ -71,11 +79,13 @@ class Topology:
                 self._replace_adjacency_weight(u, v, float(weight))
                 self._replace_adjacency_weight(v, u, float(weight))
                 self._csr = None
+                self._weight_profile = None
             return
         self._edge_weights[key] = float(weight)
         self._adjacency[u].append((v, float(weight)))
         self._adjacency[v].append((u, float(weight)))
         self._csr = None
+        self._weight_profile = None
 
     def add_edges_from(
         self, edges: Iterable[tuple[int, int] | tuple[int, int, float]]
@@ -295,6 +305,23 @@ class Topology:
             self._csr = CSRGraph.from_topology(self)
         return self._csr
 
+    def weight_profile(self) -> "WeightProfile":
+        """Return the cached :class:`~repro.graphs.csr.WeightProfile`.
+
+        Profiled lazily from the edge weights and cached alongside the CSR
+        snapshot (both are invalidated whenever ``add_edge`` mutates the
+        graph).  The CSR kernels use it to pick the search kernel: unit
+        weights take the BFS/bucket fast paths, power-of-two-quantized
+        weights take the Dial bucket queue, everything else the heap.
+        """
+        if self._weight_profile is None:
+            from repro.graphs.csr import profile_weights
+
+            self._weight_profile = profile_weights(
+                self._edge_weights.values()
+            )
+        return self._weight_profile
+
     # -- pickling ----------------------------------------------------------
     # The CSR snapshot (arrays + scratch arena) is cheap to rebuild and
     # dropped from the pickle so multiprocessing fan-outs ship only the
@@ -314,6 +341,7 @@ class Topology:
         self._edge_weights = state["_edge_weights"]
         self.name = state["name"]
         self._csr = None
+        self._weight_profile = None
 
     # -- dunder ------------------------------------------------------------
 

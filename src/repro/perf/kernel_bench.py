@@ -9,12 +9,22 @@ Every benchmark times the same workload twice:
   implementation exactly (S4 rebuilding the landmark trees NDDisco already
   computed).
 * **after** -- the CSR engine (:mod:`repro.graphs.csr`) exactly as the
-  library runs by default.
+  library runs by default: kernel auto-selected from the weight profile
+  (BFS / Dial bucket queue / indexed 4-ary heap) and the C tier active
+  whenever a C compiler is available.
 
 Both engines return bit-identical results (enforced by the differential
-tests in ``tests/test_graphs_csr.py``), so the ratio is a pure performance
-number.  Timings are best-of-N wall clock; graphs use the experiments'
-canonical ``average_degree=8.0``.
+tests in ``tests/``), so the ratio is a pure performance number.  Timings
+are best-of-N wall clock; graphs use the experiments' canonical
+``average_degree=8.0``.
+
+The kernel microbenchmarks cover the paper's topology matrix -- G(n,m),
+geometric (irregular float latencies), quantized geometric (bucket-queue
+eligible), and the synthetic router-level / AS-level Internet maps -- so a
+regression in any kernel shows up in the family that exercises it.  Passing
+``kernel=`` ("heap" or "bucket") forces that kernel on the CSR side wherever
+the weight profile allows it, which is how ``repro bench --kernel`` A/Bs the
+two weighted kernels on the same workload.
 
 ``repro bench`` runs :func:`bench_kernels` and writes
 ``BENCH_kernels.json``; see the "Performance architecture" section of
@@ -31,15 +41,24 @@ from typing import Callable
 
 from repro.core.vicinity import vicinity_size
 from repro.graphs import _reference_paths as reference
+from repro.graphs.csr import CSRGraph
 from repro.graphs.engine import use_engine
-from repro.graphs.generators import geometric_random_graph, gnm_random_graph
+from repro.graphs.generators import (
+    geometric_random_graph,
+    gnm_random_graph,
+    internet_as_level,
+    internet_router_level,
+)
 from repro.graphs.sampling import sample_pairs
 from repro.graphs.topology import Topology
 from repro.staticsim.simulation import StaticSimulation
 
 __all__ = ["BENCH_SCHEMA", "bench_kernels", "write_bench_json"]
 
-BENCH_SCHEMA = "repro-bench-kernels/v1"
+BENCH_SCHEMA = "repro-bench-kernels/v2"
+
+#: Power-of-two latency quantum for the bucket-queue benchmark family.
+BENCH_LATENCY_QUANTUM = 0.25
 
 
 def _best_of(function: Callable[[], None], repeats: int) -> float:
@@ -76,8 +95,24 @@ def _fresh(topology: Topology) -> Topology:
     return topology.copy()
 
 
+def _csr_for(topology: Topology, kernel: str | None) -> CSRGraph:
+    """CSR snapshot honoring a forced kernel where the profile allows it."""
+    if kernel is None:
+        return topology.csr()
+    try:
+        return CSRGraph.from_topology(topology, kernel=kernel)
+    except ValueError:
+        # The forced kernel is not applicable to this family (e.g. bucket
+        # on irregular floats); fall back to auto selection so the matrix
+        # stays complete.
+        return topology.csr()
+
+
 def bench_kernels(
-    *, quick: bool = False, workers: int | None = None
+    *,
+    quick: bool = False,
+    workers: int | None = None,
+    kernel: str | None = None,
 ) -> dict:
     """Run every kernel and end-to-end benchmark; return the report dict.
 
@@ -89,69 +124,119 @@ def bench_kernels(
     workers:
         If given and > 1, adds parallel variants of the end-to-end build
         using the multiprocessing fan-out.
+    kernel:
+        Force ``"heap"`` or ``"bucket"`` on the CSR side wherever the
+        weight profile permits (A/B harness for the weighted kernels);
+        default auto-selects per family.  The override applies to the
+        kernel microbenchmarks only: the end-to-end ``staticsim/*`` cases
+        build their snapshots inside ``StaticSimulation`` via
+        ``Topology.csr()`` (always auto-selected), so they are skipped in an
+        A/B run rather than silently reporting auto-kernel numbers.
     """
     results: dict[str, dict] = {}
 
-    # -- full single-source Dijkstra ------------------------------------
     n_full = 512 if quick else 4096
     sources = list(range(0, n_full, max(1, n_full // (4 if quick else 8))))
     repeats = 2 if quick else 3
 
-    gnm = gnm_random_graph(n_full, seed=3, average_degree=8.0)
-    csr = gnm.csr()  # built outside the timer; see staticsim for build cost
-    _entry(
-        f"dijkstra_full/gnm-{n_full}",
-        {"family": "gnm", "n": n_full, "sources": len(sources), "unit_weights": True},
-        lambda: [reference.dijkstra(gnm, s) for s in sources],
-        lambda: [csr.dijkstra(s) for s in sources],
-        repeats=repeats,
-        results=results,
-    )
+    # -- full single-source Dijkstra across the topology matrix ----------
+    families = {
+        "gnm": gnm_random_graph(n_full, seed=3, average_degree=8.0),
+        "geometric": geometric_random_graph(
+            n_full, seed=3, average_degree=8.0
+        ),
+        "geometric-q": geometric_random_graph(
+            n_full,
+            seed=3,
+            average_degree=8.0,
+            latency_quantum=BENCH_LATENCY_QUANTUM,
+        ),
+    }
+    if not quick:
+        families["router-level"] = internet_router_level(n_full, seed=3)
+        families["as-level"] = internet_as_level(n_full, seed=3)
 
-    geo = geometric_random_graph(n_full, seed=3, average_degree=8.0)
-    geo_csr = geo.csr()
-    _entry(
-        f"dijkstra_full/geometric-{n_full}",
-        {
-            "family": "geometric",
-            "n": n_full,
-            "sources": len(sources),
-            "unit_weights": False,
-        },
-        lambda: [reference.dijkstra(geo, s) for s in sources],
-        lambda: [geo_csr.dijkstra(s) for s in sources],
-        repeats=repeats,
-        results=results,
-    )
+    csrs = {name: _csr_for(topo, kernel) for name, topo in families.items()}
+    for family, topo in families.items():
+        csr = csrs[family]
+        _entry(
+            f"dijkstra_full/{family}-{n_full}",
+            {
+                "family": family,
+                "n": n_full,
+                "sources": len(sources),
+                "unit_weights": topo.weight_profile().unit,
+                "kernel": csr.kernel,
+                "tier": csr.tier,
+            },
+            lambda topo=topo: [reference.dijkstra(topo, s) for s in sources],
+            lambda csr=csr: [csr.dijkstra(s) for s in sources],
+            repeats=repeats,
+            results=results,
+        )
 
     # -- truncated and bounded kernels ----------------------------------
     k = vicinity_size(n_full)
     k_sources = range(64 if quick else 256)
-    _entry(
-        f"k_nearest/gnm-{n_full}",
-        {"family": "gnm", "n": n_full, "k": k, "sources": len(k_sources)},
-        lambda: [reference.dijkstra_k_nearest(gnm, s, k) for s in k_sources],
-        lambda: csr.batched_k_nearest(k, k_sources),
-        repeats=repeats,
-        results=results,
-    )
+    for family in ("gnm", "geometric") if not quick else ("gnm",):
+        topo = families[family]
+        csr = csrs[family]
+        _entry(
+            f"k_nearest/{family}-{n_full}",
+            {
+                "family": family,
+                "n": n_full,
+                "k": k,
+                "sources": len(k_sources),
+                "kernel": csr.kernel,
+                "tier": csr.tier,
+            },
+            lambda topo=topo: [
+                reference.dijkstra_k_nearest(topo, s, k) for s in k_sources
+            ],
+            lambda csr=csr: csr.batched_k_nearest(k, k_sources),
+            repeats=repeats,
+            results=results,
+        )
 
-    radius = 3.0
-    _entry(
-        f"radius/gnm-{n_full}",
-        {"family": "gnm", "n": n_full, "radius": radius, "sources": len(k_sources)},
-        lambda: [reference.dijkstra_radius(gnm, s, radius) for s in k_sources],
-        lambda: csr.batched_radius([radius] * len(k_sources), k_sources),
-        repeats=repeats,
-        results=results,
-    )
+    for family, radius in (("gnm", 3.0), ("geometric-q", 30.0)):
+        if quick and family != "gnm":
+            continue
+        topo = families[family]
+        csr = csrs[family]
+        _entry(
+            f"radius/{family}-{n_full}",
+            {
+                "family": family,
+                "n": n_full,
+                "radius": radius,
+                "sources": len(k_sources),
+                "kernel": csr.kernel,
+                "tier": csr.tier,
+            },
+            lambda topo=topo, radius=radius: [
+                reference.dijkstra_radius(topo, s, radius) for s in k_sources
+            ],
+            lambda csr=csr, radius=radius: csr.batched_radius(
+                [radius] * len(k_sources), k_sources
+            ),
+            repeats=repeats,
+            results=results,
+        )
 
+    gnm = families["gnm"]
     pairs = sample_pairs(gnm, 100 if quick else 500, seed=11)
     _entry(
         f"batched_targets/gnm-{n_full}",
-        {"family": "gnm", "n": n_full, "pairs": len(pairs)},
+        {
+            "family": "gnm",
+            "n": n_full,
+            "pairs": len(pairs),
+            "kernel": csrs["gnm"].kernel,
+            "tier": csrs["gnm"].tier,
+        },
         lambda: reference.all_pairs_sampled_distances(gnm, pairs),
-        lambda: csr.batched_target_distances(pairs),
+        lambda: csrs["gnm"].batched_target_distances(pairs),
         repeats=repeats,
         results=results,
     )
@@ -206,23 +291,29 @@ def bench_kernels(
                 "speedup": round(results[name]["before_s"] / after_parallel, 3),
             }
 
-    n_sim = 256 if quick else 2048
-    staticsim_case(
-        f"staticsim/gnm-{n_sim}",
-        gnm_random_graph(n_sim, seed=3, average_degree=8.0),
-        repeats=2 if quick else 3,
-    )
-    if not quick:
+    if kernel is None:
+        n_sim = 256 if quick else 2048
         staticsim_case(
-            "staticsim/geometric-1024",
-            geometric_random_graph(1024, seed=3, average_degree=8.0),
+            f"staticsim/gnm-{n_sim}",
+            gnm_random_graph(n_sim, seed=3, average_degree=8.0),
+            repeats=2 if quick else 3,
+        )
+        staticsim_case(
+            f"staticsim/geometric-{256 if quick else 1024}",
+            geometric_random_graph(
+                256 if quick else 1024, seed=3, average_degree=8.0
+            ),
             repeats=2,
         )
+
+    from repro.graphs import _ckernels
 
     return {
         "schema": BENCH_SCHEMA,
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick": quick,
+        "kernel_override": kernel,
+        "c_kernels": _ckernels.load_kernels() is not None,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benchmarks": results,

@@ -92,7 +92,7 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "staticsim/gnm-256" in output
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro-bench-kernels/v1"
+        assert report["schema"] == "repro-bench-kernels/v2"
         assert report["quick"] is True
         for entry in report["benchmarks"].values():
             assert entry["before_s"] > 0

@@ -1,0 +1,353 @@
+"""Differential tests for the weighted CSR kernels (heap + Dial bucket).
+
+The PR that introduced kernel auto-selection added two weighted kernels --
+an indexed 4-ary heap and a Dial-style bucket queue -- each available in a
+compiled C tier (when a compiler is present) and a pure-Python tier.  Every
+(kernel, tier) combination must be bit-identical to the dict-based reference
+engine: distances *and* predecessors, across full, k-nearest, radius, and
+targeted searches, on every topology family the paper evaluates.
+
+This file also pins:
+
+* the :class:`~repro.graphs.csr.WeightProfile` quantum detection and its
+  caching/invalidation on :class:`~repro.graphs.topology.Topology`;
+* bucket-queue fallback -- irregular float weights must disqualify the
+  bucket kernel and auto-select the heap;
+* the exact-boundary semantics of ``dijkstra_radius`` / ``batched_radius``
+  on weighted graphs (strict ``<`` by default, ``<=`` with
+  ``inclusive=True``), which were previously untested at the boundary.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import _reference_paths as reference
+from repro.graphs._ckernels import load_kernels
+from repro.graphs.csr import (
+    DIAL_MAX_QUANTA,
+    CSRGraph,
+    WeightProfile,
+    parallel_k_nearest,
+    profile_weights,
+)
+from repro.graphs.generators import (
+    geometric_random_graph,
+    gnm_random_graph,
+    internet_router_level,
+    two_level_tree,
+)
+from repro.graphs.shortest_paths import dijkstra_radius
+from repro.graphs.topology import Topology
+
+HAVE_C = load_kernels() is not None
+
+TIERS = [False] + ([True] if HAVE_C else [])
+TIER_IDS = ["python"] + (["c"] if HAVE_C else [])
+
+
+def _quantized_geometric(n: int, seed: int) -> Topology:
+    return geometric_random_graph(
+        n, seed=seed, average_degree=7.0, latency_quantum=0.25
+    )
+
+
+def _families() -> dict[str, Topology]:
+    """Weighted / unit / tie-heavy families for kernel differentials."""
+    return {
+        "geometric": geometric_random_graph(90, seed=4, average_degree=7.0),
+        "geometric-q": _quantized_geometric(90, seed=4),
+        "router-level": internet_router_level(90, seed=2),
+        "two-level-tree": two_level_tree(8),
+    }
+
+
+def _assert_matches_reference(topology: Topology, csr: CSRGraph) -> None:
+    n = topology.num_nodes
+    rng = random.Random(17)
+    for source in range(0, n, 7):
+        assert csr.dijkstra(source) == reference.dijkstra(topology, source)
+        for k in (1, 3, 17, n):
+            assert csr.dijkstra_k_nearest(
+                source, k
+            ) == reference.dijkstra_k_nearest(topology, source, k)
+        for radius in (0.0, 1.0, 2.5, 30.0):
+            for inclusive in (False, True):
+                assert csr.dijkstra_radius(
+                    source, radius, inclusive=inclusive
+                ) == reference.dijkstra_radius(
+                    topology, source, radius, inclusive=inclusive
+                )
+        targets = rng.sample(range(n), 5)
+        assert csr.dijkstra(source, targets=targets) == reference.dijkstra(
+            topology, source, targets=targets
+        )
+
+
+class TestKernelTierDifferential:
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    @pytest.mark.parametrize("family", sorted(_families()))
+    def test_auto_kernel_matches_reference(self, family, use_c):
+        topology = _families()[family]
+        csr = CSRGraph.from_topology(topology, use_c=use_c)
+        _assert_matches_reference(topology, csr)
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    @pytest.mark.parametrize("kernel", ["heap", "bucket"])
+    def test_forced_kernels_match_reference_on_quantized(self, kernel, use_c):
+        # Quantized weights admit both kernels; they must agree bit-for-bit
+        # with the oracle (and hence with each other).
+        topology = _quantized_geometric(80, seed=9)
+        csr = CSRGraph.from_topology(topology, kernel=kernel, use_c=use_c)
+        assert csr.kernel == kernel
+        _assert_matches_reference(topology, csr)
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    def test_heap_kernel_on_irregular_floats(self, use_c):
+        topology = geometric_random_graph(70, seed=11, average_degree=6.0)
+        csr = CSRGraph.from_topology(topology, use_c=use_c)
+        assert csr.kernel == "heap"
+        _assert_matches_reference(topology, csr)
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    def test_spt_rows_and_target_distances(self, use_c):
+        topology = _quantized_geometric(60, seed=5)
+        csr = CSRGraph.from_topology(topology, use_c=use_c)
+        n = topology.num_nodes
+        for source in (0, 17, 42):
+            distances, parents = reference.dijkstra(topology, source)
+            dist_row, parent_row = csr.spt_rows(source)
+            assert dist_row == [distances.get(v, 0.0) for v in range(n)]
+            assert parent_row == [parents.get(v, -1) for v in range(n)]
+        rng = random.Random(3)
+        pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(30)]
+        assert csr.batched_target_distances(
+            pairs
+        ) == reference.all_pairs_sampled_distances(topology, pairs)
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    def test_empty_target_set_settles_only_source(self, use_c):
+        # targets=[] must behave identically across tiers: the search stops
+        # after settling the source (regression: the C tier used to treat an
+        # empty target set as "unbounded" and return the full SPT).
+        topology = _quantized_geometric(40, seed=8)
+        csr = CSRGraph.from_topology(topology, use_c=use_c)
+        assert csr.dijkstra(3, targets=[]) == ({3: 0.0}, {})
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    def test_out_of_range_target_rejected(self, use_c):
+        # Regression: out-of-range target ids used to reach the C kernel
+        # unvalidated (out-of-bounds write into the target-flag buffer).
+        topology = _quantized_geometric(40, seed=8)
+        csr = CSRGraph.from_topology(topology, use_c=use_c)
+        with pytest.raises(ValueError):
+            csr.dijkstra(0, targets=[10**6])
+        with pytest.raises(ValueError):
+            csr.batched_target_distances([(0, -1)])
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    def test_disconnected_graph_contracts(self, use_c):
+        topology = Topology.from_edges(5, [(0, 1, 0.5), (2, 3, 1.5)])
+        csr = CSRGraph.from_topology(topology, use_c=use_c)
+        assert csr.dijkstra(0) == reference.dijkstra(topology, 0)
+        dist_row, parent_row = csr.spt_rows(0, fill=-7.0)
+        assert dist_row == [0.0, 0.5, -7.0, -7.0, -7.0]
+        assert parent_row == [-1, 0, -1, -1, -1]
+        with pytest.raises(ValueError):
+            csr.batched_target_distances([(0, 4)])
+
+    def test_tiers_agree_after_many_arena_reuses(self):
+        # Generation stamping must keep searches independent in both tiers.
+        if not HAVE_C:
+            pytest.skip("C kernels unavailable")
+        topology = _quantized_geometric(70, seed=13)
+        c_csr = CSRGraph.from_topology(topology, use_c=True)
+        py_csr = CSRGraph.from_topology(topology, use_c=False)
+        for source in range(0, 70, 3):
+            assert c_csr.dijkstra_k_nearest(source, 9) == py_csr.dijkstra_k_nearest(
+                source, 9
+            )
+            assert c_csr.dijkstra(source) == py_csr.dijkstra(source)
+
+
+class TestBucketFallback:
+    def test_irregular_weights_disqualify_bucket(self):
+        topology = geometric_random_graph(40, seed=6, average_degree=5.0)
+        profile = topology.weight_profile()
+        assert profile.quantum is None
+        assert not profile.bucket_ok
+        assert topology.csr().kernel == "heap"
+        with pytest.raises(ValueError):
+            CSRGraph.from_topology(topology, kernel="bucket")
+
+    def test_excessive_weight_ratio_disqualifies_bucket(self):
+        # Quantized but with max_weight / quantum beyond the cap.
+        topology = Topology.from_edges(
+            3, [(0, 1, 0.5), (1, 2, 0.5 * (DIAL_MAX_QUANTA + 1))]
+        )
+        profile = topology.weight_profile()
+        assert profile.quantum is None
+        assert topology.csr().kernel == "heap"
+
+    def test_bfs_requires_unit_weights(self):
+        topology = Topology.from_edges(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        with pytest.raises(ValueError):
+            CSRGraph.from_topology(topology, kernel="bfs")
+
+    def test_unknown_kernel_rejected(self):
+        topology = Topology.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            CSRGraph.from_topology(topology, kernel="fibonacci")
+
+
+class TestWeightProfile:
+    def test_unit_profile(self):
+        profile = profile_weights([1.0, 1.0, 1.0])
+        assert profile == WeightProfile(True, 1.0, 1.0, 1.0, 1)
+
+    def test_pow2_quantum_detection(self):
+        profile = profile_weights([0.5, 2.5, 1.0, 3.75])
+        assert profile.quantum == 0.25
+        assert profile.max_quanta == 15
+        assert not profile.unit
+
+    def test_irregular_floats_have_no_quantum(self):
+        assert profile_weights([0.1, 0.2]).quantum is None
+
+    def test_infinite_weight_routes_to_heap(self):
+        # Topology.add_edge accepts inf (inf > 0); profiling must not crash
+        # and the search must match the reference engine.
+        import math
+
+        profile = profile_weights([1.0, math.inf])
+        assert profile.quantum is None
+        topology = Topology(3)
+        topology.add_edge(0, 1, math.inf)
+        topology.add_edge(1, 2, 1.0)
+        assert topology.csr().kernel == "heap"
+        assert topology.csr().dijkstra(0) == reference.dijkstra(topology, 0)
+
+    def test_empty_profile_is_unit(self):
+        assert profile_weights([]).unit
+
+    def test_profile_cached_and_invalidated_on_mutation(self):
+        topology = Topology.from_edges(4, [(0, 1, 2.0), (1, 2, 2.0)])
+        first = topology.weight_profile()
+        assert topology.weight_profile() is first
+        assert first.quantum == 2.0
+        topology.add_edge(2, 3, 0.75)
+        second = topology.weight_profile()
+        assert second is not first
+        assert second.quantum == 0.25
+        # Heavier duplicate edge: no mutation, cache kept.
+        topology.add_edge(0, 1, 9.0)
+        assert topology.weight_profile() is second
+
+    def test_profile_survives_pickle_roundtrip(self):
+        import pickle
+
+        topology = _quantized_geometric(30, seed=2)
+        clone = pickle.loads(pickle.dumps(topology))
+        assert clone.weight_profile() == topology.weight_profile()
+        assert clone.csr().kernel == topology.csr().kernel
+
+
+class TestRadiusBoundary:
+    """Exact-boundary semantics of the radius kernels on weighted graphs.
+
+    ``dijkstra_radius`` is strict by default: a node at exactly ``radius``
+    is *excluded* (the S4 cluster rule ``d(v, w) < d(w, l_w)``);
+    ``inclusive=True`` turns the comparison into ``<=``.  These cases sit a
+    node exactly on the boundary, which no earlier test pinned down.
+    """
+
+    @pytest.fixture()
+    def weighted_path(self) -> Topology:
+        # 0 --1.5-- 1 --1.5-- 2 --0.5-- 3: node 2 sits at exactly 3.0.
+        return Topology.from_edges(
+            4, [(0, 1, 1.5), (1, 2, 1.5), (2, 3, 0.5)]
+        )
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    @pytest.mark.parametrize("kernel", ["heap", "bucket"])
+    def test_exact_boundary_excluded_by_default(
+        self, weighted_path, kernel, use_c
+    ):
+        csr = CSRGraph.from_topology(weighted_path, kernel=kernel, use_c=use_c)
+        distances, _ = csr.dijkstra_radius(0, 3.0)
+        assert sorted(distances) == [0, 1]
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    @pytest.mark.parametrize("kernel", ["heap", "bucket"])
+    def test_exact_boundary_included_when_inclusive(
+        self, weighted_path, kernel, use_c
+    ):
+        csr = CSRGraph.from_topology(weighted_path, kernel=kernel, use_c=use_c)
+        distances, _ = csr.dijkstra_radius(0, 3.0, inclusive=True)
+        assert sorted(distances) == [0, 1, 2]
+        assert distances[2] == 3.0
+
+    def test_public_api_matches_reference_at_boundary(self, weighted_path):
+        for inclusive in (False, True):
+            assert dijkstra_radius(
+                weighted_path, 0, 3.0, inclusive=inclusive
+            ) == reference.dijkstra_radius(
+                weighted_path, 0, 3.0, inclusive=inclusive
+            )
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    def test_zero_radius_settles_only_source(self, weighted_path, use_c):
+        csr = CSRGraph.from_topology(weighted_path, use_c=use_c)
+        distances, predecessors = csr.dijkstra_radius(1, 0.0)
+        assert distances == {1: 0.0}
+        assert predecessors == {}
+
+    @pytest.mark.parametrize("use_c", TIERS, ids=TIER_IDS)
+    def test_batched_radius_boundary(self, weighted_path, use_c):
+        csr = CSRGraph.from_topology(weighted_path, use_c=use_c)
+        radii = [3.0, 1.5, 2.0, 0.5]
+        strict = csr.batched_radius(radii)
+        inclusive = csr.batched_radius(radii, inclusive=True)
+        for node, radius in enumerate(radii):
+            assert strict[node] == reference.dijkstra_radius(
+                weighted_path, node, radius
+            )
+            assert inclusive[node] == reference.dijkstra_radius(
+                weighted_path, node, radius, inclusive=True
+            )
+        # Nodes 0 and 2 sit at exactly 1.5 from source 1: excluded by the
+        # strict boundary, included by the inclusive one.
+        assert strict[1][0] == {1: 0.0}
+        assert sorted(inclusive[1][0]) == [0, 1, 2]
+
+
+class TestParallelKernelThreading:
+    def test_forced_kernel_reaches_workers(self):
+        topology = _quantized_geometric(48, seed=7)
+        auto = parallel_k_nearest(topology, 9, workers=1)
+        for kernel in ("heap", "bucket"):
+            serial = parallel_k_nearest(topology, 9, workers=1, kernel=kernel)
+            fanned = parallel_k_nearest(topology, 9, workers=2, kernel=kernel)
+            assert serial == auto
+            assert fanned == auto
+
+
+class TestPropertyBasedWeighted:
+    def test_random_quantized_graphs_both_kernels(self):
+        for seed in range(8):
+            topology = _quantized_geometric(30, seed=seed)
+            expected = [
+                reference.dijkstra(topology, s)
+                for s in range(topology.num_nodes)
+            ]
+            for kernel in ("heap", "bucket"):
+                for use_c in TIERS:
+                    csr = CSRGraph.from_topology(
+                        topology, kernel=kernel, use_c=use_c
+                    )
+                    got = [
+                        csr.dijkstra(s) for s in range(topology.num_nodes)
+                    ]
+                    assert got == expected

