@@ -4,12 +4,22 @@ The CLI wraps the library's most common workflows so that a downstream user
 can reproduce the paper or study their own topology without writing code::
 
     python -m repro list                              # experiment ids
+    python -m repro scenarios list                    # declarative catalog
     python -m repro run fig04-gnm-comparison          # one experiment
-    python -m repro run --all                         # everything
+    python -m repro run --all --workers 4             # everything, in parallel
+    python -m repro run fig02 fig03 --json-dir out/   # structured JSON results
     python -m repro generate gnm 1024 --out net.edges # write a topology
     python -m repro profile net.edges                 # structural profile
     python -m repro compare net.edges --protocols disco s4 vrr
     python -m repro bench --out BENCH_kernels.json    # perf-regression harness
+
+``repro run`` executes through the scenario engine
+(:mod:`repro.scenarios.engine`): prerequisites (topologies, converged
+routing substrates) are deduplicated through a content-addressed on-disk
+cache (``--cache-dir``, default ``.repro_cache``; ``--no-cache`` disables),
+``--workers N`` fans scenarios and their shards out over a process pool
+with byte-identical output, and ``--json-dir`` writes one structured JSON
+document per scenario next to the text reports.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ import sys
 from typing import Sequence
 
 from repro.experiments.config import default_scale
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import EXPERIMENTS
 from repro.graphs.analysis import profile_topology
 from repro.graphs.generators import (
     geometric_random_graph,
@@ -34,6 +44,10 @@ from repro.staticsim.simulation import StaticSimulation
 from repro.utils.formatting import format_table
 
 __all__ = ["main", "build_parser"]
+
+#: Default root of the on-disk artifact cache (overridable via
+#: ``REPRO_CACHE_DIR`` or ``--cache-dir``).
+DEFAULT_CACHE_DIR = ".repro_cache"
 
 _GENERATORS = {
     "gnm": gnm_random_graph,
@@ -57,6 +71,42 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiments", nargs="*", help="experiment ids")
     run_parser.add_argument(
         "--all", action="store_true", help="run every experiment"
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan scenarios and their shards out over this many worker "
+        "processes (output is byte-identical to a serial run)",
+    )
+    run_parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="also write one structured JSON result per scenario (plus a "
+        "manifest.json with run bookkeeping) into this directory",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="root of the on-disk artifact cache deduplicating topologies "
+        "and converged substrates across scenarios, workers, and runs "
+        f"(default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable artifact caching (every prerequisite is rebuilt)",
+    )
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="inspect the declarative scenario catalog"
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scenarios_sub.add_parser(
+        "list", help="list every scenario with its spec (family, protocols, "
+        "metrics, shards, aliases)"
     )
 
     generate_parser = subparsers.add_parser(
@@ -124,20 +174,70 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import registry
+
     selected = list(EXPERIMENTS) if args.all else list(args.experiments)
     if not selected:
         print("no experiments selected (pass ids or --all)", file=sys.stderr)
         return 2
-    unknown = [e for e in selected if e not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+    if args.no_cache:
+        cache = None
+    else:
+        cache = (
+            args.cache_dir
+            or os.environ.get("REPRO_CACHE_DIR")
+            or DEFAULT_CACHE_DIR
+        )
+    from repro.scenarios.engine import run_scenarios
+
+    try:
+        # run_scenarios resolves ids/aliases itself (planning happens
+        # before any execution, so an unknown id fails fast).
+        runs = run_scenarios(
+            selected,
+            scale=default_scale(),
+            workers=args.workers,
+            json_dir=args.json_dir,
+            cache=cache,
+            echo=lambda message: print(message, file=sys.stderr),
+        )
+    except registry.UnknownScenarioError as error:
+        print(str(error), file=sys.stderr)
         return 2
-    scale = default_scale()
-    for experiment_id in selected:
-        _, report = run_experiment(experiment_id, scale)
-        print(report)
+    for run in runs.values():
+        print(run.report)
         print()
     return 0
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import all_scenarios
+
+    if args.scenarios_command == "list":
+        scale = default_scale()
+        rows = []
+        for scenario in all_scenarios():
+            shard_keys = scenario.shard_keys(scale)
+            rows.append(
+                [
+                    scenario.scenario_id,
+                    ",".join(scenario.family),
+                    ",".join(scenario.protocols) or "-",
+                    ",".join(scenario.metrics),
+                    str(len(shard_keys)) if shard_keys else "-",
+                    ",".join(scenario.aliases) or "-",
+                ]
+            )
+        print(
+            format_table(
+                ["scenario", "families", "protocols", "metrics", "shards",
+                 "aliases"],
+                rows,
+            )
+        )
+        return 0
+    print(f"unknown scenarios command {args.scenarios_command!r}", file=sys.stderr)
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -243,6 +343,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "scenarios":
+        return _command_scenarios(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "profile":

@@ -81,7 +81,10 @@ class DiscoRouting(RoutingScheme):
     ) -> None:
         super().__init__(topology)
         if nddisco is not None:
-            if nddisco.topology is not topology:
+            # Identity is the common case; equality (same nodes and weighted
+            # edges) admits substrates round-tripped through the scenario
+            # engine's disk cache, which are content-equal distinct objects.
+            if nddisco.topology is not topology and nddisco.topology != topology:
                 raise ValueError("nddisco was built on a different topology")
             self._nddisco = nddisco
         else:

@@ -36,6 +36,7 @@ from repro.graphs.sampling import sample_pairs
 from repro.metrics.state import measure_state
 from repro.metrics.stretch import measure_stretch
 from repro.naming.names import name_for_node
+from repro.scenarios.spec import scenario
 from repro.utils.distributions import summarize
 from repro.utils.formatting import format_table
 
@@ -208,6 +209,17 @@ def _resolution_balance_ablation(topology, scale, settings=(1, 4, 16)):
     return tuple(rows)
 
 
+@scenario(
+    "ablations",
+    title="Design ablations: vicinity constant, landmark policy, address "
+    "design, resolution smoothing",
+    family=("gnm", "router-level"),
+    protocols=("disco", "nd-disco"),
+    metrics=("state", "stretch", "address-bytes", "resolution-load"),
+    workload="four independent design sweeps",
+    aliases=("ablation",),
+    tags=("study",),
+)
 def run(scale: ExperimentScale | None = None) -> AblationResult:
     """Run all four ablations on the comparison topologies."""
     scale = scale or default_scale()

@@ -23,8 +23,9 @@ from repro.dynamics.churn import apply_event, generate_churn_workload
 from repro.dynamics.maintenance import MaintenanceCost, maintenance_cost
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header
-from repro.experiments.workloads import comparison_gnm
+from repro.experiments.workloads import sweep_gnm
 from repro.sim.convergence import simulate_nddisco_convergence
+from repro.scenarios.spec import scenario
 from repro.utils.formatting import format_table
 
 __all__ = ["ChurnCostResult", "run", "format_report"]
@@ -64,6 +65,16 @@ class ChurnCostResult:
         return self.mean_incremental_entries / self.full_reconvergence_entries
 
 
+@scenario(
+    "churn-cost",
+    title="Extension: incremental maintenance cost under link churn",
+    family="gnm",
+    protocols=("nd-disco",),
+    metrics=("maintenance",),
+    workload="connectivity-preserving edge failures/recoveries",
+    aliases=("churn",),
+    tags=("study", "quick"),
+)
 def run(
     scale: ExperimentScale | None = None, *, num_events: int = 6
 ) -> ChurnCostResult:
@@ -72,9 +83,7 @@ def run(
     # The churn experiment diffs full converged states per event, so it runs
     # on a moderately sized topology regardless of the global scale.
     num_nodes = min(scale.comparison_nodes, 256)
-    from repro.graphs.generators import gnm_random_graph
-
-    topology = gnm_random_graph(num_nodes, seed=scale.seed, average_degree=8.0)
+    topology = sweep_gnm(num_nodes, scale.seed)
     workload = generate_churn_workload(
         topology, num_events=num_events, seed=scale.seed + 17
     )

@@ -27,6 +27,7 @@ from repro.experiments.reporting import header
 from repro.experiments.workloads import comparison_gnm
 from repro.graphs.sampling import sample_pairs
 from repro.metrics.stretch import measure_stretch
+from repro.scenarios.spec import scenario
 from repro.utils.formatting import format_table
 
 __all__ = ["EstimateErrorResult", "run", "format_report"]
@@ -49,6 +50,16 @@ class EstimateErrorResult:
         return (self.mean_first_stretch[level] - base) / base
 
 
+@scenario(
+    "estimate-error",
+    title="§5.2: robustness to errors in the estimate of n",
+    family="gnm",
+    protocols=("disco",),
+    metrics=("stretch", "reachability"),
+    workload="per-node n-estimate error injection",
+    aliases=("estimate",),
+    tags=("study", "quick"),
+)
 def run(
     scale: ExperimentScale | None = None,
     *,

@@ -22,6 +22,7 @@ from repro.graphs.generators import gnm_random_graph
 from repro.metrics.state import measure_state
 from repro.metrics.stretch import measure_stretch
 from repro.protocols.registry import build_scheme
+from repro.scenarios.spec import scenario
 from repro.utils.formatting import format_table
 
 __all__ = ["TaxonomyRow", "TaxonomyResult", "run", "format_report"]
@@ -58,6 +59,16 @@ _CLAIMS = {
 }
 
 
+@scenario(
+    "fig01-taxonomy",
+    title="Fig. 1: protocol-property taxonomy, checked empirically",
+    family="gnm",
+    protocols=tuple(_CLAIMS),
+    metrics=("state", "stretch"),
+    workload="two-size growth probe per protocol",
+    aliases=("fig01", "taxonomy"),
+    tags=("figure",),
+)
 def run(scale: ExperimentScale | None = None) -> TaxonomyResult:
     """Build every protocol at two sizes and probe the Fig. 1 properties."""
     scale = scale or default_scale()

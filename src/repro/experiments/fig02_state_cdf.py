@@ -25,11 +25,18 @@ from repro.experiments.workloads import (
     router_level_topology,
 )
 from repro.metrics.state import StateReport
+from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import StaticSimulation
 
 __all__ = ["StateCdfResult", "run", "format_report"]
 
 _PROTOCOLS = ("disco", "nd-disco", "s4")
+
+_PANELS = {
+    "geometric": large_geometric,
+    "as_level": as_level_topology,
+    "router_level": router_level_topology,
+}
 
 
 @dataclass(frozen=True)
@@ -56,27 +63,47 @@ class StateCdfResult:
         return summary.maximum / max(summary.mean, 1e-9)
 
 
-def run(scale: ExperimentScale | None = None) -> StateCdfResult:
-    """Measure per-node state for Disco, NDDisco and S4 on the three topologies."""
-    scale = scale or default_scale()
-    panels = {}
-    for label, topology in (
-        ("geometric", large_geometric(scale)),
-        ("as_level", as_level_topology(scale)),
-        ("router_level", router_level_topology(scale)),
-    ):
-        simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
-        results = simulation.run(
-            measure_state_flag=True,
-            measure_stretch_flag=False,
-            node_sample=scale.node_sample,
-        )
-        panels[label] = results.state
+def _run_panel(scale: ExperimentScale, label: str) -> dict[str, StateReport]:
+    """One topology panel -- the scenario engine's shard unit."""
+    topology = _PANELS[label](scale)
+    simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+    results = simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=False,
+        node_sample=scale.node_sample,
+    )
+    return results.state
+
+
+def _merge_panels(
+    scale: ExperimentScale, panels: dict[str, dict[str, StateReport]]
+) -> StateCdfResult:
     return StateCdfResult(
         geometric=panels["geometric"],
         as_level=panels["as_level"],
         router_level=panels["router_level"],
         scale_label=scale.label,
+    )
+
+
+@scenario(
+    "fig02-state-cdf",
+    title="Fig. 2: per-node state CDFs on the three large topologies",
+    family=("geometric", "as-level", "router-level"),
+    protocols=_PROTOCOLS,
+    metrics=("state",),
+    workload="converged-state CDF per topology panel",
+    aliases=("fig02",),
+    tags=("figure", "quick"),
+    shards=tuple(_PANELS),
+    shard_runner=_run_panel,
+    shard_merge=_merge_panels,
+)
+def run(scale: ExperimentScale | None = None) -> StateCdfResult:
+    """Measure per-node state for Disco, NDDisco and S4 on the three topologies."""
+    scale = scale or default_scale()
+    return _merge_panels(
+        scale, {label: _run_panel(scale, label) for label in _PANELS}
     )
 
 

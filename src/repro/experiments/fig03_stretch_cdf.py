@@ -25,11 +25,18 @@ from repro.experiments.workloads import (
     router_level_topology,
 )
 from repro.metrics.stretch import StretchReport
+from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import StaticSimulation
 
 __all__ = ["StretchCdfResult", "run", "format_report"]
 
 _PROTOCOLS = ("disco", "s4")
+
+_PANELS = {
+    "geometric": large_geometric,
+    "as_level": as_level_topology,
+    "router_level": router_level_topology,
+}
 
 
 @dataclass(frozen=True)
@@ -50,27 +57,47 @@ class StretchCdfResult:
         }
 
 
-def run(scale: ExperimentScale | None = None) -> StretchCdfResult:
-    """Measure first/later stretch for Disco and S4 on the three topologies."""
-    scale = scale or default_scale()
-    panels = {}
-    for label, topology in (
-        ("geometric", large_geometric(scale)),
-        ("as_level", as_level_topology(scale)),
-        ("router_level", router_level_topology(scale)),
-    ):
-        simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
-        results = simulation.run(
-            measure_state_flag=False,
-            measure_stretch_flag=True,
-            pair_sample=scale.pair_sample,
-        )
-        panels[label] = results.stretch
+def _run_panel(scale: ExperimentScale, label: str) -> dict[str, StretchReport]:
+    """One topology panel -- the scenario engine's shard unit."""
+    topology = _PANELS[label](scale)
+    simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+    results = simulation.run(
+        measure_state_flag=False,
+        measure_stretch_flag=True,
+        pair_sample=scale.pair_sample,
+    )
+    return results.stretch
+
+
+def _merge_panels(
+    scale: ExperimentScale, panels: dict[str, dict[str, StretchReport]]
+) -> StretchCdfResult:
     return StretchCdfResult(
         geometric=panels["geometric"],
         as_level=panels["as_level"],
         router_level=panels["router_level"],
         scale_label=scale.label,
+    )
+
+
+@scenario(
+    "fig03-stretch-cdf",
+    title="Fig. 3: path-stretch CDFs (Disco vs S4, first/later packets)",
+    family=("geometric", "as-level", "router-level"),
+    protocols=_PROTOCOLS,
+    metrics=("stretch",),
+    workload="sampled source-destination pairs per topology panel",
+    aliases=("fig03",),
+    tags=("figure", "quick"),
+    shards=tuple(_PANELS),
+    shard_runner=_run_panel,
+    shard_merge=_merge_panels,
+)
+def run(scale: ExperimentScale | None = None) -> StretchCdfResult:
+    """Measure first/later stretch for Disco and S4 on the three topologies."""
+    scale = scale or default_scale()
+    return _merge_panels(
+        scale, {label: _run_panel(scale, label) for label in _PANELS}
     )
 
 

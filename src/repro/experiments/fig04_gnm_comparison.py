@@ -25,6 +25,7 @@ from repro.experiments.reporting import (
     render_stretch_reports,
 )
 from repro.experiments.workloads import comparison_gnm
+from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import SimulationResults, StaticSimulation
 
 __all__ = ["ComparisonResult", "run", "format_report"]
@@ -41,6 +42,16 @@ class ComparisonResult:
     scale_label: str
 
 
+@scenario(
+    "fig04-gnm-comparison",
+    title="Fig. 4: state/stretch/congestion, five protocols on G(n,m)",
+    family="gnm",
+    protocols=_PROTOCOLS,
+    metrics=("state", "stretch", "congestion"),
+    workload="converged-state comparison, shared sampled workloads",
+    aliases=("fig04",),
+    tags=("figure",),
+)
 def run(scale: ExperimentScale | None = None) -> ComparisonResult:
     """Run the five-protocol comparison on the G(n,m) topology."""
     scale = scale or default_scale()

@@ -17,6 +17,7 @@ from repro.experiments.reporting import (
     render_stretch_reports,
 )
 from repro.experiments.workloads import comparison_geometric
+from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import StaticSimulation
 
 __all__ = ["run", "format_report"]
@@ -24,6 +25,17 @@ __all__ = ["run", "format_report"]
 _PROTOCOLS = ("disco", "nd-disco", "s4", "vrr", "path-vector")
 
 
+@scenario(
+    "fig05-geometric-comparison",
+    title="Fig. 5: state/stretch/congestion, five protocols on geometric "
+    "latencies",
+    family="geometric",
+    protocols=_PROTOCOLS,
+    metrics=("state", "stretch", "congestion"),
+    workload="converged-state comparison, shared sampled workloads",
+    aliases=("fig05",),
+    tags=("figure",),
+)
 def run(scale: ExperimentScale | None = None) -> ComparisonResult:
     """Run the five-protocol comparison on the geometric topology."""
     scale = scale or default_scale()

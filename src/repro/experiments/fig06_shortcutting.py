@@ -27,6 +27,7 @@ from repro.experiments.workloads import (
 )
 from repro.graphs.sampling import sample_pairs
 from repro.metrics.stretch import measure_stretch
+from repro.scenarios.spec import scenario
 from repro.utils.formatting import format_table
 
 __all__ = ["ShortcuttingResult", "run", "format_report", "MODE_ORDER"]
@@ -63,36 +64,74 @@ class ShortcuttingResult:
         return {mode: values[topology] for mode, values in self.mean_stretch.items()}
 
 
-def run(scale: ExperimentScale | None = None) -> ShortcuttingResult:
-    """Measure mean Disco first-packet stretch under every heuristic."""
-    scale = scale or default_scale()
-    topologies = {
-        "AS-Level": as_level_topology(scale),
-        "Router-level": router_level_topology(scale),
-        "Geometric": large_geometric(scale),
-        "GNM": comparison_gnm(scale),
-    }
+_TOPOLOGIES = {
+    "AS-Level": as_level_topology,
+    "Router-level": router_level_topology,
+    "Geometric": large_geometric,
+    "GNM": comparison_gnm,
+}
+
+
+def _run_column(scale: ExperimentScale, topology_label: str) -> dict[str, float]:
+    """One topology's column of the table -- the engine's shard unit.
+
+    The Disco instance is mutated per heuristic row (the shortcut mode is
+    applied at routing time), so this build is deliberately *not* routed
+    through the substrate cache: cached schemes are shared and must stay
+    immutable.
+    """
+    topology = _TOPOLOGIES[topology_label](scale)
+    pairs = sample_pairs(topology, scale.pair_sample, seed=scale.seed + 7)
+    # Build the shared substrate once per topology; only the shortcut mode
+    # differs across rows, and it is applied at routing time.
+    nddisco = NDDiscoRouting(
+        topology, seed=scale.seed, shortcut_mode=ShortcutMode.NONE
+    )
+    disco = DiscoRouting(topology, seed=scale.seed, nddisco=nddisco)
+    column: dict[str, float] = {}
+    for mode in MODE_ORDER:
+        disco.shortcut_mode = mode
+        report = measure_stretch(disco, pairs=pairs)
+        column[_MODE_LABELS[mode]] = report.first_summary.mean
+    return column
+
+
+def _merge_columns(
+    scale: ExperimentScale, columns: dict[str, dict[str, float]]
+) -> ShortcuttingResult:
     mean_stretch: dict[str, dict[str, float]] = {
         _MODE_LABELS[mode]: {} for mode in MODE_ORDER
     }
-    for topology_label, topology in topologies.items():
-        pairs = sample_pairs(topology, scale.pair_sample, seed=scale.seed + 7)
-        # Build the shared substrate once per topology; only the shortcut mode
-        # differs across rows, and it is applied at routing time.
-        nddisco = NDDiscoRouting(
-            topology, seed=scale.seed, shortcut_mode=ShortcutMode.NONE
-        )
-        disco = DiscoRouting(topology, seed=scale.seed, nddisco=nddisco)
+    for topology_label in _TOPOLOGIES:
         for mode in MODE_ORDER:
-            disco.shortcut_mode = mode
-            report = measure_stretch(disco, pairs=pairs)
-            mean_stretch[_MODE_LABELS[mode]][topology_label] = (
-                report.first_summary.mean
-            )
+            mean_stretch[_MODE_LABELS[mode]][topology_label] = columns[
+                topology_label
+            ][_MODE_LABELS[mode]]
     return ShortcuttingResult(
         mean_stretch=mean_stretch,
-        topology_order=tuple(topologies),
+        topology_order=tuple(_TOPOLOGIES),
         scale_label=scale.label,
+    )
+
+
+@scenario(
+    "fig06-shortcutting",
+    title="Fig. 6: shortcutting heuristics vs mean first-packet stretch",
+    family=("as-level", "router-level", "geometric", "gnm"),
+    protocols=("disco", "nd-disco"),
+    metrics=("stretch",),
+    workload="six heuristics x four topologies",
+    aliases=("fig06", "shortcutting"),
+    tags=("figure",),
+    shards=tuple(_TOPOLOGIES),
+    shard_runner=_run_column,
+    shard_merge=_merge_columns,
+)
+def run(scale: ExperimentScale | None = None) -> ShortcuttingResult:
+    """Measure mean Disco first-packet stretch under every heuristic."""
+    scale = scale or default_scale()
+    return _merge_columns(
+        scale, {label: _run_column(scale, label) for label in _TOPOLOGIES}
     )
 
 

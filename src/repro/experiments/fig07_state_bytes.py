@@ -21,6 +21,7 @@ from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header
 from repro.experiments.workloads import router_level_topology
 from repro.metrics.state import StateReport
+from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import StaticSimulation
 from repro.utils.formatting import format_table
 
@@ -60,6 +61,16 @@ class StateBytesResult:
         return rows
 
 
+@scenario(
+    "fig07-state-bytes",
+    title="Fig. 7: per-node state in entries and kilobytes (router-level)",
+    family="router-level",
+    protocols=_PROTOCOLS,
+    metrics=("state",),
+    workload="converged-state byte accounting",
+    aliases=("fig07",),
+    tags=("figure", "quick"),
+)
 def run(scale: ExperimentScale | None = None) -> StateBytesResult:
     """Measure state entries and bytes for S4, ND-Disco, Disco."""
     scale = scale or default_scale()

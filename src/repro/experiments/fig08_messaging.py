@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header
-from repro.graphs.generators import gnm_random_graph
+from repro.experiments.workloads import sweep_gnm
+from repro.scenarios.spec import scenario
 from repro.sim.convergence import (
     ConvergenceReport,
     simulate_disco_convergence,
@@ -53,29 +54,62 @@ class MessagingResult:
         }
 
 
+_CURVES = (
+    "Path-Vector",
+    "S4",
+    "ND-Disco",
+    "Disco-1-Finger",
+    "Disco-3-Finger",
+)
+
+
+def _run_size(scale: ExperimentScale, key: str) -> dict[str, ConvergenceReport]:
+    """All five curves at one swept size -- the engine's shard unit."""
+    n = int(key)
+    topology = sweep_gnm(n, scale.seed + n)
+    return {
+        "Path-Vector": simulate_path_vector_convergence(topology),
+        "S4": simulate_s4_convergence(topology, seed=scale.seed),
+        "ND-Disco": simulate_nddisco_convergence(topology, seed=scale.seed),
+        "Disco-1-Finger": simulate_disco_convergence(
+            topology, seed=scale.seed, num_fingers=1
+        ),
+        "Disco-3-Finger": simulate_disco_convergence(
+            topology, seed=scale.seed, num_fingers=3
+        ),
+    }
+
+
+def _merge_sizes(
+    scale: ExperimentScale, parts: dict[str, dict[str, ConvergenceReport]]
+) -> MessagingResult:
+    sweep = scale.messaging_sweep
+    reports: dict[str, dict[int, ConvergenceReport]] = {
+        curve: {n: parts[str(n)][curve] for n in sweep} for curve in _CURVES
+    }
+    return MessagingResult(reports=reports, sweep=sweep, scale_label=scale.label)
+
+
+@scenario(
+    "fig08-messaging",
+    title="Fig. 8: control entries per node until convergence (G(n,m) sweep)",
+    family="gnm",
+    protocols=("path-vector", "s4", "nd-disco", "disco"),
+    metrics=("messages",),
+    workload="event-driven convergence per swept size",
+    aliases=("fig08", "messaging"),
+    tags=("figure",),
+    shards=lambda scale: tuple(str(n) for n in scale.messaging_sweep),
+    shard_runner=_run_size,
+    shard_merge=_merge_sizes,
+)
 def run(scale: ExperimentScale | None = None) -> MessagingResult:
     """Run the convergence sweep for all five curves of Fig. 8."""
     scale = scale or default_scale()
-    sweep = scale.messaging_sweep
-    reports: dict[str, dict[int, ConvergenceReport]] = {
-        "Path-Vector": {},
-        "S4": {},
-        "ND-Disco": {},
-        "Disco-1-Finger": {},
-        "Disco-3-Finger": {},
-    }
-    for n in sweep:
-        topology = gnm_random_graph(n, seed=scale.seed + n, average_degree=8.0)
-        reports["Path-Vector"][n] = simulate_path_vector_convergence(topology)
-        reports["S4"][n] = simulate_s4_convergence(topology, seed=scale.seed)
-        reports["ND-Disco"][n] = simulate_nddisco_convergence(topology, seed=scale.seed)
-        reports["Disco-1-Finger"][n] = simulate_disco_convergence(
-            topology, seed=scale.seed, num_fingers=1
-        )
-        reports["Disco-3-Finger"][n] = simulate_disco_convergence(
-            topology, seed=scale.seed, num_fingers=3
-        )
-    return MessagingResult(reports=reports, sweep=sweep, scale_label=scale.label)
+    return _merge_sizes(
+        scale,
+        {str(n): _run_size(scale, str(n)) for n in scale.messaging_sweep},
+    )
 
 
 def format_report(result: MessagingResult) -> str:

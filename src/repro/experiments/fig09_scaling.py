@@ -20,8 +20,9 @@ from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header
-from repro.graphs.generators import geometric_random_graph
-from repro.staticsim.simulation import StaticSimulation
+from repro.experiments.workloads import sweep_geometric
+from repro.scenarios.spec import scenario
+from repro.staticsim.simulation import SimulationResults, StaticSimulation
 from repro.utils.formatting import format_table
 
 __all__ = ["ScalingResult", "run", "format_report"]
@@ -53,21 +54,27 @@ class ScalingResult:
         return numerator / denominator
 
 
-def run(scale: ExperimentScale | None = None) -> ScalingResult:
-    """Run the scaling sweep over geometric random graphs."""
-    scale = scale or default_scale()
+def _run_size(scale: ExperimentScale, key: str) -> SimulationResults:
+    """Build and measure one swept size -- the engine's shard unit."""
+    n = int(key)
+    topology = sweep_geometric(n, scale.seed + n)
+    simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
+    return simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=True,
+        pair_sample=min(scale.pair_sample, 4 * n),
+    )
+
+
+def _merge_sizes(
+    scale: ExperimentScale, parts: dict[str, SimulationResults]
+) -> ScalingResult:
     sweep = scale.scaling_sweep
     first: dict[str, dict[int, float]] = {}
     later: dict[str, dict[int, float]] = {}
     state: dict[str, dict[int, float]] = {}
     for n in sweep:
-        topology = geometric_random_graph(n, seed=scale.seed + n, average_degree=8.0)
-        simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)
-        results = simulation.run(
-            measure_state_flag=True,
-            measure_stretch_flag=True,
-            pair_sample=min(scale.pair_sample, 4 * n),
-        )
+        results = parts[str(n)]
         for name, report in results.stretch.items():
             first.setdefault(name, {})[n] = report.first_summary.mean
             later.setdefault(name, {})[n] = report.later_summary.mean
@@ -79,6 +86,28 @@ def run(scale: ExperimentScale | None = None) -> ScalingResult:
         mean_later_stretch=later,
         mean_state=state,
         scale_label=scale.label,
+    )
+
+
+@scenario(
+    "fig09-scaling",
+    title="Fig. 9: mean stretch and state vs network size (geometric sweep)",
+    family="geometric",
+    protocols=_PROTOCOLS,
+    metrics=("stretch", "state"),
+    workload="converged-state measurement per swept size",
+    aliases=("fig09", "scaling"),
+    tags=("figure", "quick"),
+    shards=lambda scale: tuple(str(n) for n in scale.scaling_sweep),
+    shard_runner=_run_size,
+    shard_merge=_merge_sizes,
+)
+def run(scale: ExperimentScale | None = None) -> ScalingResult:
+    """Run the scaling sweep over geometric random graphs."""
+    scale = scale or default_scale()
+    return _merge_sizes(
+        scale,
+        {str(n): _run_size(scale, str(n)) for n in scale.scaling_sweep},
     )
 
 

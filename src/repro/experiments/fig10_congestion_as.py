@@ -18,6 +18,7 @@ from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header, render_congestion_reports
 from repro.experiments.workloads import as_level_topology
 from repro.metrics.congestion import CongestionReport
+from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import StaticSimulation
 
 __all__ = ["CongestionTailResult", "run", "format_report"]
@@ -43,6 +44,16 @@ class CongestionTailResult:
         return sum(1 for v in values if v > base_max) / len(values)
 
 
+@scenario(
+    "fig10-congestion-as",
+    title="Fig. 10: congestion tail on the AS-level topology",
+    family="as-level",
+    protocols=_PROTOCOLS,
+    metrics=("congestion",),
+    workload="one flow per node",
+    aliases=("fig10",),
+    tags=("figure", "quick"),
+)
 def run(scale: ExperimentScale | None = None) -> CongestionTailResult:
     """Measure congestion for Disco, S4, and path vector on the AS-level graph."""
     scale = scale or default_scale()

@@ -24,6 +24,7 @@ from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header
 from repro.experiments.workloads import comparison_gnm
 from repro.naming.names import name_for_node
+from repro.scenarios.spec import scenario
 from repro.utils.formatting import format_table
 
 __all__ = ["FingerStudyResult", "run", "format_report"]
@@ -47,6 +48,16 @@ class FingerStudyResult:
         return (more - base) / base
 
 
+@scenario(
+    "finger-study",
+    title="§4.4/§5.2: 1-finger vs 3-finger overlay dissemination",
+    family="gnm",
+    protocols=("disco",),
+    metrics=("coverage", "messages"),
+    workload="address dissemination over the sloppy-group overlay",
+    aliases=("fingers",),
+    tags=("study",),
+)
 def run(
     scale: ExperimentScale | None = None,
     *,

@@ -30,6 +30,7 @@ from repro.graphs.generators import (
     two_level_tree,
 )
 from repro.graphs.topology import Topology
+from repro.scenarios.spec import scenario
 from repro.metrics.state import measure_state
 from repro.metrics.stretch import measure_stretch
 from repro.utils.formatting import format_table
@@ -81,6 +82,16 @@ def _topologies(scale: ExperimentScale) -> list[Topology]:
     ]
 
 
+@scenario(
+    "guarantees",
+    title="Theorems 1 & 2: empirical stretch and state bounds for Disco",
+    family=("gnm", "geometric", "as-level", "ring", "tree"),
+    protocols=("disco",),
+    metrics=("stretch", "state"),
+    workload="worst-case probes across topology families",
+    aliases=("theorems",),
+    tags=("study", "quick"),
+)
 def run(scale: ExperimentScale | None = None) -> GuaranteeResult:
     """Measure worst-case stretch and state for Disco across topology families."""
     scale = scale or default_scale()

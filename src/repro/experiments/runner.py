@@ -1,16 +1,21 @@
-"""Run every experiment and collect the reports.
+"""Legacy experiment API, backed by the scenario registry.
 
-``run_all_experiments`` is what ``examples/reproduce_paper.py`` and the
-integration tests use; each entry maps an experiment id (the figure/table it
-reproduces) to the rendered text report.  Individual experiments can be
-selected by id, and the heavyweight ones can be excluded for quick runs.
+Importing this module pulls in every experiment module, whose ``@scenario``
+decorators populate :mod:`repro.scenarios.registry`; ``EXPERIMENTS`` is then
+materialized from the registry in the historical id order, so pre-existing
+callers (``examples/reproduce_paper.py``, the integration tests, downstream
+scripts) keep the exact ``{id: (run, format_report)}`` shape and behavior
+they always had.  New code should prefer the scenario engine
+(:func:`repro.scenarios.engine.run_scenarios`), which adds prerequisite
+caching, sharded parallel execution, and structured JSON output on top of
+the same registry.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable
 
-from repro.experiments import (
+from repro.experiments import (  # noqa: F401  (imported for registration)
     ablations,
     addr_sizes,
     churn_cost,
@@ -30,38 +35,50 @@ from repro.experiments import (
     static_accuracy,
 )
 from repro.experiments.config import ExperimentScale, default_scale
+from repro.scenarios import registry as _registry
 
 __all__ = ["EXPERIMENTS", "run_all_experiments", "run_experiment"]
 
-# Experiment id -> (run, format_report).
-EXPERIMENTS: dict[str, tuple[Callable, Callable]] = {
-    "fig01-taxonomy": (fig01_taxonomy.run, fig01_taxonomy.format_report),
-    "fig02-state-cdf": (fig02_state_cdf.run, fig02_state_cdf.format_report),
-    "fig03-stretch-cdf": (fig03_stretch_cdf.run, fig03_stretch_cdf.format_report),
-    "fig04-gnm-comparison": (
-        fig04_gnm_comparison.run,
-        fig04_gnm_comparison.format_report,
-    ),
-    "fig05-geometric-comparison": (
-        fig05_geometric_comparison.run,
-        fig05_geometric_comparison.format_report,
-    ),
-    "fig06-shortcutting": (fig06_shortcutting.run, fig06_shortcutting.format_report),
-    "fig07-state-bytes": (fig07_state_bytes.run, fig07_state_bytes.format_report),
-    "fig08-messaging": (fig08_messaging.run, fig08_messaging.format_report),
-    "fig09-scaling": (fig09_scaling.run, fig09_scaling.format_report),
-    "fig10-congestion-as": (
-        fig10_congestion_as.run,
-        fig10_congestion_as.format_report,
-    ),
-    "addr-sizes": (addr_sizes.run, addr_sizes.format_report),
-    "finger-study": (finger_study.run, finger_study.format_report),
-    "estimate-error": (estimate_error.run, estimate_error.format_report),
-    "static-accuracy": (static_accuracy.run, static_accuracy.format_report),
-    "guarantees": (guarantees.run, guarantees.format_report),
-    "churn-cost": (churn_cost.run, churn_cost.format_report),
-    "ablations": (ablations.run, ablations.format_report),
-}
+#: Historical presentation order of the experiment ids (figures first).
+_CANONICAL_ORDER = (
+    "fig01-taxonomy",
+    "fig02-state-cdf",
+    "fig03-stretch-cdf",
+    "fig04-gnm-comparison",
+    "fig05-geometric-comparison",
+    "fig06-shortcutting",
+    "fig07-state-bytes",
+    "fig08-messaging",
+    "fig09-scaling",
+    "fig10-congestion-as",
+    "addr-sizes",
+    "finger-study",
+    "estimate-error",
+    "static-accuracy",
+    "guarantees",
+    "churn-cost",
+    "ablations",
+)
+
+
+def _experiments() -> dict[str, tuple[Callable, Callable]]:
+    table: dict[str, tuple[Callable, Callable]] = {}
+    registered = {
+        scenario.scenario_id: scenario
+        for scenario in _registry.all_scenarios()
+    }
+    ordered = [
+        *(_id for _id in _CANONICAL_ORDER if _id in registered),
+        *(_id for _id in registered if _id not in _CANONICAL_ORDER),
+    ]
+    for scenario_id in ordered:
+        scenario = registered[scenario_id]
+        table[scenario_id] = (scenario.run, scenario.format_report)
+    return table
+
+
+# Experiment id -> (run, format_report); built from the scenario registry.
+EXPERIMENTS: dict[str, tuple[Callable, Callable]] = _experiments()
 
 
 def run_experiment(

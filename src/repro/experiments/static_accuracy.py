@@ -26,6 +26,7 @@ from repro.experiments.reporting import header
 from repro.graphs.generators import gnm_random_graph
 from repro.graphs.sampling import sample_pairs
 from repro.metrics.stretch import measure_stretch
+from repro.scenarios.spec import scenario
 from repro.sim.convergence import simulate_nddisco_convergence
 from repro.utils.formatting import format_table
 
@@ -93,6 +94,17 @@ def _tables_to_vicinities(
     return vicinities
 
 
+@scenario(
+    "static-accuracy",
+    title="§5.2: accuracy of the static simulation vs the message "
+    "simulator",
+    family="gnm",
+    protocols=("nd-disco",),
+    metrics=("state", "vicinity-agreement"),
+    workload="converged-state diff against event-driven convergence",
+    aliases=("accuracy",),
+    tags=("study", "quick"),
+)
 def run(scale: ExperimentScale | None = None) -> StaticAccuracyResult:
     """Compare static and dynamically converged NDDisco on a G(n,m) graph."""
     scale = scale or default_scale()

@@ -4,9 +4,18 @@ The paper's four topology families (§5.1), produced at the sizes dictated by
 an :class:`~repro.experiments.config.ExperimentScale`.  Each function is a
 thin, named wrapper so every experiment that says "the AS-level topology"
 builds exactly the same graph for the same scale and seed.
+
+Every builder routes through :func:`cached_topology`: when the scenario
+engine has an :class:`~repro.scenarios.cache.ArtifactCache` active, the
+``(family, n, seed, parameters)`` construction inputs become a
+content-addressed key and the build is deduplicated across all scenarios of
+the run (and, with a disk-backed cache, across runs and worker processes).
+Without an active cache the builders construct directly, exactly as before.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.experiments.config import ExperimentScale
 from repro.graphs.generators import (
@@ -16,40 +25,83 @@ from repro.graphs.generators import (
     internet_router_level,
 )
 from repro.graphs.topology import Topology
+from repro.scenarios.cache import active_cache
 
 __all__ = [
+    "cached_topology",
     "comparison_gnm",
     "comparison_geometric",
     "large_geometric",
     "as_level_topology",
     "router_level_topology",
+    "sweep_gnm",
+    "sweep_geometric",
 ]
+
+
+def cached_topology(
+    parts: tuple, build: Callable[[], Topology]
+) -> Topology:
+    """Build (or fetch) a topology keyed by its construction inputs.
+
+    ``parts`` must uniquely describe the build -- generator family, node
+    count, seed, and structural parameters -- because it becomes the cache
+    key.  With no active cache this is just ``build()``.
+    """
+    cache = active_cache()
+    if cache is None:
+        return build()
+    return cache.topology(parts, build)
 
 
 def comparison_gnm(scale: ExperimentScale) -> Topology:
     """The G(n,m) comparison topology of Fig. 4 (1,024 nodes in the paper)."""
-    return gnm_random_graph(scale.comparison_nodes, seed=scale.seed, average_degree=8.0)
+    return sweep_gnm(scale.comparison_nodes, scale.seed)
 
 
 def comparison_geometric(scale: ExperimentScale) -> Topology:
     """The geometric comparison topology of Fig. 5 (1,024 nodes, latencies)."""
-    return geometric_random_graph(
-        scale.comparison_nodes, seed=scale.seed, average_degree=8.0
-    )
+    return sweep_geometric(scale.comparison_nodes, scale.seed)
 
 
 def large_geometric(scale: ExperimentScale) -> Topology:
     """The large geometric topology of Figs. 2/3 (16,384 nodes in the paper)."""
-    return geometric_random_graph(
-        scale.large_nodes, seed=scale.seed + 1, average_degree=8.0
-    )
+    return sweep_geometric(scale.large_nodes, scale.seed + 1)
 
 
 def as_level_topology(scale: ExperimentScale) -> Topology:
     """Synthetic AS-level Internet-like topology (stands in for the CAIDA map)."""
-    return internet_as_level(scale.as_level_nodes, seed=scale.seed + 2)
+    n, seed = scale.as_level_nodes, scale.seed + 2
+    return cached_topology(
+        ("as-level", n, seed),
+        lambda: internet_as_level(n, seed=seed),
+    )
 
 
 def router_level_topology(scale: ExperimentScale) -> Topology:
     """Synthetic router-level Internet-like topology (stands in for CAIDA)."""
-    return internet_router_level(scale.router_level_nodes, seed=scale.seed + 3)
+    n, seed = scale.router_level_nodes, scale.seed + 3
+    return cached_topology(
+        ("router-level", n, seed),
+        lambda: internet_router_level(n, seed=seed),
+    )
+
+
+def sweep_gnm(n: int, seed: int, average_degree: float = 8.0) -> Topology:
+    """A G(n,m) graph at an explicit size/seed (Fig. 8 sweep, churn study)."""
+    return cached_topology(
+        ("gnm", n, seed, average_degree),
+        lambda: gnm_random_graph(n, seed=seed, average_degree=average_degree),
+    )
+
+
+def sweep_geometric(
+    n: int, seed: int, average_degree: float = 8.0
+) -> Topology:
+    """A geometric graph at an explicit size/seed (Fig. 9 sweep)."""
+    return cached_topology(
+        ("geometric", n, seed, average_degree),
+        lambda: geometric_random_graph(
+            n, seed=seed, average_degree=average_degree
+        ),
+    )

@@ -95,6 +95,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "CSRGraph",
+    "SharedCSR",
+    "SharedCSRHandle",
     "WeightProfile",
     "profile_weights",
     "DIAL_MAX_QUANTA",
@@ -369,6 +371,53 @@ class CSRGraph:
             kernel=kernel,
             use_c=use_c,
         )
+
+    @classmethod
+    def from_shared(
+        cls, handle: "SharedCSRHandle", *, use_c: bool | None = None
+    ) -> "CSRGraph":
+        """Attach to a published snapshot; zero-copy view, no rebuild.
+
+        The returned snapshot's ``offsets`` / ``neighbors`` / ``weights``
+        slabs are typed :class:`memoryview`\\ s over the shared-memory
+        segment named by ``handle`` -- nothing is copied, and the C kernels
+        pass the mapped pages straight to native code via ``from_buffer``.
+        Only the per-search scratch arena is private to the attaching
+        process, which is exactly what makes one immutable snapshot safely
+        shareable across a fan-out: searches never write to the slabs.
+
+        The mapping stays alive exactly as long as the slab views do: the
+        attaching ``SharedMemory`` object is detached from its finalizer
+        (views created from it keep the underlying ``mmap`` alive, and the
+        last view to die unmaps it), so snapshots can be dropped in any
+        order without ``BufferError`` noise.  The *publisher* controls the
+        segment's name lifetime (see :class:`SharedCSR`); attachers never
+        unlink.
+        """
+        shm = _attach_untracked(handle.shm_name)
+        n = handle.num_nodes
+        arcs = handle.num_arcs
+        offsets_end = 8 * (n + 1)
+        neighbors_end = offsets_end + 8 * arcs
+        weights_end = neighbors_end + 8 * arcs
+        buf = shm.buf
+        graph = cls(
+            n,
+            buf[:offsets_end].cast("q"),
+            buf[offsets_end:neighbors_end].cast("q"),
+            buf[neighbors_end:weights_end].cast("d"),
+            profile=handle.profile,
+            kernel=handle.kernel,
+            use_c=use_c,
+        )
+        # Hand lifetime management to the views: drop the SharedMemory
+        # object's own references so its close() (now or at GC) only closes
+        # the file descriptor, never tries to unmap pages the kernels are
+        # still pointing into.
+        shm._buf = None
+        shm._mmap = None
+        shm.close()
+        return graph
 
     @property
     def num_edges(self) -> int:
@@ -1050,14 +1099,115 @@ class CSRGraph:
         return result
 
 
+# -- shared-memory publication ----------------------------------------------
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker registration.
+
+    ``SharedMemory(name=...)`` registers the segment with the process-wide
+    resource tracker, which unlinks every registered name at shutdown and
+    complains about "leaks".  Attachers must not own the segment's name --
+    the publisher unlinks it exactly once -- so tracking is suppressed:
+    via ``track=False`` on CPython 3.13+, and by making registration a
+    no-op for the duration of the attach on older versions (the documented
+    community workaround; the tracker API is internal but stable).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable description of a published CSR snapshot.
+
+    Everything a worker needs to attach with :meth:`CSRGraph.from_shared`:
+    the shared-memory segment name, the slab dimensions, the precomputed
+    :class:`WeightProfile` (so attachers skip the O(E) profiling pass), and
+    the publisher's forced-kernel override (``None`` = auto-select).
+    """
+
+    shm_name: str
+    num_nodes: int
+    num_arcs: int
+    profile: WeightProfile
+    kernel: str | None
+
+
+class SharedCSR:
+    """Publish one immutable CSR snapshot in a shared-memory segment.
+
+    The segment holds the three CSR slabs back to back
+    (``offsets | neighbors | weights``); workers map it with
+    :meth:`CSRGraph.from_shared` instead of rebuilding the snapshot from a
+    pickled :class:`Topology`.  The publisher owns the segment's lifetime:
+    call :meth:`close` (or use as a context manager) after the consumers
+    are done.  Snapshots are immutable by contract -- ``Topology.csr()``
+    invalidates on mutation, so a publisher can never capture a stale view.
+    """
+
+    def __init__(self, csr: CSRGraph, *, kernel: str | None = None) -> None:
+        from multiprocessing import shared_memory
+
+        n = csr.num_nodes
+        arcs = len(csr.neighbors)
+        offsets_end = 8 * (n + 1)
+        neighbors_end = offsets_end + 8 * arcs
+        total = neighbors_end + 8 * arcs
+        self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        buf = self._shm.buf
+        buf[:offsets_end].cast("q")[:] = csr.offsets
+        buf[offsets_end:neighbors_end].cast("q")[:] = csr.neighbors
+        buf[neighbors_end:total].cast("d")[:] = csr.weights
+        self.handle = SharedCSRHandle(
+            shm_name=self._shm.name,
+            num_nodes=n,
+            num_arcs=arcs,
+            profile=csr.profile,
+            kernel=kernel,
+        )
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 # -- multiprocessing fan-out ------------------------------------------------
 #
 # The per-node vicinity and cluster builds are embarrassingly parallel: every
-# search is independent and the graph is read-only.  Each worker process
-# builds its own CSR snapshot once (searches are arena-stateful, so snapshots
-# cannot be shared across processes) and then streams chunks of nodes.  The
-# parent's kernel choice (including any forced override) is forwarded so the
-# workers run the same kernel.
+# search is independent and the graph is read-only.  The parent publishes its
+# CSR snapshot once via shared memory and each worker attaches a zero-copy
+# view (private scratch arena, shared slabs) -- no per-worker snapshot
+# rebuild and no O(E) topology pickle per worker.  If shared memory is
+# unavailable (no /dev/shm, exotic platforms), the fan-out falls back to the
+# historical path of shipping the pickled topology and rebuilding per
+# worker.  The parent's kernel choice (including any forced override) is
+# forwarded so the workers run the same kernel either way.
 
 _WORKER_CSR: CSRGraph | None = None
 
@@ -1065,6 +1215,11 @@ _WORKER_CSR: CSRGraph | None = None
 def _parallel_init(topology: "Topology", kernel: str | None = None) -> None:
     global _WORKER_CSR
     _WORKER_CSR = CSRGraph.from_topology(topology, kernel=kernel)
+
+
+def _shared_init(handle: SharedCSRHandle) -> None:
+    global _WORKER_CSR
+    _WORKER_CSR = CSRGraph.from_shared(handle)
 
 
 def _k_nearest_chunk(
@@ -1088,6 +1243,29 @@ def _chunks(items: list, count: int) -> list[list]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+def _publish_csr(
+    topology: "Topology", kernel: str | None
+) -> "SharedCSR | None":
+    """Publish the topology's snapshot for a fan-out; None = fall back."""
+    csr = (
+        topology.csr()
+        if kernel is None
+        else CSRGraph.from_topology(topology, kernel=kernel)
+    )
+    try:
+        return SharedCSR(csr, kernel=kernel)
+    except Exception:
+        return None
+
+
+def _pool_args(
+    topology: "Topology", kernel: str | None, shared: "SharedCSR | None"
+) -> tuple:
+    if shared is not None:
+        return _shared_init, (shared.handle,)
+    return _parallel_init, (topology, kernel)
+
+
 def parallel_k_nearest(
     topology: "Topology", k: int, *, workers: int = 1, kernel: str | None = None
 ) -> list[tuple[dict[int, float], dict[int, int]]]:
@@ -1097,7 +1275,9 @@ def parallel_k_nearest(
     identical either way (each search is independent and deterministic);
     ordering is by node id.  ``kernel`` forces a specific search kernel in
     the serial path *and* in every worker (default: per-profile auto
-    selection, see :class:`CSRGraph`).
+    selection, see :class:`CSRGraph`).  Workers attach to one shared-memory
+    snapshot published by the parent (:class:`SharedCSR`) rather than each
+    rebuilding their own.
     """
     nodes = list(topology.nodes())
     if workers <= 1 or len(nodes) < 4 * workers:
@@ -1107,10 +1287,14 @@ def parallel_k_nearest(
     from multiprocessing import Pool
 
     tasks = [(k, chunk) for chunk in _chunks(nodes, workers * 4)]
-    with Pool(
-        workers, initializer=_parallel_init, initargs=(topology, kernel)
-    ) as pool:
-        chunked = pool.map(_k_nearest_chunk, tasks)
+    shared = _publish_csr(topology, kernel)
+    initializer, initargs = _pool_args(topology, kernel, shared)
+    try:
+        with Pool(workers, initializer=initializer, initargs=initargs) as pool:
+            chunked = pool.map(_k_nearest_chunk, tasks)
+    finally:
+        if shared is not None:
+            shared.close()
     return [result for chunk in chunked for result in chunk]
 
 
@@ -1125,8 +1309,8 @@ def parallel_radius(
 
     ``radii[v]`` bounds node ``v``'s search (strict boundary, matching the
     S4 cluster definition).  Results are ordered by node id.  ``kernel``
-    forces a specific search kernel everywhere, as in
-    :func:`parallel_k_nearest`.
+    forces a specific search kernel everywhere, and workers share one
+    published snapshot, as in :func:`parallel_k_nearest`.
     """
     nodes = list(topology.nodes())
     if len(radii) != len(nodes):
@@ -1145,8 +1329,12 @@ def parallel_radius(
     for chunk in node_chunks:
         tasks.append((chunk, list(radii[start : start + len(chunk)])))
         start += len(chunk)
-    with Pool(
-        workers, initializer=_parallel_init, initargs=(topology, kernel)
-    ) as pool:
-        chunked = pool.map(_radius_chunk, tasks)
+    shared = _publish_csr(topology, kernel)
+    initializer, initargs = _pool_args(topology, kernel, shared)
+    try:
+        with Pool(workers, initializer=initializer, initargs=initargs) as pool:
+            chunked = pool.map(_radius_chunk, tasks)
+    finally:
+        if shared is not None:
+            shared.close()
     return [result for chunk in chunked for result in chunk]

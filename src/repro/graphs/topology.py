@@ -43,6 +43,7 @@ class Topology:
         "_edge_weights",
         "_csr",
         "_weight_profile",
+        "_content_key",
         "name",
     )
 
@@ -56,6 +57,7 @@ class Topology:
         self._edge_weights: dict[tuple[int, int], float] = {}
         self._csr: "CSRGraph | None" = None
         self._weight_profile: "WeightProfile | None" = None
+        self._content_key: str | None = None
         self.name = name
 
     # -- construction -----------------------------------------------------
@@ -78,14 +80,24 @@ class Topology:
                 self._edge_weights[key] = float(weight)
                 self._replace_adjacency_weight(u, v, float(weight))
                 self._replace_adjacency_weight(v, u, float(weight))
-                self._csr = None
-                self._weight_profile = None
+                self._invalidate_caches()
             return
         self._edge_weights[key] = float(weight)
         self._adjacency[u].append((v, float(weight)))
         self._adjacency[v].append((u, float(weight)))
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Drop every derived snapshot after a mutation.
+
+        The CSR kernel snapshot, the weight profile, and the content key are
+        all pure functions of the edge set; they are invalidated together so
+        no caller (including a shared-memory publisher) can observe a stale
+        view of a mutated topology.
+        """
         self._csr = None
         self._weight_profile = None
+        self._content_key = None
 
     def add_edges_from(
         self, edges: Iterable[tuple[int, int] | tuple[int, int, float]]
@@ -322,6 +334,31 @@ class Topology:
             )
         return self._weight_profile
 
+    def content_key(self) -> str:
+        """Return a content-addressed key for this topology's edge set.
+
+        A SHA-256 hex digest over the node count and every undirected edge
+        ``(u, v, weight)`` in sorted order, with weights hashed by their
+        exact IEEE-754 bit pattern.  Two topologies have the same key iff
+        they compare ``==`` (same nodes and weighted edges, regardless of
+        insertion order or ``name``).  Cached alongside the CSR snapshot and
+        invalidated on any mutation; the scenario engine's artifact cache
+        uses it to key converged routing substrates on disk.
+        """
+        if self._content_key is None:
+            import hashlib
+            import struct
+
+            digest = hashlib.sha256()
+            digest.update(b"topology/v1")
+            digest.update(struct.pack("<q", self._num_nodes))
+            for (u, v) in sorted(self._edge_weights):
+                digest.update(
+                    struct.pack("<qqd", u, v, self._edge_weights[(u, v)])
+                )
+            self._content_key = digest.hexdigest()
+        return self._content_key
+
     # -- pickling ----------------------------------------------------------
     # The CSR snapshot (arrays + scratch arena) is cheap to rebuild and
     # dropped from the pickle so multiprocessing fan-outs ship only the
@@ -342,6 +379,7 @@ class Topology:
         self.name = state["name"]
         self._csr = None
         self._weight_profile = None
+        self._content_key = None
 
     # -- dunder ------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import time
 from typing import Callable
@@ -53,12 +54,44 @@ from repro.graphs.sampling import sample_pairs
 from repro.graphs.topology import Topology
 from repro.staticsim.simulation import StaticSimulation
 
-__all__ = ["BENCH_SCHEMA", "bench_kernels", "write_bench_json"]
+__all__ = ["BENCH_SCHEMA", "bench_kernels", "host_metadata", "write_bench_json"]
 
-BENCH_SCHEMA = "repro-bench-kernels/v2"
+BENCH_SCHEMA = "repro-bench-kernels/v3"
 
 #: Power-of-two latency quantum for the bucket-queue benchmark family.
 BENCH_LATENCY_QUANTUM = 0.25
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string (``/proc/cpuinfo`` on Linux)."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def host_metadata() -> dict:
+    """Host facts that make committed benchmark numbers interpretable.
+
+    Recorded in every ``BENCH_kernels.json`` so numbers measured on
+    different machines (CPU model, core count, Python build, kernel tier)
+    can be compared with eyes open rather than assumed equivalent.
+    """
+    from repro.graphs import _ckernels
+
+    return {
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "kernel_tier": "c" if _ckernels.load_kernels() is not None else "python",
+    }
 
 
 def _best_of(function: Callable[[], None], repeats: int) -> float:
@@ -305,6 +338,9 @@ def bench_kernels(
             ),
             repeats=2,
         )
+        _scenario_suite_case(
+            results, quick=quick, workers=workers, repeats=1 if quick else 2
+        )
 
     from repro.graphs import _ckernels
 
@@ -316,8 +352,92 @@ def bench_kernels(
         "c_kernels": _ckernels.load_kernels() is not None,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host": host_metadata(),
         "benchmarks": results,
     }
+
+
+def _scenario_suite_case(
+    results: dict[str, dict], *, quick: bool, workers: int | None, repeats: int
+) -> None:
+    """End-to-end scenario-engine suite: caching (and fan-out) vs cold serial.
+
+    The workload is the quick-scale scenario subset that shares the most
+    prerequisites: Figs. 2 and 3 measure the same three converged substrates
+    (large-geometric, AS-level, router-level) from different angles, Fig. 7
+    and the address study share the router-level NDDisco, and Fig. 10
+    shares the AS-level Disco/S4:
+
+    * **before** -- the scenario engine run serially with caching disabled,
+      which performs exactly the work the pre-engine experiment layer did
+      (every scenario rebuilds its own prerequisites);
+    * **after** -- the same scenarios with a fresh in-memory artifact cache,
+      so shared topologies and converged ``StaticSimulation`` substrates are
+      built once (the ``/workers-N`` variant adds the process-pool fan-out
+      on top, sharing one on-disk cache between workers).
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.config import ExperimentScale
+    from repro.scenarios.cache import ArtifactCache
+    from repro.scenarios.engine import run_scenarios
+
+    ids = (
+        "fig02-state-cdf",
+        "fig03-stretch-cdf",
+        "fig07-state-bytes",
+        "fig10-congestion-as",
+        "addr-sizes",
+    )
+    n = 96 if quick else 384
+    scale = ExperimentScale(
+        comparison_nodes=n,
+        large_nodes=n,
+        as_level_nodes=n,
+        router_level_nodes=n + n // 4,
+        pair_sample=60 if quick else 150,
+        messaging_sweep=(24, 32) if quick else (48, 64),
+        scaling_sweep=(n // 2, n) if quick else (n // 2, 3 * n // 4, n),
+        seed=2010,
+        label="bench-suite",
+    )
+    name = f"scenario_suite/quick5-{n}"
+    params = {
+        "scenarios": list(ids),
+        "n": n,
+        "comparison": "no-cache serial vs cached serial (same engine)",
+    }
+    _entry(
+        name,
+        params,
+        lambda: run_scenarios(ids, scale=scale, workers=1, cache=None),
+        lambda: run_scenarios(
+            ids, scale=scale, workers=1, cache=ArtifactCache()
+        ),
+        repeats=repeats,
+        results=results,
+    )
+    if workers and workers > 1:
+
+        def run_parallel_cold() -> None:
+            # Fresh cache root per repeat: measures within-run dedup plus
+            # the fan-out, not a warm disk cache from the previous repeat.
+            cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+            try:
+                run_scenarios(
+                    ids, scale=scale, workers=workers, cache=cache_root
+                )
+            finally:
+                shutil.rmtree(cache_root, ignore_errors=True)
+
+        after_parallel = _best_of(run_parallel_cold, repeats)
+        results[name + f"/workers-{workers}"] = {
+            "params": {**params, "workers": workers},
+            "before_s": results[name]["before_s"],
+            "after_s": round(after_parallel, 6),
+            "speedup": round(results[name]["before_s"] / after_parallel, 3),
+        }
 
 
 def write_bench_json(report: dict, path: str) -> None:

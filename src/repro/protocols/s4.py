@@ -114,7 +114,10 @@ class S4Routing(RoutingScheme):
         # either shared from the sibling scheme or built by the batched
         # driver.
         if substrate is not None:
-            if substrate.topology is not topology:
+            # Identity is the common case; equality (same nodes and weighted
+            # edges) admits substrates round-tripped through the scenario
+            # engine's disk cache, which are content-equal distinct objects.
+            if substrate.topology is not topology and substrate.topology != topology:
                 raise ValueError("substrate must be built on the same topology")
             if substrate.landmarks != self._landmarks:
                 raise ValueError("substrate must share this scheme's landmark set")

@@ -1,0 +1,46 @@
+"""Declarative scenario engine for the experiment suite.
+
+The pieces, bottom up:
+
+* :mod:`repro.scenarios.spec` -- the :class:`Scenario` dataclass and the
+  ``@scenario`` decorator the experiment modules register through.
+* :mod:`repro.scenarios.registry` -- id/alias lookup with near-miss
+  suggestions; :func:`load_catalog` imports the experiment package to
+  populate it.
+* :mod:`repro.scenarios.cache` -- the content-addressed artifact cache
+  deduplicating topologies and converged routing substrates (in memory
+  and, optionally, on disk).
+* :mod:`repro.scenarios.results` -- deterministic JSON serialization of
+  scenario results.
+* :mod:`repro.scenarios.engine` -- the planner and the serial / process-
+  pool executor behind ``repro run --workers N --json-dir DIR``.
+
+Only the spec/registry/cache layers are imported here; the engine pulls in
+the experiment catalog and is imported on first use (``from
+repro.scenarios.engine import run_scenarios``).
+"""
+
+from repro.scenarios.cache import ArtifactCache, active_cache, cache_key
+from repro.scenarios.registry import (
+    UnknownScenarioError,
+    all_scenarios,
+    load_catalog,
+    resolve,
+    scenario_ids,
+    suggest,
+)
+from repro.scenarios.spec import Scenario, scenario
+
+__all__ = [
+    "ArtifactCache",
+    "Scenario",
+    "UnknownScenarioError",
+    "active_cache",
+    "all_scenarios",
+    "cache_key",
+    "load_catalog",
+    "resolve",
+    "scenario",
+    "scenario_ids",
+    "suggest",
+]

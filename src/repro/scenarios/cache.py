@@ -1,0 +1,257 @@
+"""Content-addressed artifact cache for the scenario engine.
+
+Running the full evaluation rebuilds the same expensive prerequisites over
+and over: the ``(family, n, seed)`` topologies, and -- far more costly --
+the converged routing substrates (:class:`NDDiscoRouting` and friends) that
+several figures measure from different angles.  This module deduplicates
+both:
+
+* **Topologies** are keyed by their *construction inputs* (generator
+  family, node count, seed, structural parameters, plus a schema-version
+  salt), so any two scenarios that ask for "the comparison G(n,m) graph"
+  get one build.
+* **Converged schemes** are keyed by the topology's *content*
+  (:meth:`Topology.content_key`, the SHA-256 of the weighted edge set)
+  plus every constructor input that shapes the converged state.  A mutated
+  topology therefore can never hit a stale substrate: its content key
+  changes with it.
+
+Both layers live in memory for the current process and -- when a cache
+directory is configured -- as pickles on disk, so repeated ``repro run``
+invocations and the worker processes of a parallel run share one build.
+Artifacts are deterministic functions of their key, which is what makes
+cache hits invisible in the output: serial, parallel, cold- and warm-cache
+runs all print byte-identical reports.
+
+The active cache is process-global (set by the engine around a run);
+:func:`active_cache` returns ``None`` outside one, and every cache-aware
+call site falls back to building directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactCache",
+    "Uncacheable",
+    "active_cache",
+    "activated",
+    "cache_key",
+    "cached_scheme",
+    "canonical_value",
+    "scheme_key",
+]
+
+#: Version salt baked into every key: the artifact-layout revision (bump on
+#: layout changes) plus the package version, so version bumps retire stale
+#: artifacts wholesale.  Keys cover *inputs*, not code -- after changing an
+#: algorithm without bumping either, delete the cache directory to force
+#: cold builds.
+ARTIFACT_SCHEMA = "repro-artifacts/v1"
+
+
+def _schema_salt() -> str:
+    try:
+        from repro import __version__
+    except Exception:  # pragma: no cover - partial-install fallback
+        __version__ = "unknown"
+    return f"{ARTIFACT_SCHEMA}|repro-{__version__}"
+
+T = TypeVar("T")
+
+
+def cache_key(kind: str, *parts: object) -> str:
+    """SHA-256 hex key over ``kind`` and the canonical repr of ``parts``.
+
+    Parts must have deterministic ``repr`` (ints, floats, strings, bools,
+    ``None``, and nested tuples/lists thereof) -- the standard inputs a
+    generator or scheme constructor takes.
+    """
+    digest = hashlib.sha256()
+    digest.update(_schema_salt().encode())
+    digest.update(b"|")
+    digest.update(kind.encode())
+    for part in parts:
+        digest.update(b"|")
+        digest.update(repr(part).encode())
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """Two-level (memory + optional disk) store for build artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory for the on-disk layer (created on demand); ``None``
+        keeps the cache memory-only.  Disk writes are atomic
+        (temp file + ``os.replace``), so concurrent workers sharing one
+        root can only ever observe complete artifacts.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = os.fspath(root) if root is not None else None
+        self._memory: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- generic keyed artifacts -----------------------------------------
+
+    def get(self, kind: str, key: str, build: Callable[[], T]) -> T:
+        """Return the artifact for ``key``, building and storing on miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached  # type: ignore[return-value]
+        artifact = self._load_disk(kind, key)
+        if artifact is None:
+            self.misses += 1
+            artifact = build()
+            self._store_disk(kind, key, artifact)
+        else:
+            self.hits += 1
+        self._memory[key] = artifact
+        return artifact  # type: ignore[return-value]
+
+    def topology(self, parts: tuple, build: Callable[[], T]) -> T:
+        """Topology keyed by construction inputs (family, n, seed, ...)."""
+        return self.get("topology", cache_key("topology", *parts), build)
+
+    def scheme(self, key: str, build: Callable[[], T]) -> T:
+        """Converged routing scheme keyed by topology content + options."""
+        return self.get("scheme", key, build)
+
+    # -- disk layer -------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> str | None:
+        if self.root is None:
+            return None
+        return os.path.join(self.root, kind, f"{key}.pkl")
+
+    def _load_disk(self, kind: str, key: str) -> object | None:
+        path = self._path(kind, key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # A truncated or version-skewed artifact is treated as a miss;
+            # the rebuild overwrites it atomically.
+            return None
+
+    def _store_disk(self, kind: str, key: str, artifact: object) -> None:
+        path = self._path(kind, key)
+        if path is None:
+            return
+        try:
+            payload = pickle.dumps(artifact, protocol=4)
+        except Exception:
+            return  # unpicklable artifacts stay memory-only
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_path, path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+
+class Uncacheable(Exception):
+    """A constructor argument has no canonical form; skip caching."""
+
+
+def canonical_value(value: object) -> object:
+    """Canonicalize a constructor argument for key hashing.
+
+    Primitives pass through, enums collapse to their name, sequences
+    recurse, and sets sort (landmark sets are unordered).  Anything else
+    -- an arbitrary object whose identity may matter -- raises
+    :class:`Uncacheable`, and the caller builds without caching rather
+    than risking a wrong hit.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(canonical_value(item) for item in value))
+    raise Uncacheable(repr(type(value)))
+
+
+def scheme_key(topology, scheme_name: str, **params: object) -> str | None:
+    """Content-addressed key for a converged routing scheme, or ``None``.
+
+    The key covers the topology *content* (``Topology.content_key()``,
+    which is invalidated on mutation) plus every canonicalizable
+    constructor parameter.  ``workers`` is excluded -- it parallelizes the
+    build without changing the converged state.  Returns ``None`` when any
+    parameter is uncacheable.
+    """
+    try:
+        canonical = tuple(
+            (name, canonical_value(value))
+            for name, value in sorted(params.items())
+            if name != "workers"
+        )
+    except Uncacheable:
+        return None
+    return cache_key("scheme", topology.content_key(), scheme_name, canonical)
+
+
+def cached_scheme(
+    topology,
+    scheme_name: str,
+    build: Callable[[], T],
+    **params: object,
+) -> T:
+    """Build (or fetch) a converged scheme through the active cache.
+
+    ``params`` must be the full set of constructor inputs that shape the
+    converged state (seed, shortcut mode, landmark set, ...).  With no
+    active cache, or with an uncacheable parameter, this is ``build()``.
+    Cached objects are shared -- callers must treat them as immutable.
+    """
+    cache = active_cache()
+    if cache is None:
+        return build()
+    key = scheme_key(topology, scheme_name, **params)
+    if key is None:
+        return build()
+    return cache.scheme(key, build)
+
+
+_ACTIVE: ArtifactCache | None = None
+
+
+def active_cache() -> ArtifactCache | None:
+    """The cache the current scenario run installed, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(cache: ArtifactCache | None) -> Iterator[ArtifactCache | None]:
+    """Install ``cache`` as the process-global active cache for a block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,114 @@
+"""Scenario registry: lookup, aliases, and near-miss suggestions.
+
+Scenarios self-register at import time via the ``@scenario`` decorator
+(:mod:`repro.scenarios.spec`).  :func:`load_catalog` imports the experiment
+package, which pulls in every experiment module and therefore populates the
+registry; callers that enumerate or resolve scenarios should call it first
+(the engine and the CLI do).
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.spec import Scenario
+
+__all__ = [
+    "UnknownScenarioError",
+    "register",
+    "load_catalog",
+    "all_scenarios",
+    "scenario_ids",
+    "resolve",
+    "suggest",
+]
+
+_REGISTRY: "dict[str, Scenario]" = {}
+_ALIASES: dict[str, str] = {}
+
+
+class UnknownScenarioError(KeyError):
+    """Raised for an unknown scenario id; carries near-miss suggestions."""
+
+    def __init__(self, scenario_id: str, suggestions: tuple[str, ...]) -> None:
+        self.scenario_id = scenario_id
+        self.suggestions = suggestions
+        message = f"unknown experiment {scenario_id!r}"
+        if suggestions:
+            message += f"; did you mean: {', '.join(suggestions)}?"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its argument
+        return self.args[0]
+
+
+def register(scenario: "Scenario") -> None:
+    """Register ``scenario``; its id and aliases must be unclaimed."""
+    existing = _REGISTRY.get(scenario.scenario_id)
+    if existing is not None and existing.module != scenario.module:
+        raise ValueError(
+            f"scenario id {scenario.scenario_id!r} already registered "
+            f"by {existing.module}"
+        )
+    _REGISTRY[scenario.scenario_id] = scenario
+    for alias in scenario.aliases:
+        claimed = _ALIASES.get(alias)
+        if claimed is not None and claimed != scenario.scenario_id:
+            raise ValueError(
+                f"alias {alias!r} already points to {claimed!r}"
+            )
+        if alias in _REGISTRY:
+            raise ValueError(f"alias {alias!r} shadows a scenario id")
+        _ALIASES[alias] = scenario.scenario_id
+
+
+def load_catalog() -> None:
+    """Import every experiment module so all scenarios are registered."""
+    import repro.experiments.runner  # noqa: F401  (import side effect)
+
+
+def all_scenarios() -> "list[Scenario]":
+    """Every registered scenario, in registration order."""
+    load_catalog()
+    return list(_REGISTRY.values())
+
+
+def scenario_ids() -> list[str]:
+    """Canonical scenario ids, in registration order."""
+    load_catalog()
+    return list(_REGISTRY)
+
+
+def resolve(scenario_id: str) -> "Scenario":
+    """Resolve an id or alias to its :class:`Scenario`.
+
+    Raises
+    ------
+    UnknownScenarioError
+        When neither an id nor an alias matches; the exception carries
+        close-match suggestions for CLI error messages.
+    """
+    load_catalog()
+    scenario = _REGISTRY.get(scenario_id)
+    if scenario is not None:
+        return scenario
+    canonical = _ALIASES.get(scenario_id)
+    if canonical is not None:
+        return _REGISTRY[canonical]
+    raise UnknownScenarioError(scenario_id, suggest(scenario_id))
+
+
+def suggest(scenario_id: str, *, limit: int = 3) -> tuple[str, ...]:
+    """Near-miss suggestions (ids and aliases) for a mistyped id."""
+    load_catalog()
+    candidates = list(_REGISTRY) + list(_ALIASES)
+    matches = difflib.get_close_matches(
+        scenario_id, candidates, n=limit, cutoff=0.4
+    )
+    if not matches:
+        # Fall back to prefix/substring matches ("fig0" -> the figure ids).
+        lowered = scenario_id.lower()
+        matches = [c for c in candidates if lowered in c.lower()][:limit]
+    return tuple(matches)

@@ -98,18 +98,33 @@ class StaticSimulation:
         self._build(list(protocols))
 
     def _build(self, protocols: list[str]) -> None:
+        # When the scenario engine has an artifact cache active, every
+        # converged scheme is stored under a content-addressed key (topology
+        # content + constructor inputs) and reused across the scenarios of a
+        # run -- fig02 and fig03 measuring the same substrates from
+        # different angles build them once.  Without an active cache,
+        # cached_scheme is a plain call-through and behavior is unchanged.
+        from repro.scenarios.cache import cached_scheme
+
         normalized = [name.strip().lower() for name in protocols]
         shared_nddisco: NDDiscoRouting | None = None
+        nddisco_options = self._options.get("nd-disco", {})
 
         def get_nddisco() -> NDDiscoRouting:
             nonlocal shared_nddisco
             if shared_nddisco is None:
-                options = self._options.get("nd-disco", {})
-                shared_nddisco = NDDiscoRouting(
+                shared_nddisco = cached_scheme(
                     self._topology,
+                    "nd-disco",
+                    lambda: NDDiscoRouting(
+                        self._topology,
+                        seed=self._seed,
+                        shortcut_mode=self._shortcut_mode,
+                        **nddisco_options,
+                    ),
                     seed=self._seed,
                     shortcut_mode=self._shortcut_mode,
-                    **options,
+                    **nddisco_options,
                 )
             return shared_nddisco
 
@@ -120,31 +135,73 @@ class StaticSimulation:
                 scheme: RoutingScheme = get_nddisco()
             elif name == "disco":
                 options = self._options.get("disco", {})
-                scheme = DiscoRouting(
+                scheme = cached_scheme(
                     self._topology,
+                    "disco",
+                    lambda: DiscoRouting(
+                        self._topology,
+                        seed=self._seed,
+                        num_fingers=self._num_fingers,
+                        nddisco=get_nddisco(),
+                        **options,
+                    ),
                     seed=self._seed,
                     num_fingers=self._num_fingers,
-                    nddisco=get_nddisco(),
+                    shortcut_mode=self._shortcut_mode,
+                    # Disco embeds the NDDisco substrate built from the
+                    # nd-disco options, so those options shape Disco's
+                    # converged state and must be part of its key.
+                    nddisco_options=tuple(sorted(nddisco_options.items())),
                     **options,
                 )
             elif name == "s4":
                 options = dict(self._options.get("s4", {}))
                 # Use the same landmark set as Disco/NDDisco when both are
                 # evaluated, mirroring the paper's like-for-like comparison.
-                if ("disco" in normalized or "nd-disco" in normalized) and (
-                    "landmarks" not in options
-                ):
+                shares_landmarks = (
+                    "disco" in normalized or "nd-disco" in normalized
+                ) and "landmarks" not in options
+                if shares_landmarks:
                     options["landmarks"] = get_nddisco().landmarks
                     # Identical landmark set implies identical SPTs,
                     # addresses, and closest-landmark rows; hand NDDisco's
                     # converged substrate to S4 instead of recomputing it.
                     if self._share_substrate and "substrate" not in options:
                         options["substrate"] = get_nddisco()
-                scheme = build_scheme("s4", self._topology, seed=self._seed, **options)
+                # The substrate object cannot be hashed into the key, but it
+                # is fully determined by the topology content, the landmark
+                # set (asserted identical above), and the nd-disco options
+                # it was built from (e.g. custom names), so the key carries
+                # those plus a sharing flag instead of the object.
+                key_options = {
+                    name: value
+                    for name, value in options.items()
+                    if name != "substrate"
+                }
+                if shares_landmarks:
+                    key_options["nddisco_options"] = tuple(
+                        sorted(nddisco_options.items())
+                    )
+                scheme = cached_scheme(
+                    self._topology,
+                    "s4",
+                    lambda: build_scheme(
+                        "s4", self._topology, seed=self._seed, **options
+                    ),
+                    seed=self._seed,
+                    substrate_shared="substrate" in options,
+                    **key_options,
+                )
             else:
                 options = self._options.get(name, {})
-                scheme = build_scheme(
-                    name, self._topology, seed=self._seed, **options
+                scheme = cached_scheme(
+                    self._topology,
+                    name,
+                    lambda name=name, options=options: build_scheme(
+                        name, self._topology, seed=self._seed, **options
+                    ),
+                    seed=self._seed,
+                    **options,
                 )
             self._schemes[name] = scheme
 

@@ -1,0 +1,127 @@
+"""Churn-path cache audit (regression).
+
+``Topology`` caches three derived artifacts -- the CSR kernel snapshot
+(``csr()``), the ``weight_profile()``, and the ``content_key()`` the
+artifact cache keys substrates by.  Every mutation path a churn workload
+can take (edge-down, edge-up, weight replacement, direct ``add_edge``) must
+invalidate all three together, and a shared-memory publication taken after
+a mutation must reflect the mutated edge set -- a stale snapshot served to
+a worker would silently corrupt a parallel run.
+"""
+
+from __future__ import annotations
+
+from repro.dynamics.churn import (
+    ChurnEvent,
+    apply_event,
+    generate_churn_workload,
+)
+from repro.graphs.csr import CSRGraph, SharedCSR
+from repro.graphs.generators import gnm_random_graph
+
+
+def _snapshot_edges(csr: CSRGraph) -> set[tuple[int, int, float]]:
+    """Decode the undirected edge set out of a CSR snapshot (or view)."""
+    edges = set()
+    offsets = list(csr.offsets)
+    neighbors = list(csr.neighbors)
+    weights = list(csr.weights)
+    for node in range(csr.num_nodes):
+        for position in range(offsets[node], offsets[node + 1]):
+            neighbor = neighbors[position]
+            if node < neighbor:
+                edges.add((node, neighbor, weights[position]))
+    return edges
+
+
+class TestMutationInvalidation:
+    def test_add_edge_invalidates_all_derived_caches(self):
+        topology = gnm_random_graph(64, seed=3, average_degree=6.0)
+        csr = topology.csr()
+        profile = topology.weight_profile()
+        key = topology.content_key()
+        topology.add_edge(0, 63, 0.3)  # irregular weight: profile must change
+        assert topology.csr() is not csr
+        assert topology.weight_profile() is not profile
+        assert topology.weight_profile().min_weight == 0.3
+        assert topology.content_key() != key
+        assert topology.csr().num_edges == csr.num_edges + 1
+
+    def test_weight_replacement_invalidates(self):
+        topology = gnm_random_graph(64, seed=3, average_degree=6.0)
+        u, v, weight = next(iter(topology.edges()))
+        key = topology.content_key()
+        csr = topology.csr()
+        topology.add_edge(u, v, weight / 2.0)  # parallel edge -> min weight
+        assert topology.content_key() != key
+        assert topology.csr() is not csr
+        assert topology.edge_weight(u, v) == weight / 2.0
+
+    def test_copy_does_not_share_caches(self):
+        topology = gnm_random_graph(64, seed=3, average_degree=6.0)
+        csr = topology.csr()
+        duplicate = topology.copy()
+        assert duplicate.content_key() == topology.content_key()
+        assert duplicate.csr() is not csr
+
+
+class TestChurnWorkloadInvalidation:
+    def test_edge_down_and_up_produce_fresh_snapshots(self):
+        topology = gnm_random_graph(96, seed=7, average_degree=8.0)
+        workload = generate_churn_workload(topology, num_events=4, seed=5)
+        current = topology
+        for event in workload:
+            mutated = apply_event(current, event)
+            # The mutated topology's derived views reflect the event ...
+            expected_edges = current.num_edges + (
+                1 if event.kind == "edge-up" else -1
+            )
+            assert mutated.num_edges == expected_edges
+            assert mutated.csr().num_edges == expected_edges
+            assert mutated.content_key() != current.content_key()
+            # ... and the base topology's caches are untouched.
+            assert current.csr().num_edges == current.num_edges
+            current = mutated
+
+    def test_workload_apply_matches_event_replay(self):
+        topology = gnm_random_graph(96, seed=7, average_degree=8.0)
+        workload = generate_churn_workload(
+            topology, num_events=5, seed=9, recover=False
+        )
+        replayed = topology
+        for event in workload:
+            replayed = apply_event(replayed, event)
+        applied = workload.apply(topology)
+        assert applied == replayed
+        assert applied.content_key() == replayed.content_key()
+
+
+class TestNoStaleSharedSnapshots:
+    def test_publication_after_mutation_reflects_new_edges(self):
+        topology = gnm_random_graph(96, seed=7, average_degree=8.0)
+        with SharedCSR(topology.csr()) as before:
+            before_view = CSRGraph.from_shared(before.handle)
+            u, v, weight = next(iter(topology.edges()))
+            down = ChurnEvent(kind="edge-down", edge=(u, v), weight=weight)
+            mutated = apply_event(topology, down)
+            with SharedCSR(mutated.csr()) as after:
+                after_view = CSRGraph.from_shared(after.handle)
+                before_edges = _snapshot_edges(before_view)
+                after_edges = _snapshot_edges(after_view)
+                assert (u, v, weight) in before_edges
+                assert (u, v, weight) not in after_edges
+                assert after_edges == before_edges - {(u, v, weight)}
+
+    def test_in_place_mutation_never_reuses_published_snapshot(self):
+        topology = gnm_random_graph(96, seed=7, average_degree=8.0)
+        csr = topology.csr()
+        with SharedCSR(csr) as shared:
+            view = CSRGraph.from_shared(shared.handle)
+            topology.add_edge(0, 95, 2.0)
+            fresh = topology.csr()
+            # The mutated topology hands out a new snapshot; the published
+            # view still shows the old edge set (immutable by contract).
+            assert fresh is not csr
+            assert fresh.num_edges == view.num_edges + 1
+            assert (0, 95, 2.0) not in _snapshot_edges(view)
+            assert (0, 95, 2.0) in _snapshot_edges(fresh)

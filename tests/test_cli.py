@@ -38,6 +38,19 @@ class TestCommands:
         assert main(["run", "fig99-unknown"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_run_unknown_suggests_near_misses(self, capsys):
+        assert main(["run", "fig04-gnm-comparisn"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "fig04-gnm-comparison" in err
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig02-state-cdf" in output
+        assert "geometric,as-level,router-level" in output
+        assert "aliases" in output
+
     def test_run_requires_selection(self, capsys):
         assert main(["run"]) == 2
         assert "no experiments selected" in capsys.readouterr().err
@@ -92,8 +105,15 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "staticsim/gnm-256" in output
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro-bench-kernels/v2"
+        assert report["schema"] == "repro-bench-kernels/v3"
         assert report["quick"] is True
+        # Host metadata makes committed numbers comparable across machines.
+        host = report["host"]
+        assert host["cpu_model"]
+        assert host["cpu_count"] >= 1
+        assert host["python"]
+        assert host["kernel_tier"] in ("c", "python")
+        assert "scenario_suite/quick5-96" in report["benchmarks"]
         for entry in report["benchmarks"].values():
             assert entry["before_s"] > 0
             assert entry["after_s"] > 0

@@ -1,0 +1,352 @@
+"""Tests for the scenario engine: spec/registry, artifact cache, JSON results.
+
+The determinism differential between serial and parallel execution lives in
+``tests/test_scenarios_parallel.py``; this module covers the single-process
+behavior (registration, alias resolution, near-miss suggestions, shard
+decomposition, prerequisite caching, and JSON serialization).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import fig02_state_cdf, fig09_scaling
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import EXPERIMENTS
+from repro.scenarios import (
+    ArtifactCache,
+    UnknownScenarioError,
+    all_scenarios,
+    resolve,
+    scenario_ids,
+    suggest,
+)
+from repro.scenarios.cache import activated, cache_key, cached_scheme, scheme_key
+from repro.scenarios.engine import plan_scenarios, run_scenarios
+from repro.scenarios.results import RESULT_SCHEMA, dump_json, to_jsonable
+from repro.staticsim.simulation import StaticSimulation
+
+TINY = ExperimentScale(
+    comparison_nodes=72,
+    large_nodes=72,
+    as_level_nodes=72,
+    router_level_nodes=80,
+    pair_sample=50,
+    messaging_sweep=(20, 28),
+    scaling_sweep=(40, 56),
+    seed=11,
+    label="tiny-test",
+)
+
+
+class TestRegistry:
+    def test_every_experiment_is_a_scenario(self):
+        assert set(scenario_ids()) == set(EXPERIMENTS)
+
+    def test_alias_resolution(self):
+        assert resolve("fig04").scenario_id == "fig04-gnm-comparison"
+        assert resolve("churn").scenario_id == "churn-cost"
+        assert resolve("fig09-scaling").scenario_id == "fig09-scaling"
+
+    def test_unknown_id_raises_with_suggestions(self):
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            resolve("fig04-gnm-comparisn")
+        assert "fig04-gnm-comparison" in excinfo.value.suggestions
+        assert "did you mean" in str(excinfo.value)
+
+    def test_unknown_error_is_a_keyerror(self):
+        with pytest.raises(KeyError):
+            resolve("no-such-scenario")
+
+    def test_suggest_falls_back_to_substring(self):
+        assert "fig06-shortcutting" in suggest("shortcut")
+
+    def test_specs_are_complete(self):
+        for scenario in all_scenarios():
+            assert scenario.title
+            assert scenario.family
+            assert scenario.metrics
+            assert scenario.module.startswith("repro.experiments.")
+
+    def test_quick_tag_marks_a_nonempty_subset(self):
+        quick = [s for s in all_scenarios() if "quick" in s.tags]
+        assert len(quick) >= 4
+
+
+class TestShards:
+    def test_static_shards(self):
+        scenario = resolve("fig02-state-cdf")
+        assert scenario.shard_keys(TINY) == (
+            "geometric",
+            "as_level",
+            "router_level",
+        )
+
+    def test_scale_dependent_shards(self):
+        scenario = resolve("fig09-scaling")
+        assert scenario.shard_keys(TINY) == ("40", "56")
+
+    def test_unsharded_scenario_has_no_keys(self):
+        assert resolve("fig07-state-bytes").shard_keys(TINY) == ()
+
+    def test_shard_merge_equals_direct_run(self):
+        scenario = resolve("fig02-state-cdf")
+        direct = fig02_state_cdf.run(TINY)
+        parts = {
+            key: scenario.run_shard(TINY, key)
+            for key in scenario.shard_keys(TINY)
+        }
+        merged = scenario.merge_shards(TINY, parts)
+        assert scenario.format_report(merged) == scenario.format_report(direct)
+
+    def test_sweep_shard_merge_equals_direct_run(self):
+        scenario = resolve("fig09-scaling")
+        direct = fig09_scaling.run(TINY)
+        parts = {
+            key: scenario.run_shard(TINY, key)
+            for key in scenario.shard_keys(TINY)
+        }
+        merged = scenario.merge_shards(TINY, parts)
+        assert merged == direct
+
+    def test_plan_expands_shards(self):
+        plan = plan_scenarios(["fig02-state-cdf", "fig07-state-bytes"], TINY)
+        assert plan.tasks() == [
+            ("fig02-state-cdf", "geometric"),
+            ("fig02-state-cdf", "as_level"),
+            ("fig02-state-cdf", "router_level"),
+            ("fig07-state-bytes", None),
+        ]
+
+    def test_plan_without_sharding(self):
+        plan = plan_scenarios(["fig02-state-cdf"], TINY, shard=False)
+        assert plan.tasks() == [("fig02-state-cdf", None)]
+
+    def test_plan_deduplicates_and_resolves_aliases(self):
+        plan = plan_scenarios(
+            ["fig07", "fig07-state-bytes", "addr"], TINY, shard=False
+        )
+        assert [e.scenario.scenario_id for e in plan.entries] == [
+            "fig07-state-bytes",
+            "addr-sizes",
+        ]
+
+
+class TestArtifactCache:
+    def test_topology_builds_once(self):
+        cache = ArtifactCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return object()
+
+        first = cache.topology(("gnm", 64, 11, 8.0), build)
+        second = cache.topology(("gnm", 64, 11, 8.0), build)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_inputs_distinct_artifacts(self):
+        cache = ArtifactCache()
+        a = cache.topology(("gnm", 64, 11, 8.0), object)
+        b = cache.topology(("gnm", 64, 12, 8.0), object)
+        assert a is not b
+
+    def test_disk_roundtrip(self, tmp_path):
+        from repro.graphs.generators import gnm_random_graph
+
+        build = lambda: gnm_random_graph(48, seed=5, average_degree=6.0)
+        first_cache = ArtifactCache(tmp_path / "cache")
+        built = first_cache.topology(("gnm", 48, 5, 6.0), build)
+        # A second cache over the same root loads from disk, not build().
+        second_cache = ArtifactCache(tmp_path / "cache")
+        loaded = second_cache.topology(
+            ("gnm", 48, 5, 6.0), lambda: pytest.fail("should hit disk")
+        )
+        assert loaded == built
+        assert second_cache.hits == 1
+
+    def test_corrupt_disk_artifact_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        key = ("gnm", 48, 5, 6.0)
+        cache.topology(key, lambda: "artifact")
+        path = next((tmp_path / "cache" / "topology").iterdir())
+        path.write_bytes(b"not a pickle")
+        rebuilt = ArtifactCache(tmp_path / "cache").topology(
+            key, lambda: "rebuilt"
+        )
+        assert rebuilt == "rebuilt"
+
+    def test_cache_key_is_order_sensitive(self):
+        assert cache_key("topology", 1, 2) != cache_key("topology", 2, 1)
+        assert cache_key("topology", 1) != cache_key("scheme", 1)
+
+
+class TestSchemeCache:
+    def test_scheme_key_covers_topology_content(self):
+        from repro.graphs.generators import gnm_random_graph
+
+        topology = gnm_random_graph(48, seed=5, average_degree=6.0)
+        before = scheme_key(topology, "nd-disco", seed=3)
+        topology.add_edge(0, 47, 5.0)
+        after = scheme_key(topology, "nd-disco", seed=3)
+        assert before != after
+
+    def test_scheme_key_ignores_workers(self):
+        from repro.graphs.generators import gnm_random_graph
+
+        topology = gnm_random_graph(48, seed=5, average_degree=6.0)
+        assert scheme_key(topology, "nd-disco", seed=3) == scheme_key(
+            topology, "nd-disco", seed=3, workers=4
+        )
+
+    def test_uncacheable_params_build_directly(self):
+        from repro.graphs.generators import gnm_random_graph
+
+        topology = gnm_random_graph(48, seed=5, average_degree=6.0)
+        assert scheme_key(topology, "s4", substrate=object()) is None
+        with activated(ArtifactCache()):
+            built = cached_scheme(
+                topology, "s4", lambda: "built", substrate=object()
+            )
+        assert built == "built"
+
+    def test_staticsim_substrates_dedupe_across_simulations(self):
+        from repro.graphs.generators import gnm_random_graph
+
+        topology = gnm_random_graph(72, seed=5, average_degree=6.0)
+        with activated(ArtifactCache()) as cache:
+            first = StaticSimulation(topology, ("nd-disco", "s4"), seed=3)
+            second = StaticSimulation(topology, ("disco", "s4"), seed=3)
+        # The second simulation's S4 (and the NDDisco underlying Disco) come
+        # from the cache rather than being rebuilt.
+        assert second.scheme("s4") is first.scheme("s4")
+        assert cache.hits >= 2
+
+    def test_nddisco_options_differentiate_disco_keys(self):
+        # Regression: Disco embeds the NDDisco substrate, so two
+        # simulations differing only in nd-disco options (e.g. the landmark
+        # set) must not share a cached Disco.
+        from repro.graphs.generators import gnm_random_graph
+
+        topology = gnm_random_graph(72, seed=5, average_degree=6.0)
+        with activated(ArtifactCache()):
+            first = StaticSimulation(
+                topology,
+                ("disco",),
+                seed=3,
+                scheme_options={"nd-disco": {"landmarks": {0, 1, 2}}},
+            )
+            second = StaticSimulation(
+                topology,
+                ("disco",),
+                seed=3,
+                scheme_options={"nd-disco": {"landmarks": {10, 20, 30}}},
+            )
+        assert first.scheme("disco") is not second.scheme("disco")
+        assert second.scheme("disco").nddisco.landmarks == {10, 20, 30}
+
+    def test_disk_cached_substrate_composes_with_fresh_topology(self, tmp_path):
+        # Regression: with a disk cache shared between worker processes, one
+        # worker can load another worker's converged NDDisco (a
+        # content-equal but *distinct* Topology object inside) and then
+        # build Disco/S4 around it.  The schemes must accept content-equal
+        # topologies, not demand object identity.
+        from repro.graphs.generators import gnm_random_graph
+
+        root = tmp_path / "cache"
+        build = lambda: gnm_random_graph(72, seed=5, average_degree=6.0)
+        with activated(ArtifactCache(root)):
+            StaticSimulation(build(), ("nd-disco",), seed=3)
+        with activated(ArtifactCache(root)) as cache:
+            # Fresh memory cache + fresh topology object: nd-disco comes
+            # from disk, disco and s4 are built around the loaded object.
+            simulation = StaticSimulation(build(), ("disco", "s4"), seed=3)
+            assert cache.hits >= 1
+        baseline = StaticSimulation(build(), ("disco", "s4"), seed=3)
+        assert (
+            simulation.scheme("disco").state_entries(0)
+            == baseline.scheme("disco").state_entries(0)
+        )
+
+    def test_staticsim_results_unchanged_by_cache(self):
+        from repro.graphs.generators import gnm_random_graph
+
+        topology = gnm_random_graph(72, seed=5, average_degree=6.0)
+        baseline = StaticSimulation(
+            topology.copy(), ("nd-disco", "s4"), seed=3
+        ).run(pair_sample=40)
+        with activated(ArtifactCache()):
+            cached = StaticSimulation(
+                topology.copy(), ("nd-disco", "s4"), seed=3
+            ).run(pair_sample=40)
+        assert baseline.state.keys() == cached.state.keys()
+        for name in baseline.state:
+            assert (
+                baseline.state[name].entry_summary
+                == cached.state[name].entry_summary
+            )
+            assert (
+                baseline.stretch[name].first_summary
+                == cached.stretch[name].first_summary
+            )
+
+
+class TestResults:
+    def test_to_jsonable_handles_result_dataclasses(self):
+        result = fig09_scaling.run(TINY)
+        payload = to_jsonable(result)
+        assert payload["sweep"] == [40, 56]
+        assert "Disco" in payload["mean_state"]
+        json.dumps(payload)  # round-trips
+
+    def test_to_jsonable_nonfinite_floats(self):
+        assert to_jsonable(float("inf")) == "inf"
+        assert to_jsonable(float("nan")) == "nan"
+
+    def test_dump_json_is_deterministic(self):
+        document = {"b": 1, "a": {"y": 2.5, "x": (1, 2)}}
+        assert dump_json(document) == dump_json(
+            json.loads(dump_json(document))
+        )
+
+
+class TestEngine:
+    def test_serial_run_matches_legacy_runner(self):
+        from repro.experiments.runner import run_experiment
+
+        runs = run_scenarios(
+            ["fig07-state-bytes"], scale=TINY, cache=None
+        )
+        _, legacy_report = run_experiment("fig07-state-bytes", TINY)
+        assert runs["fig07-state-bytes"].report == legacy_report
+
+    def test_cache_does_not_change_reports(self):
+        ids = ["fig02-state-cdf", "fig03-stretch-cdf"]
+        cold = run_scenarios(ids, scale=TINY, cache=None)
+        warm = run_scenarios(ids, scale=TINY, cache=ArtifactCache())
+        for scenario_id in ids:
+            assert cold[scenario_id].report == warm[scenario_id].report
+
+    def test_json_documents_written(self, tmp_path):
+        json_dir = tmp_path / "results"
+        runs = run_scenarios(
+            ["addr-sizes"],
+            scale=TINY,
+            json_dir=json_dir,
+            cache=None,
+        )
+        document = json.loads((json_dir / "addr-sizes.json").read_text())
+        assert document["schema"] == RESULT_SCHEMA
+        assert document["id"] == "addr-sizes"
+        assert document["report"] == runs["addr-sizes"].report
+        assert document["scale"]["label"] == "tiny-test"
+        manifest = json.loads((json_dir / "manifest.json").read_text())
+        assert manifest["scenarios"]["addr-sizes"]["seconds"] >= 0
+
+    def test_unknown_id_propagates(self):
+        with pytest.raises(UnknownScenarioError):
+            run_scenarios(["definitely-not-a-scenario"], scale=TINY)

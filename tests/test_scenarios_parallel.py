@@ -1,0 +1,116 @@
+"""Determinism under sharding: parallel output is byte-identical to serial.
+
+This is the differential test backing ``repro run --workers N``: for a fast
+scenario subset, a 2-worker process-pool run (scenarios *and* shards fanned
+out, artifact cache shared on disk) must produce byte-identical JSON
+documents and text reports to a serial run.  Also covers the shared-memory
+CSR publication used by the intra-scenario fan-out.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.config import ExperimentScale
+from repro.graphs.csr import CSRGraph, SharedCSR
+from repro.graphs.generators import geometric_random_graph, gnm_random_graph
+from repro.scenarios.engine import run_scenarios
+
+TINY = ExperimentScale(
+    comparison_nodes=64,
+    large_nodes=64,
+    as_level_nodes=64,
+    router_level_nodes=72,
+    pair_sample=40,
+    messaging_sweep=(20, 24),
+    scaling_sweep=(40, 48),
+    seed=17,
+    label="tiny-parallel",
+)
+
+# A fast subset that exercises both shard shapes (topology panels and a
+# scale-dependent sweep) plus an unsharded scenario.
+SUBSET = ["fig02-state-cdf", "fig09-scaling", "addr-sizes"]
+
+
+class TestDeterminismUnderSharding:
+    def test_workers_produce_byte_identical_json_and_reports(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = run_scenarios(
+            SUBSET, scale=TINY, workers=1, json_dir=serial_dir, cache=None
+        )
+        parallel = run_scenarios(
+            SUBSET,
+            scale=TINY,
+            workers=2,
+            json_dir=parallel_dir,
+            cache=tmp_path / "cache",
+        )
+        for scenario_id in SUBSET:
+            assert parallel[scenario_id].report == serial[scenario_id].report
+            serial_bytes = (serial_dir / f"{scenario_id}.json").read_bytes()
+            parallel_bytes = (
+                parallel_dir / f"{scenario_id}.json"
+            ).read_bytes()
+            assert parallel_bytes == serial_bytes
+
+    def test_manifest_records_run_bookkeeping(self, tmp_path):
+        run_scenarios(
+            ["addr-sizes"],
+            scale=TINY,
+            workers=2,
+            json_dir=tmp_path,
+            cache=None,
+        )
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["workers"] == 2
+        assert manifest["scale_label"] == "tiny-parallel"
+        assert "addr-sizes" in manifest["scenarios"]
+
+    def test_warm_disk_cache_keeps_output_identical(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        cold = run_scenarios(
+            ["fig02-state-cdf"], scale=TINY, workers=2, cache=cache_root
+        )
+        warm = run_scenarios(
+            ["fig02-state-cdf"], scale=TINY, workers=2, cache=cache_root
+        )
+        assert (
+            warm["fig02-state-cdf"].report == cold["fig02-state-cdf"].report
+        )
+
+
+class TestSharedMemorySnapshots:
+    def test_from_shared_is_bit_identical(self):
+        for topology in (
+            gnm_random_graph(150, seed=3, average_degree=6.0),
+            geometric_random_graph(150, seed=4, average_degree=6.0),
+        ):
+            csr = topology.csr()
+            with SharedCSR(csr) as shared:
+                view = CSRGraph.from_shared(shared.handle)
+                assert view.kernel == csr.kernel
+                assert view.num_edges == csr.num_edges
+                for source in (0, 75, 149):
+                    assert view.dijkstra(source) == csr.dijkstra(source)
+                assert view.dijkstra_k_nearest(
+                    5, 20
+                ) == csr.dijkstra_k_nearest(5, 20)
+                assert view.dijkstra_radius(5, 2.5) == csr.dijkstra_radius(
+                    5, 2.5
+                )
+
+    def test_forced_kernel_propagates_through_handle(self):
+        topology = gnm_random_graph(150, seed=3, average_degree=6.0)
+        csr = CSRGraph.from_topology(topology, kernel="heap")
+        with SharedCSR(csr, kernel="heap") as shared:
+            view = CSRGraph.from_shared(shared.handle)
+            assert view.kernel == "heap"
+            assert view.dijkstra(0) == csr.dijkstra(0)
+
+    def test_publisher_close_is_idempotent(self):
+        topology = gnm_random_graph(64, seed=3, average_degree=6.0)
+        shared = SharedCSR(topology.csr())
+        shared.close()
+        shared.close()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a ``repro run --json-dir`` output directory.
+
+Usage: ``python tools/check_scenario_json.py <json-dir>``
+
+Checks every ``*.json`` scenario document against the stable result schema
+(``repro-scenario-result/v1``): required keys, schema id, filename/id
+agreement, non-empty report and result, and a well-formed manifest.  Used
+by the CI scenario-engine smoke leg; exits non-zero with a per-file error
+listing on any violation.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULT_SCHEMA = "repro-scenario-result/v1"
+MANIFEST_SCHEMA = "repro-scenario-manifest/v1"
+
+REQUIRED_KEYS = {
+    "schema": str,
+    "id": str,
+    "title": str,
+    "family": list,
+    "protocols": list,
+    "metrics": list,
+    "workload": str,
+    "aliases": list,
+    "scale": dict,
+    "result": (dict, list),
+    "report": str,
+}
+
+
+def check_scenario_document(path: Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: unreadable JSON ({error})"]
+    for key, expected_type in REQUIRED_KEYS.items():
+        if key not in document:
+            errors.append(f"{path.name}: missing key {key!r}")
+        elif not isinstance(document[key], expected_type):
+            errors.append(
+                f"{path.name}: key {key!r} has type "
+                f"{type(document[key]).__name__}"
+            )
+    if errors:
+        return errors
+    if document["schema"] != RESULT_SCHEMA:
+        errors.append(
+            f"{path.name}: schema {document['schema']!r} != {RESULT_SCHEMA!r}"
+        )
+    if document["id"] != path.stem:
+        errors.append(
+            f"{path.name}: id {document['id']!r} does not match filename"
+        )
+    if not document["report"].strip():
+        errors.append(f"{path.name}: empty report")
+    if not document["result"]:
+        errors.append(f"{path.name}: empty result")
+    if "label" not in document["scale"]:
+        errors.append(f"{path.name}: scale has no label")
+    return errors
+
+
+def check_manifest(path: Path) -> list[str]:
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: unreadable JSON ({error})"]
+    errors = []
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        errors.append(f"{path.name}: bad schema {manifest.get('schema')!r}")
+    if not isinstance(manifest.get("scenarios"), dict):
+        errors.append(f"{path.name}: missing scenarios map")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    directory = Path(argv[1])
+    if not directory.is_dir():
+        print(f"not a directory: {directory}", file=sys.stderr)
+        return 2
+    documents = sorted(directory.glob("*.json"))
+    manifest = directory / "manifest.json"
+    scenario_documents = [p for p in documents if p != manifest]
+    if not scenario_documents:
+        print(f"no scenario JSON documents in {directory}", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    for path in scenario_documents:
+        errors.extend(check_scenario_document(path))
+    if manifest.exists():
+        errors.extend(check_manifest(manifest))
+    for error in errors:
+        print(f"SCHEMA ERROR: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print(
+        f"ok: {len(scenario_documents)} scenario document(s) valid"
+        f"{' + manifest' if manifest.exists() else ''}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
