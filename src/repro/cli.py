@@ -12,6 +12,8 @@ can reproduce the paper or study their own topology without writing code::
     python -m repro profile net.edges                 # structural profile
     python -m repro compare net.edges --protocols disco s4 vrr
     python -m repro bench --out BENCH_kernels.json    # perf-regression harness
+    python -m repro cache stats                       # artifact-cache totals
+    python -m repro cache prune --max-bytes 500M      # bound the cache on disk
 
 ``repro run`` executes through the scenario engine
 (:mod:`repro.scenarios.engine`): prerequisites (topologies, converged
@@ -19,7 +21,8 @@ routing substrates) are deduplicated through a content-addressed on-disk
 cache (``--cache-dir``, default ``.repro_cache``; ``--no-cache`` disables),
 ``--workers N`` fans scenarios and their shards out over a process pool
 with byte-identical output, and ``--json-dir`` writes one structured JSON
-document per scenario next to the text reports.
+document per scenario next to the text reports.  ``repro cache`` manages
+the cache's disk footprint (see ``docs/CACHING.md``).
 """
 
 from __future__ import annotations
@@ -96,6 +99,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable artifact caching (every prerequisite is rebuilt)",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect and manage the on-disk artifact cache "
+        "(stats, ls, clear, prune)",
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache root (default: $REPRO_CACHE_DIR or "
+            f"{DEFAULT_CACHE_DIR})",
+        )
+
+    stats_parser = cache_sub.add_parser(
+        "stats",
+        help="per-kind artifact counts and byte totals; refreshes the "
+        "aggregate manifest.json at the cache root",
+    )
+    add_cache_dir(stats_parser)
+    ls_parser = cache_sub.add_parser(
+        "ls", help="list every artifact with size and last-hit age"
+    )
+    add_cache_dir(ls_parser)
+    ls_parser.add_argument(
+        "--kind",
+        choices=["topology", "substrate", "scheme"],
+        default=None,
+        help="restrict the listing to one artifact kind",
+    )
+    clear_parser = cache_sub.add_parser(
+        "clear", help="remove every cached artifact"
+    )
+    add_cache_dir(clear_parser)
+    prune_parser = cache_sub.add_parser(
+        "prune",
+        help="evict artifacts by age and/or least-recently-hit order "
+        "until the cache fits a byte budget",
+    )
+    add_cache_dir(prune_parser)
+    prune_parser.add_argument(
+        "--max-bytes",
+        default=None,
+        help="evict least-recently-hit artifacts until the summed pickle "
+        "bytes are at or under this budget (suffixes K/M/G accepted, "
+        "e.g. 500M)",
+    )
+    prune_parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="evict artifacts whose last hit is older than this many days",
     )
 
     scenarios_parser = subparsers.add_parser(
@@ -180,14 +238,7 @@ def _command_run(args: argparse.Namespace) -> int:
     if not selected:
         print("no experiments selected (pass ids or --all)", file=sys.stderr)
         return 2
-    if args.no_cache:
-        cache = None
-    else:
-        cache = (
-            args.cache_dir
-            or os.environ.get("REPRO_CACHE_DIR")
-            or DEFAULT_CACHE_DIR
-        )
+    cache = None if args.no_cache else _cache_root(args)
     from repro.scenarios.engine import run_scenarios
 
     try:
@@ -208,6 +259,110 @@ def _command_run(args: argparse.Namespace) -> int:
         print(run.report)
         print()
     return 0
+
+
+def _cache_root(args: argparse.Namespace) -> str:
+    return (
+        args.cache_dir
+        or os.environ.get("REPRO_CACHE_DIR")
+        or DEFAULT_CACHE_DIR
+    )
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte budget like ``1048576``, ``512K``, ``200M``, ``2G``."""
+    units = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    text = text.strip()
+    if text and text[-1].upper() in units:
+        return int(float(text[:-1]) * units[text[-1].upper()])
+    return int(text)
+
+
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB"):
+        if count < 1024:
+            return f"{count:.1f} {unit}" if unit != "B" else f"{int(count)} B"
+        count /= 1024
+    return f"{count:.1f} GiB"
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.scenarios import lifecycle
+
+    root = _cache_root(args)
+    if args.cache_command == "stats":
+        stats = lifecycle.cache_stats(root)
+        rows = [
+            [kind, entry["count"], _format_bytes(entry["bytes"])]
+            for kind, entry in stats["kinds"].items()
+        ]
+        rows.append(["total", stats["count"], _format_bytes(stats["bytes"])])
+        print(f"cache root: {root}")
+        print(format_table(["kind", "artifacts", "bytes"], rows))
+        # Refresh the aggregate view whenever a root exists -- including
+        # an emptied one, so a stale manifest never outlives its artifacts.
+        if os.path.isdir(root):
+            manifest = lifecycle.write_manifest(root)
+            print(f"manifest refreshed: {manifest}")
+        return 0
+    if args.cache_command == "ls":
+        artifacts = lifecycle.scan(root)
+        if args.kind:
+            artifacts = [a for a in artifacts if a.kind == args.kind]
+        rows = [
+            [
+                info.kind,
+                info.key[:16],
+                _format_bytes(info.bytes),
+                f"{info.age_s / 3600.0:.1f}h",
+            ]
+            for info in sorted(artifacts, key=lambda a: (a.kind, a.key))
+        ]
+        print(format_table(["kind", "key", "bytes", "last hit"], rows))
+        return 0
+    if args.cache_command == "clear":
+        report = lifecycle.clear(root)
+        print(
+            f"removed {len(report.removed)} artifact(s), "
+            f"{_format_bytes(report.removed_bytes)}"
+        )
+        if os.path.isdir(root):
+            lifecycle.write_manifest(root)
+        return 0
+    if args.cache_command == "prune":
+        if args.max_bytes is None and args.max_age_days is None:
+            print(
+                "prune needs --max-bytes and/or --max-age-days",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            max_bytes = (
+                _parse_size(args.max_bytes)
+                if args.max_bytes is not None
+                else None
+            )
+        except ValueError:
+            print(f"bad --max-bytes {args.max_bytes!r}", file=sys.stderr)
+            return 2
+        report = lifecycle.prune(
+            root,
+            max_bytes=max_bytes,
+            max_age_s=(
+                args.max_age_days * 86400.0
+                if args.max_age_days is not None
+                else None
+            ),
+        )
+        print(
+            f"pruned {len(report.removed)} artifact(s), "
+            f"{_format_bytes(report.removed_bytes)} freed; "
+            f"{len(report.kept)} kept, {_format_bytes(report.kept_bytes)}"
+        )
+        lifecycle.write_manifest(root)
+        return 0
+    print(f"unknown cache command {args.cache_command!r}", file=sys.stderr)
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _command_scenarios(args: argparse.Namespace) -> int:
@@ -343,6 +498,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "cache":
+        return _command_cache(args)
     if args.command == "scenarios":
         return _command_scenarios(args)
     if args.command == "generate":

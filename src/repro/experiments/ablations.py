@@ -209,6 +209,45 @@ def _resolution_balance_ablation(topology, scale, settings=(1, 4, 16)):
     return tuple(rows)
 
 
+# The four studies are independent measurements (each builds its own
+# schemes from the topology and seed), so they are the scenario engine's
+# shard unit.  Each shard returns ``(value, num_nodes | None)``; the gnm
+# node count rides along so the merge does not rebuild the topology.
+_ABLATION_SHARDS = (
+    "vicinity",
+    "landmark-policies",
+    "address-design",
+    "resolution-balance",
+)
+
+
+def _run_ablation_shard(scale: ExperimentScale, key: str):
+    scale = scale or default_scale()
+    if key == "address-design":
+        return (_address_design_ablation(router_level_topology(scale), scale), None)
+    gnm = comparison_gnm(scale)
+    if key == "vicinity":
+        return (_vicinity_ablation(gnm, scale), gnm.num_nodes)
+    if key == "landmark-policies":
+        return (_landmark_policy_ablation(gnm, scale), gnm.num_nodes)
+    if key == "resolution-balance":
+        return (_resolution_balance_ablation(gnm, scale), gnm.num_nodes)
+    raise ValueError(f"unknown ablation shard {key!r}")
+
+
+def _merge_ablation_shards(
+    scale: ExperimentScale, parts: dict[str, tuple]
+) -> AblationResult:
+    return AblationResult(
+        vicinity=parts["vicinity"][0],
+        landmark_policies=parts["landmark-policies"][0],
+        address_design=parts["address-design"][0],
+        resolution_balance=parts["resolution-balance"][0],
+        num_nodes=parts["vicinity"][1],
+        scale_label=scale.label,
+    )
+
+
 @scenario(
     "ablations",
     title="Design ablations: vicinity constant, landmark policy, address "
@@ -219,6 +258,9 @@ def _resolution_balance_ablation(topology, scale, settings=(1, 4, 16)):
     workload="four independent design sweeps",
     aliases=("ablation",),
     tags=("study",),
+    shards=_ABLATION_SHARDS,
+    shard_runner=_run_ablation_shard,
+    shard_merge=_merge_ablation_shards,
 )
 def run(scale: ExperimentScale | None = None) -> AblationResult:
     """Run all four ablations on the comparison topologies."""

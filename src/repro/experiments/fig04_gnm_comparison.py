@@ -28,9 +28,29 @@ from repro.experiments.workloads import comparison_gnm
 from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import SimulationResults, StaticSimulation
 
-__all__ = ["ComparisonResult", "run", "format_report"]
+__all__ = [
+    "ComparisonResult",
+    "run",
+    "format_report",
+    "run_protocol_shard",
+    "merge_protocol_shards",
+]
 
 _PROTOCOLS = ("disco", "nd-disco", "s4", "vrr", "path-vector")
+
+#: What each protocol shard must *build* so its converged state is
+#: identical to the serial five-protocol simulation.  Disco pulls its
+#: ND-Disco substrate in internally; S4 shares the landmark set (and the
+#: converged substrate) with ND-Disco only when both appear in the
+#: protocol list, so its shard carries ND-Disco along -- with the artifact
+#: cache active the substrate is still built once across shards.
+_SHARD_BUILD = {
+    "disco": ("disco",),
+    "nd-disco": ("nd-disco",),
+    "s4": ("nd-disco", "s4"),
+    "vrr": ("vrr",),
+    "path-vector": ("path-vector",),
+}
 
 
 @dataclass(frozen=True)
@@ -42,6 +62,53 @@ class ComparisonResult:
     scale_label: str
 
 
+def run_protocol_shard(
+    scale: ExperimentScale,
+    protocol: str,
+    topology_builder=None,
+) -> SimulationResults:
+    """One protocol-granularity shard of a five-protocol comparison.
+
+    Builds ``protocol`` (plus whatever substrate coupling the serial run
+    gives it, see ``_SHARD_BUILD``) on the comparison topology and
+    measures only that protocol over the shared sampled workloads; the
+    reports are byte-identical to the matching slice of :func:`run`.
+    Shared by Fig. 4 (G(n,m), the default builder) and Fig. 5
+    (geometric).
+    """
+    scale = scale or default_scale()
+    topology = (topology_builder or comparison_gnm)(scale)
+    simulation = StaticSimulation(
+        topology, _SHARD_BUILD[protocol], seed=scale.seed
+    )
+    return simulation.run(
+        measure_state_flag=True,
+        measure_stretch_flag=True,
+        measure_congestion_flag=True,
+        pair_sample=scale.pair_sample,
+        measure_protocols=(protocol,),
+    )
+
+
+def merge_protocol_shards(
+    scale: ExperimentScale, parts: dict[str, SimulationResults]
+) -> ComparisonResult:
+    """Reassemble per-protocol shard results in canonical protocol order."""
+    merged = SimulationResults(
+        topology_name=parts[_PROTOCOLS[0]].topology_name
+    )
+    for protocol in _PROTOCOLS:
+        part = parts[protocol]
+        merged.state.update(part.state)
+        merged.stretch.update(part.stretch)
+        merged.congestion.update(part.congestion)
+    return ComparisonResult(
+        results=merged,
+        topology_label=merged.topology_name,
+        scale_label=scale.label,
+    )
+
+
 @scenario(
     "fig04-gnm-comparison",
     title="Fig. 4: state/stretch/congestion, five protocols on G(n,m)",
@@ -51,9 +118,20 @@ class ComparisonResult:
     workload="converged-state comparison, shared sampled workloads",
     aliases=("fig04",),
     tags=("figure",),
+    shards=_PROTOCOLS,
+    shard_runner=run_protocol_shard,
+    shard_merge=merge_protocol_shards,
 )
 def run(scale: ExperimentScale | None = None) -> ComparisonResult:
-    """Run the five-protocol comparison on the G(n,m) topology."""
+    """Run the five-protocol comparison on the G(n,m) topology.
+
+    Serially this builds one :class:`StaticSimulation` with every
+    protocol (sharing the converged substrate in memory); the sharded
+    path (`--workers`) runs one protocol per task and merges, which is
+    byte-identical because every measurement is a pure function of the
+    (identically built) scheme and the shared sampled workloads --
+    pinned by ``tests/test_scenarios_parallel.py``.
+    """
     scale = scale or default_scale()
     topology = comparison_gnm(scale)
     simulation = StaticSimulation(topology, _PROTOCOLS, seed=scale.seed)

@@ -9,7 +9,11 @@ graph are 2.4 for Disco, 30 for S4, and 39 for VRR" (§5.2).
 from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, default_scale
-from repro.experiments.fig04_gnm_comparison import ComparisonResult
+from repro.experiments.fig04_gnm_comparison import (
+    ComparisonResult,
+    merge_protocol_shards,
+    run_protocol_shard,
+)
 from repro.experiments.reporting import (
     header,
     render_congestion_reports,
@@ -25,6 +29,13 @@ __all__ = ["run", "format_report"]
 _PROTOCOLS = ("disco", "nd-disco", "s4", "vrr", "path-vector")
 
 
+def _run_shard(scale: ExperimentScale, protocol: str):
+    """Fig. 4's protocol shard, pointed at the geometric topology."""
+    return run_protocol_shard(
+        scale, protocol, topology_builder=comparison_geometric
+    )
+
+
 @scenario(
     "fig05-geometric-comparison",
     title="Fig. 5: state/stretch/congestion, five protocols on geometric "
@@ -35,6 +46,9 @@ _PROTOCOLS = ("disco", "nd-disco", "s4", "vrr", "path-vector")
     workload="converged-state comparison, shared sampled workloads",
     aliases=("fig05",),
     tags=("figure",),
+    shards=_PROTOCOLS,
+    shard_runner=_run_shard,
+    shard_merge=merge_protocol_shards,
 )
 def run(scale: ExperimentScale | None = None) -> ComparisonResult:
     """Run the five-protocol comparison on the geometric topology."""

@@ -7,9 +7,11 @@ The pieces, bottom up:
 * :mod:`repro.scenarios.registry` -- id/alias lookup with near-miss
   suggestions; :func:`load_catalog` imports the experiment package to
   populate it.
-* :mod:`repro.scenarios.cache` -- the content-addressed artifact cache
-  deduplicating topologies and converged routing substrates (in memory
-  and, optionally, on disk).
+* :mod:`repro.scenarios.cache` -- the content-addressed artifact store
+  deduplicating topologies, shared converged substrates, and scheme
+  shells (in memory and, optionally, on disk).
+* :mod:`repro.scenarios.lifecycle` -- cache manifest, stats, and the
+  size/age eviction policy behind ``repro cache {stats,ls,clear,prune}``.
 * :mod:`repro.scenarios.results` -- deterministic JSON serialization of
   scenario results.
 * :mod:`repro.scenarios.engine` -- the planner and the serial / process-

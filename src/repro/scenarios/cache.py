@@ -1,27 +1,47 @@
-"""Content-addressed artifact cache for the scenario engine.
+"""Content-addressed artifact store for the scenario engine (v2).
 
 Running the full evaluation rebuilds the same expensive prerequisites over
 and over: the ``(family, n, seed)`` topologies, and -- far more costly --
 the converged routing substrates (:class:`NDDiscoRouting` and friends) that
 several figures measure from different angles.  This module deduplicates
-both:
+both, and -- new in the v2 store -- persists the shared landmark substrate
+**once** instead of embedding a private copy in every scheme that uses it.
+
+Three artifact kinds:
 
 * **Topologies** are keyed by their *construction inputs* (generator
   family, node count, seed, structural parameters, plus a schema-version
   salt), so any two scenarios that ask for "the comparison G(n,m) graph"
   get one build.
-* **Converged schemes** are keyed by the topology's *content*
-  (:meth:`Topology.content_key`, the SHA-256 of the weighted edge set)
-  plus every constructor input that shapes the converged state.  A mutated
-  topology therefore can never hit a stale substrate: its content key
-  changes with it.
+* **Substrates** -- the converged ND-Disco landmark substrate (landmark
+  SPT rows, closest-landmark rows, addresses, names, codec) that Disco
+  embeds and S4 borrows -- are keyed by the topology's *content*
+  (:meth:`Topology.content_key`) plus every constructor input that shapes
+  the converged state.  A substrate is pickled once, with its topology
+  externalized to the topology artifact when one exists.
+* **Schemes** (Disco, S4, VRR, ...) are stored as **lightweight shells**:
+  their pickles cut the object graph at every registered substrate
+  component (the substrate object itself, its SPT rows, closest-landmark
+  rows, per-node addresses, names, codec, topology) and record a
+  ``(kind, key, path)`` persistent reference instead.  On unpickle the
+  reference is resolved through the cache, so every warm-loaded scheme
+  reattaches to the *same* substrate object graph -- a fully warm run
+  holds exactly one substrate in memory, just like a cold run whose
+  schemes shared it at build time.
+
+A mutated topology can never hit a stale artifact: scheme and substrate
+keys change with ``content_key()``, and persistent references carry a
+content-key guard checked at pickling time (a mutated component is
+embedded inline rather than mis-referenced).
 
 Both layers live in memory for the current process and -- when a cache
-directory is configured -- as pickles on disk, so repeated ``repro run``
-invocations and the worker processes of a parallel run share one build.
-Artifacts are deterministic functions of their key, which is what makes
-cache hits invisible in the output: serial, parallel, cold- and warm-cache
-runs all print byte-identical reports.
+directory is configured -- as pickles on disk (plus a ``<key>.meta.json``
+sidecar per artifact recording byte counts and last-hit timestamps; see
+:mod:`repro.scenarios.lifecycle` for the ops layer built on them), so
+repeated ``repro run`` invocations and the worker processes of a parallel
+run share one build.  Artifacts are deterministic functions of their key,
+which is what makes cache hits invisible in the output: serial, parallel,
+cold- and warm-cache runs all print byte-identical reports.
 
 The active cache is process-global (set by the engine around a run);
 :func:`active_cache` returns ``None`` outside one, and every cache-aware
@@ -31,15 +51,20 @@ call site falls back to building directly.
 from __future__ import annotations
 
 import hashlib
+import io
+import json
 import os
 import pickle
 import tempfile
+import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Iterator, TypeVar
 
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactCache",
+    "SUBSTRATE_SCHEMES",
     "Uncacheable",
     "active_cache",
     "activated",
@@ -52,9 +77,14 @@ __all__ = [
 #: Version salt baked into every key: the artifact-layout revision (bump on
 #: layout changes) plus the package version, so version bumps retire stale
 #: artifacts wholesale.  Keys cover *inputs*, not code -- after changing an
-#: algorithm without bumping either, delete the cache directory to force
+#: algorithm without bumping either, run ``repro cache clear`` to force
 #: cold builds.
-ARTIFACT_SCHEMA = "repro-artifacts/v1"
+ARTIFACT_SCHEMA = "repro-artifacts/v2"
+
+#: Scheme names whose converged object *is* the shared landmark substrate.
+#: These are stored under the ``substrate`` kind and their components are
+#: registered for shell externalization.
+SUBSTRATE_SCHEMES = frozenset({"nd-disco", "nddisco"})
 
 
 def _schema_salt() -> str:
@@ -84,8 +114,135 @@ def cache_key(kind: str, *parts: object) -> str:
     return digest.hexdigest()
 
 
+class _ArtifactMissing(Exception):
+    """A persistent reference points at an artifact that is not available.
+
+    Raised inside ``persistent_load`` while unpickling a scheme shell whose
+    substrate (or topology) artifact was evicted; the surrounding load
+    treats it as a cache miss and rebuilds.
+    """
+
+
+@dataclass(frozen=True)
+class _SharedRef:
+    """One registered shared object: where its canonical copy lives.
+
+    ``topology``/``content_key`` pin the topology content the registration
+    was made under; a reference is only emitted while the topology still
+    hashes to the same content (mutation embeds inline instead).
+    """
+
+    kind: str
+    key: str
+    path: tuple
+    topology: object
+    content_key: str
+
+    def is_valid(self) -> bool:
+        try:
+            return self.topology.content_key() == self.content_key
+        except Exception:
+            return False
+
+
+def _substrate_components(substrate) -> Iterator[tuple[tuple, object]]:
+    """Yield ``(path, object)`` for every shareable substrate component.
+
+    The paths mirror :func:`_resolve_substrate_path`.  Components are the
+    objects sibling schemes reference directly (S4 copies list/dict
+    *entries*, not the substrate itself): landmark SPT rows, the
+    closest-landmark rows, every per-node :class:`Address`, the names, the
+    label codec, the vicinities, and the topology.
+    """
+    yield (), substrate
+    yield ("topology",), substrate.topology
+    for landmark, rows in substrate.landmark_spts.items():
+        yield ("spt", landmark, 0), rows[0]
+        yield ("spt", landmark, 1), rows[1]
+    closest, closest_distance = substrate.closest_landmark_rows
+    yield ("closest", 0), closest
+    yield ("closest", 1), closest_distance
+    addresses = substrate.addresses
+    yield ("addresses",), addresses
+    for node, address in enumerate(addresses):
+        yield ("address", node), address
+    names = substrate.names
+    yield ("names",), names
+    for node, name in enumerate(names):
+        yield ("name", node), name
+    yield ("codec",), substrate.codec
+    yield ("vicinities",), substrate.vicinities
+
+
+def _resolve_substrate_path(substrate, path: tuple):
+    """Navigate a :func:`_substrate_components` path on a loaded substrate."""
+    if not path:
+        return substrate
+    head = path[0]
+    if head == "topology":
+        return substrate.topology
+    if head == "spt":
+        return substrate.landmark_spts[path[1]][path[2]]
+    if head == "closest":
+        return substrate.closest_landmark_rows[path[1]]
+    if head == "addresses":
+        return substrate.addresses
+    if head == "address":
+        return substrate.addresses[path[1]]
+    if head == "names":
+        return substrate.names
+    if head == "name":
+        return substrate.names[path[1]]
+    if head == "codec":
+        return substrate.codec
+    if head == "vicinities":
+        return substrate.vicinities
+    raise _ArtifactMissing(f"unknown substrate path {path!r}")
+
+
+class _ShellPickler(pickle.Pickler):
+    """Pickler that externalizes registered shared objects.
+
+    Any object present in the cache's shared-object registry (and whose
+    topology content guard still holds) is replaced by a persistent
+    ``(kind, key, path)`` reference.  ``skip_key`` suppresses references
+    into the artifact currently being stored, so a substrate's own pickle
+    never references itself.
+    """
+
+    def __init__(self, buffer, shared, *, skip_key: str | None = None):
+        super().__init__(buffer, protocol=4)
+        self._shared = shared
+        self._skip_key = skip_key
+
+    def persistent_id(self, obj):
+        ref = self._shared.get(id(obj))
+        if ref is None or ref.key == self._skip_key:
+            return None
+        if not ref.is_valid():
+            return None
+        return (ref.kind, ref.key, ref.path)
+
+
+class _ShellUnpickler(pickle.Unpickler):
+    """Unpickler resolving persistent references through an ArtifactCache."""
+
+    def __init__(self, buffer, cache: "ArtifactCache"):
+        super().__init__(buffer)
+        self._cache = cache
+
+    def persistent_load(self, pid):
+        kind, key, path = pid
+        root = self._cache._load_artifact(kind, key)
+        if kind == "substrate":
+            return _resolve_substrate_path(root, path)
+        if path:
+            raise _ArtifactMissing(f"unexpected path {path!r} for {kind}")
+        return root
+
+
 class ArtifactCache:
-    """Two-level (memory + optional disk) store for build artifacts.
+    """Three-kind (topology / substrate / scheme) two-level artifact store.
 
     Parameters
     ----------
@@ -99,6 +256,11 @@ class ArtifactCache:
     def __init__(self, root: str | os.PathLike | None = None) -> None:
         self.root = os.fspath(root) if root is not None else None
         self._memory: dict[str, object] = {}
+        #: id(object) -> _SharedRef for every registered shared component.
+        #: Roots are pinned by ``_memory``, so registered ids stay live.
+        self._shared: dict[int, _SharedRef] = {}
+        #: Keys whose sidecar last-hit stamp was already bumped this process.
+        self._touched: set[str] = set()
         self.hits = 0
         self.misses = 0
 
@@ -114,9 +276,11 @@ class ArtifactCache:
         if artifact is None:
             self.misses += 1
             artifact = build()
+            self._register(kind, key, artifact)
             self._store_disk(kind, key, artifact)
         else:
             self.hits += 1
+            self._register(kind, key, artifact)
         self._memory[key] = artifact
         return artifact  # type: ignore[return-value]
 
@@ -124,9 +288,58 @@ class ArtifactCache:
         """Topology keyed by construction inputs (family, n, seed, ...)."""
         return self.get("topology", cache_key("topology", *parts), build)
 
+    def substrate(self, key: str, build: Callable[[], T]) -> T:
+        """Converged landmark substrate keyed by topology content + options."""
+        return self.get("substrate", key, build)
+
     def scheme(self, key: str, build: Callable[[], T]) -> T:
         """Converged routing scheme keyed by topology content + options."""
         return self.get("scheme", key, build)
+
+    # -- shared-object registry ------------------------------------------
+
+    def _register(self, kind: str, key: str, artifact: object) -> None:
+        """Register the shareable object graph of a topology/substrate.
+
+        Scheme shells pickled later cut their object graph at these ids.
+        Registration snapshots the owning topology's ``content_key()`` as
+        a guard: once the topology mutates, the refs go stale and
+        pickling embeds the (new) objects inline instead.
+        """
+        try:
+            if kind == "topology":
+                content = artifact.content_key()
+                self._shared[id(artifact)] = _SharedRef(
+                    "topology", key, (), artifact, content
+                )
+            elif kind == "substrate":
+                topology = artifact.topology
+                content = topology.content_key()
+                for path, obj in _substrate_components(artifact):
+                    self._shared.setdefault(
+                        id(obj),
+                        _SharedRef("substrate", key, path, topology, content),
+                    )
+        except Exception:
+            # A partially built or exotic artifact simply is not shared.
+            return
+
+    def _load_artifact(self, kind: str, key: str):
+        """Memory-then-disk load for persistent-reference resolution.
+
+        Unlike :meth:`get` there is no builder: a missing artifact raises
+        :class:`_ArtifactMissing`, which the enclosing shell load treats
+        as a cache miss.
+        """
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        artifact = self._load_disk(kind, key)
+        if artifact is None:
+            raise _ArtifactMissing(f"{kind} artifact {key} unavailable")
+        self._register(kind, key, artifact)
+        self._memory[key] = artifact
+        return artifact
 
     # -- disk layer -------------------------------------------------------
 
@@ -141,32 +354,94 @@ class ArtifactCache:
             return None
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                artifact = _ShellUnpickler(handle, self).load()
         except Exception:
-            # A truncated or version-skewed artifact is treated as a miss;
-            # the rebuild overwrites it atomically.
+            # A truncated, version-skewed, or dangling-reference artifact
+            # (e.g. its substrate was evicted) is treated as a miss; the
+            # rebuild overwrites it atomically.
             return None
+        self._touch_meta(path, key)
+        return artifact
 
     def _store_disk(self, kind: str, key: str, artifact: object) -> None:
         path = self._path(kind, key)
         if path is None:
             return
         try:
-            payload = pickle.dumps(artifact, protocol=4)
+            buffer = io.BytesIO()
+            _ShellPickler(
+                buffer,
+                self._shared,
+                # A substrate may reference the topology artifact but never
+                # itself; plain artifacts (topologies) have nothing
+                # registered pointing at other artifacts anyway.
+                skip_key=key,
+            ).dump(artifact)
+            payload = buffer.getvalue()
         except Exception:
             return  # unpicklable artifacts stay memory-only
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
+        if not self._atomic_write(path, payload, directory):
+            return
+        now = round(time.time(), 3)
+        self._write_meta(
+            path,
+            {
+                "schema": ARTIFACT_SCHEMA,
+                "kind": kind,
+                "key": key,
+                "bytes": len(payload),
+                "created": now,
+                "last_hit": now,
+            },
+        )
+        self._touched.add(key)
+
+    @staticmethod
+    def _atomic_write(path: str, payload: bytes, directory: str) -> bool:
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             os.replace(temp_path, path)
+            return True
         except OSError:
             try:
                 os.unlink(temp_path)
             except OSError:
                 pass
+            return False
+
+    # -- sidecar metadata (consumed by repro.scenarios.lifecycle) ---------
+
+    @staticmethod
+    def meta_path(path: str) -> str:
+        """The sidecar metadata path for an artifact pickle path."""
+        return path[: -len(".pkl")] + ".meta.json" if path.endswith(".pkl") else path + ".meta.json"
+
+    def _write_meta(self, path: str, meta: dict) -> None:
+        payload = (json.dumps(meta, sort_keys=True) + "\n").encode()
+        directory = os.path.dirname(path)
+        self._atomic_write(self.meta_path(path), payload, directory)
+
+    def _touch_meta(self, path: str, key: str) -> None:
+        """Bump the last-hit stamp, at most once per key per process.
+
+        Best-effort and atomic (rewrite + replace): eviction ordering
+        degrades gracefully if a stamp is lost, it never corrupts.
+        """
+        if key in self._touched:
+            return
+        self._touched.add(key)
+        meta_path = self.meta_path(path)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return
+        meta["last_hit"] = round(time.time(), 3)
+        self._write_meta(path, meta)
 
 
 class Uncacheable(Exception):
@@ -202,7 +477,9 @@ def scheme_key(topology, scheme_name: str, **params: object) -> str | None:
     which is invalidated on mutation) plus every canonicalizable
     constructor parameter.  ``workers`` is excluded -- it parallelizes the
     build without changing the converged state.  Returns ``None`` when any
-    parameter is uncacheable.
+    parameter is uncacheable.  Substrate-carrying schemes
+    (:data:`SUBSTRATE_SCHEMES`) key under the ``substrate`` kind so the
+    two artifact namespaces can never collide.
     """
     try:
         canonical = tuple(
@@ -212,7 +489,8 @@ def scheme_key(topology, scheme_name: str, **params: object) -> str | None:
         )
     except Uncacheable:
         return None
-    return cache_key("scheme", topology.content_key(), scheme_name, canonical)
+    kind = "substrate" if scheme_name in SUBSTRATE_SCHEMES else "scheme"
+    return cache_key(kind, topology.content_key(), scheme_name, canonical)
 
 
 def cached_scheme(
@@ -226,7 +504,10 @@ def cached_scheme(
     ``params`` must be the full set of constructor inputs that shape the
     converged state (seed, shortcut mode, landmark set, ...).  With no
     active cache, or with an uncacheable parameter, this is ``build()``.
-    Cached objects are shared -- callers must treat them as immutable.
+    Substrate-carrying schemes (ND-Disco) are stored as ``substrate``
+    artifacts and their components registered for shell externalization;
+    everything else is stored as a lightweight scheme shell.  Cached
+    objects are shared -- callers must treat them as immutable.
     """
     cache = active_cache()
     if cache is None:
@@ -234,6 +515,8 @@ def cached_scheme(
     key = scheme_key(topology, scheme_name, **params)
     if key is None:
         return build()
+    if scheme_name in SUBSTRATE_SCHEMES:
+        return cache.substrate(key, build)
     return cache.scheme(key, build)
 
 

@@ -45,7 +45,7 @@ __all__ = [
     "run_scenarios",
 ]
 
-MANIFEST_SCHEMA = "repro-scenario-manifest/v1"
+MANIFEST_SCHEMA = "repro-scenario-manifest/v2"
 
 
 @dataclass(frozen=True)
@@ -203,8 +203,8 @@ def run_scenarios(
     json_dir:
         When given, writes ``<id>.json`` per scenario (deterministic
         content, see :mod:`repro.scenarios.results`) plus a
-        ``manifest.json`` with run bookkeeping (timings; may differ
-        between runs).
+        ``manifest.json`` with run bookkeeping (timings and per-scenario
+        cache hit/miss counts; may differ between runs).
     cache:
         ``None`` disables artifact caching; a path enables the disk-backed
         cache rooted there; an :class:`ArtifactCache` is used as-is.  With
@@ -225,7 +225,15 @@ def run_scenarios(
     )
     started = time.perf_counter()
     task_outputs: dict[tuple[str, str | None], tuple[float, object]] = {}
-    cache_hits = cache_misses = 0
+    # Per-scenario cache bookkeeping (hit/miss deltas summed over the
+    # scenario's tasks), recorded in manifest.json.
+    scenario_cache: dict[str, list[int]] = {}
+
+    def book(scenario_id: str, hits: int, misses: int) -> None:
+        entry = scenario_cache.setdefault(scenario_id, [0, 0])
+        entry[0] += hits
+        entry[1] += misses
+
     if workers > 1 and len(tasks) > 1:
         from multiprocessing import Pool
 
@@ -238,12 +246,13 @@ def run_scenarios(
                 tasks, pool.map(_run_task, tasks, chunksize=1)
             ):
                 task_outputs[task] = (seconds, payload)
-                cache_hits += hits
-                cache_misses += misses
+                book(task[0], hits, misses)
     else:
         with activated(cache):
             for task in tasks:
                 scenario = registry.resolve(task[0])
+                hits_before = cache.hits if cache else 0
+                misses_before = cache.misses if cache else 0
                 task_started = time.perf_counter()
                 if task[1] is None:
                     payload = scenario.run(scale)
@@ -253,8 +262,14 @@ def run_scenarios(
                     time.perf_counter() - task_started,
                     payload,
                 )
-        if cache is not None:
-            cache_hits, cache_misses = cache.hits, cache.misses
+                if cache is not None:
+                    book(
+                        task[0],
+                        cache.hits - hits_before,
+                        cache.misses - misses_before,
+                    )
+    cache_hits = sum(entry[0] for entry in scenario_cache.values())
+    cache_misses = sum(entry[1] for entry in scenario_cache.values())
 
     runs: dict[str, ScenarioRun] = {}
     for entry in plan.entries:
@@ -285,7 +300,7 @@ def run_scenarios(
     if json_dir is not None:
         _write_json_dir(
             json_dir, plan, runs, workers, started, cache,
-            cache_hits, cache_misses,
+            cache_hits, cache_misses, scenario_cache,
         )
     return runs
 
@@ -299,6 +314,7 @@ def _write_json_dir(
     cache: ArtifactCache | None,
     cache_hits: int,
     cache_misses: int,
+    scenario_cache: dict[str, list[int]],
 ) -> None:
     os.makedirs(json_dir, exist_ok=True)
     for scenario_id, run in runs.items():
@@ -325,6 +341,12 @@ def _write_json_dir(
                     for entry in plan.entries
                     if entry.scenario.scenario_id == scenario_id
                 ),
+                "cache": None
+                if cache is None
+                else {
+                    "hits": scenario_cache.get(scenario_id, [0, 0])[0],
+                    "misses": scenario_cache.get(scenario_id, [0, 0])[1],
+                },
             }
             for scenario_id, run in runs.items()
         },

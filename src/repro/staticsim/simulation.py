@@ -232,12 +232,27 @@ class StaticSimulation:
         node_sample: int | None = None,
         pair_sample: int = 500,
         congestion_pairs: Sequence[tuple[int, int]] | None = None,
+        measure_protocols: Sequence[str] | None = None,
     ) -> SimulationResults:
         """Measure the requested metrics for every protocol.
 
-        All protocols see the same sampled nodes, pairs, and flows.
+        All protocols see the same sampled nodes, pairs, and flows --
+        the workloads are a function of the topology and seed alone, so
+        restricting ``measure_protocols`` to a subset of the built
+        protocols yields reports byte-identical to the corresponding
+        slice of a full run.  The scenario engine's protocol-granularity
+        shards (Figs. 4/5) rely on exactly that: each shard builds its
+        protocol (plus the substrate it is coupled to) and measures only
+        its own.
         """
         results = SimulationResults(topology_name=self._topology.name)
+        if measure_protocols is None:
+            selected = list(self._schemes.values())
+        else:
+            selected = [
+                self._schemes[name.strip().lower()]
+                for name in measure_protocols
+            ]
         nodes = (
             sample_nodes(self._topology, node_sample, seed=self._seed)
             if node_sample is not None
@@ -249,7 +264,7 @@ class StaticSimulation:
             if congestion_pairs is not None
             else one_destination_per_node(self._topology, seed=self._seed + 2)
         )
-        for scheme in self._schemes.values():
+        for scheme in selected:
             if measure_state_flag:
                 results.state[scheme.name] = measure_state(scheme, nodes=nodes)
             if measure_stretch_flag:

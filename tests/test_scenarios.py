@@ -173,7 +173,7 @@ class TestArtifactCache:
         cache = ArtifactCache(tmp_path / "cache")
         key = ("gnm", 48, 5, 6.0)
         cache.topology(key, lambda: "artifact")
-        path = next((tmp_path / "cache" / "topology").iterdir())
+        path = next((tmp_path / "cache" / "topology").glob("*.pkl"))
         path.write_bytes(b"not a pickle")
         rebuilt = ArtifactCache(tmp_path / "cache").topology(
             key, lambda: "rebuilt"

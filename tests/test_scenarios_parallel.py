@@ -55,6 +55,32 @@ class TestDeterminismUnderSharding:
             ).read_bytes()
             assert parallel_bytes == serial_bytes
 
+    def test_protocol_shards_are_byte_identical(self, tmp_path):
+        """Figs. 4/5 (per-protocol) and ablations (per-study) shards must
+        reproduce the serial output byte for byte."""
+        subset = [
+            "fig04-gnm-comparison",
+            "fig05-geometric-comparison",
+            "ablations",
+        ]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = run_scenarios(
+            subset, scale=TINY, workers=1, json_dir=serial_dir, cache=None
+        )
+        parallel = run_scenarios(
+            subset,
+            scale=TINY,
+            workers=2,
+            json_dir=parallel_dir,
+            cache=tmp_path / "cache",
+        )
+        for scenario_id in subset:
+            assert parallel[scenario_id].report == serial[scenario_id].report
+            assert (parallel_dir / f"{scenario_id}.json").read_bytes() == (
+                serial_dir / f"{scenario_id}.json"
+            ).read_bytes()
+
     def test_manifest_records_run_bookkeeping(self, tmp_path):
         run_scenarios(
             ["addr-sizes"],
@@ -67,6 +93,31 @@ class TestDeterminismUnderSharding:
         assert manifest["workers"] == 2
         assert manifest["scale_label"] == "tiny-parallel"
         assert "addr-sizes" in manifest["scenarios"]
+        # Cache off: the per-scenario counts are explicitly null.
+        assert manifest["scenarios"]["addr-sizes"]["cache"] is None
+
+    def test_manifest_records_per_scenario_cache_counts(self, tmp_path):
+        run_scenarios(
+            ["addr-sizes", "fig07-state-bytes"],
+            scale=TINY,
+            workers=1,
+            json_dir=tmp_path / "json",
+            cache=tmp_path / "cache",
+        )
+        manifest = json.loads(
+            (tmp_path / "json" / "manifest.json").read_text()
+        )
+        per_scenario = manifest["scenarios"]
+        totals = [0, 0]
+        for entry in per_scenario.values():
+            assert entry["cache"]["hits"] >= 0
+            assert entry["cache"]["misses"] >= 0
+            totals[0] += entry["cache"]["hits"]
+            totals[1] += entry["cache"]["misses"]
+        # Per-scenario counts must sum to the run totals, and fig07 must
+        # have hit the router-level substrate addr-sizes already built.
+        assert totals == [manifest["cache"]["hits"], manifest["cache"]["misses"]]
+        assert manifest["cache"]["hits"] >= 1
 
     def test_warm_disk_cache_keeps_output_identical(self, tmp_path):
         cache_root = tmp_path / "cache"

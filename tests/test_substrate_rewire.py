@@ -1,0 +1,174 @@
+"""Substrate persistence v2: shells rewire onto one shared object graph.
+
+The v2 artifact store persists the converged ND-Disco substrate once and
+stores every other scheme as a lightweight shell whose pickle references
+the substrate's components by ``(kind, key, path)``.  These tests pin the
+resulting invariants: a fully warm run holds exactly one substrate object
+graph in memory (cold-run parity), results are identical either way,
+eviction of a referenced artifact degrades to a rebuild, and topology
+mutation can never smuggle a stale object through a persistent reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import gnm_random_graph
+from repro.scenarios.cache import (
+    ArtifactCache,
+    SUBSTRATE_SCHEMES,
+    activated,
+    scheme_key,
+)
+from repro.staticsim.simulation import StaticSimulation
+
+PROTOCOLS = ("disco", "nd-disco", "s4", "vrr")
+
+
+def _build_topology():
+    return gnm_random_graph(72, seed=5, average_degree=6.0)
+
+
+def _warm_simulation(root, protocols=PROTOCOLS):
+    """Cold-populate ``root``, then rebuild everything from disk alone."""
+    with activated(ArtifactCache(root)) as cache:
+        topology = cache.topology(("gnm", 72, 5, 6.0), _build_topology)
+        cold = StaticSimulation(topology, protocols, seed=3)
+    with activated(ArtifactCache(root)) as cache:
+        topology = cache.topology(
+            ("gnm", 72, 5, 6.0), lambda: pytest.fail("topology must hit disk")
+        )
+        warm = StaticSimulation(topology, protocols, seed=3)
+        assert cache.misses == 0, "warm run must be all hits"
+    return cold, warm, topology
+
+
+class TestWarmRewire:
+    def test_warm_schemes_share_one_substrate_object_graph(self, tmp_path):
+        _, warm, topology = _warm_simulation(tmp_path / "cache")
+        nd = warm.scheme("nd-disco")
+        s4 = warm.scheme("s4")
+        disco = warm.scheme("disco")
+        # Disco embeds the very substrate object.
+        assert disco.nddisco is nd
+        # S4 reattaches to the substrate's rows/addresses, not copies.
+        for landmark in nd.landmarks:
+            assert (
+                s4._landmark_distances[landmark]
+                is nd.landmark_spts[landmark][0]
+            )
+            assert (
+                s4._landmark_parents[landmark]
+                is nd.landmark_spts[landmark][1]
+            )
+        closest, closest_distance = nd.closest_landmark_rows
+        assert s4._closest_landmark is closest
+        assert s4._landmark_distance_of is closest_distance
+        for node in range(topology.num_nodes):
+            assert s4._addresses[node] is nd.addresses[node]
+            assert s4._names[node] is nd.names[node]
+        assert s4._codec is nd.codec
+
+    def test_exactly_one_substrate_graph_in_memory(self, tmp_path):
+        """The acceptance invariant: warm holds ONE substrate, like cold."""
+        cold, warm, _ = _warm_simulation(tmp_path / "cache")
+        for simulation in (cold, warm):
+            nd = simulation.scheme("nd-disco")
+            spt_row_ids = {
+                id(rows[index])
+                for rows in nd.landmark_spts.values()
+                for index in (0, 1)
+            }
+            for name in ("s4", "disco"):
+                scheme = simulation.scheme(name)
+                if name == "disco":
+                    scheme = scheme.nddisco
+                for landmark, distances in scheme._landmark_distances.items():
+                    assert id(distances) in spt_row_ids
+                for landmark, parents in scheme._landmark_parents.items():
+                    assert id(parents) in spt_row_ids
+
+    def test_every_warm_scheme_shares_the_workload_topology(self, tmp_path):
+        _, warm, topology = _warm_simulation(tmp_path / "cache")
+        for name in PROTOCOLS:
+            assert warm.scheme(name).topology is topology
+
+    def test_warm_results_identical_to_cold(self, tmp_path):
+        cold, warm, _ = _warm_simulation(tmp_path / "cache")
+        cold_results = cold.run(pair_sample=40, measure_congestion_flag=True)
+        warm_results = warm.run(pair_sample=40, measure_congestion_flag=True)
+        assert cold_results.state.keys() == warm_results.state.keys()
+        for name in cold_results.state:
+            assert (
+                cold_results.state[name].entry_summary
+                == warm_results.state[name].entry_summary
+            )
+            assert (
+                cold_results.stretch[name].first_summary
+                == warm_results.stretch[name].first_summary
+            )
+            assert (
+                cold_results.congestion[name].summary
+                == warm_results.congestion[name].summary
+            )
+
+    def test_shells_are_lightweight_on_disk(self, tmp_path):
+        import os
+        import pickle
+
+        root = tmp_path / "cache"
+        cold, _, _ = _warm_simulation(root, protocols=("nd-disco", "s4"))
+        plain = len(pickle.dumps(cold.scheme("s4"), protocol=4))
+        (shell,) = [
+            os.path.getsize(os.path.join(root, "scheme", name))
+            for name in os.listdir(root / "scheme")
+            if name.endswith(".pkl")
+        ]
+        # The shell drops the embedded substrate copy (SPT rows, addresses,
+        # codec, topology), so it must be clearly smaller than the full
+        # pickle -- the exact ratio varies with n.
+        assert shell < plain * 0.8
+
+
+class TestDegradation:
+    def test_evicted_substrate_demotes_shells_to_misses(self, tmp_path):
+        import glob
+        import os
+
+        root = tmp_path / "cache"
+        cold, _, _ = _warm_simulation(root, protocols=("nd-disco", "s4"))
+        for path in glob.glob(str(root / "substrate" / "*")):
+            os.unlink(path)
+        with activated(ArtifactCache(root)) as cache:
+            rebuilt = StaticSimulation(
+                _build_topology(), ("nd-disco", "s4"), seed=3
+            )
+            assert cache.misses >= 1  # the substrate (and its dependents)
+        for node in (0, 35, 71):
+            assert rebuilt.scheme("s4").state_entries(
+                node
+            ) == cold.scheme("s4").state_entries(node)
+
+    def test_mutated_topology_is_never_smuggled_through_a_reference(
+        self, tmp_path
+    ):
+        root = tmp_path / "cache"
+        with activated(ArtifactCache(root)) as cache:
+            topology = cache.topology(("gnm", 72, 5, 6.0), _build_topology)
+            topology.add_edge(0, 71, 2.0)
+            StaticSimulation(topology, ("vrr",), seed=3)
+        mutated = _build_topology()
+        mutated.add_edge(0, 71, 2.0)
+        with activated(ArtifactCache(root)) as cache:
+            warm = StaticSimulation(mutated, ("vrr",), seed=3)
+            assert cache.hits >= 1
+        # The warm shell must carry the mutated edge set, not the stale
+        # pre-mutation topology artifact.
+        assert warm.scheme("vrr").topology == mutated
+
+    def test_substrate_keys_use_their_own_namespace(self):
+        topology = _build_topology()
+        assert "nd-disco" in SUBSTRATE_SCHEMES
+        substrate = scheme_key(topology, "nd-disco", seed=3)
+        scheme = scheme_key(topology, "s4", seed=3)
+        assert substrate != scheme

@@ -17,7 +17,7 @@ import sys
 from pathlib import Path
 
 RESULT_SCHEMA = "repro-scenario-result/v1"
-MANIFEST_SCHEMA = "repro-scenario-manifest/v1"
+MANIFEST_SCHEMA = "repro-scenario-manifest/v2"
 
 REQUIRED_KEYS = {
     "schema": str,
@@ -75,8 +75,39 @@ def check_manifest(path: Path) -> list[str]:
     errors = []
     if manifest.get("schema") != MANIFEST_SCHEMA:
         errors.append(f"{path.name}: bad schema {manifest.get('schema')!r}")
-    if not isinstance(manifest.get("scenarios"), dict):
+    scenarios = manifest.get("scenarios")
+    if not isinstance(scenarios, dict):
         errors.append(f"{path.name}: missing scenarios map")
+        return errors
+    run_cache = manifest.get("cache")
+    for scenario_id, entry in scenarios.items():
+        label = f"{path.name}: scenario {scenario_id!r}"
+        if not isinstance(entry, dict):
+            errors.append(f"{label} is not an object")
+            continue
+        seconds = entry.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            errors.append(f"{label} has bad seconds {seconds!r}")
+        tasks = entry.get("tasks")
+        if not isinstance(tasks, int) or tasks < 1:
+            errors.append(f"{label} has bad tasks {tasks!r}")
+        if "cache" not in entry:
+            errors.append(f"{label} is missing cache hit/miss counts")
+            continue
+        cache = entry["cache"]
+        if run_cache is None:
+            if cache is not None:
+                errors.append(
+                    f"{label} has cache counts but the run had no cache"
+                )
+            continue
+        if not isinstance(cache, dict):
+            errors.append(f"{label} cache is not an object")
+            continue
+        for field in ("hits", "misses"):
+            value = cache.get(field)
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"{label} has bad cache {field} {value!r}")
     return errors
 
 
