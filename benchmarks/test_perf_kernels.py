@@ -31,6 +31,7 @@ def test_perf_kernels_quick(benchmark, run_once):
         "batched_targets/gnm-512",
         "staticsim/gnm-256",
         "staticsim/geometric-256",
+        "measurement_batch/gnm-256",
     }
     assert expected <= set(entries)
 
@@ -48,3 +49,7 @@ def test_perf_kernels_quick(benchmark, run_once):
     assert entries["staticsim/gnm-256"]["speedup"] > 1.2
     assert entries["dijkstra_full/geometric-512"]["speedup"] > 0.5
     assert entries["dijkstra_full/geometric-q-512"]["speedup"] > 0.5
+    # The batched measurement engine must stay clearly ahead of the
+    # per-pair loop even at the shrunken quick scale (the committed
+    # full-scale entry runs >= 2x; see BENCH_kernels.json).
+    assert entries["measurement_batch/gnm-256"]["speedup"] > 1.2

@@ -1,0 +1,58 @@
+"""Memory canary: warm-run retained footprint of the scenario suite.
+
+PR 4 closed the warm-vs-cold *object graph* gap (scheme shells rewire onto
+one shared substrate on load) but left warm retained memory at cold parity
+(~35.1 MB retained on ``scenario_suite_warm/quick5-384``; see the
+committed ``BENCH_kernels.json`` params history).  The array-backed
+substrate tables close that residual: slabs hold one unboxed double per
+distance instead of a boxed float plus dict entry, in memory and in the
+pickle alike.
+
+This canary replays the ``scenario_suite_warm`` measurement (same five
+scenarios, same n=384 scale, same tracemalloc accounting as the committed
+benchmark entry) and fails if a regression pushes the warm retained
+footprint back above the PR 4 baseline.  The ceiling is the *old* cold
+baseline with the current numbers ~8% under it, so ordinary allocator
+noise cannot trip it while a return of per-node object graphs will.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from repro.perf.kernel_bench import SUITE_IDS, suite_scale, traced_suite_run
+
+#: Retained KB of the PR 4 warm run at cold parity (the committed
+#: ``scenario_suite_warm/quick5-384`` params before array-backed tables:
+#: cold_end_kb 35130.0 / warm_end_kb 36377.4).  The canary asserts the
+#: warm run now retains less than the *cold* side of that baseline.
+PR4_COLD_PARITY_KB = 35130.0
+
+
+def test_warm_retained_memory_below_pr4_baseline(benchmark, run_once):
+    def measure() -> tuple[float, float]:
+        from repro.scenarios.cache import ArtifactCache
+        from repro.scenarios.engine import run_scenarios
+
+        root = tempfile.mkdtemp(prefix="repro-memcanary-")
+        try:
+            # Populate the disk cache (cold), then trace a fully warm run.
+            run_scenarios(
+                SUITE_IDS,
+                scale=suite_scale(384),
+                workers=1,
+                cache=ArtifactCache(root),
+            )
+            warm_end, warm_peak = traced_suite_run(root, n=384)
+            return warm_end / 1024.0, warm_peak / 1024.0
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    warm_end_kb, warm_peak_kb = run_once(measure)
+    benchmark.extra_info["warm_end_kb"] = round(warm_end_kb, 1)
+    benchmark.extra_info["warm_peak_kb"] = round(warm_peak_kb, 1)
+    assert warm_end_kb < PR4_COLD_PARITY_KB, (
+        f"warm retained {warm_end_kb:.0f} KB regressed above the PR 4 "
+        f"cold-parity baseline ({PR4_COLD_PARITY_KB:.0f} KB)"
+    )

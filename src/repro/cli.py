@@ -128,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_dir(ls_parser)
     ls_parser.add_argument(
         "--kind",
-        choices=["topology", "substrate", "scheme"],
+        choices=["topology", "substrate", "tables", "scheme"],
         default=None,
         help="restrict the listing to one artifact kind",
     )
@@ -154,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="evict artifacts whose last hit is older than this many days",
+    )
+    prune_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print what would be evicted without touching the store",
     )
 
     scenarios_parser = subparsers.add_parser(
@@ -299,6 +304,15 @@ def _command_cache(args: argparse.Namespace) -> int:
         rows.append(["total", stats["count"], _format_bytes(stats["bytes"])])
         print(f"cache root: {root}")
         print(format_table(["kind", "artifacts", "bytes"], rows))
+        if stats.get("raw_bytes"):
+            ratio = stats["bytes"] / stats["raw_bytes"]
+            print(
+                f"compression: {_format_bytes(stats['bytes'])} stored / "
+                f"{_format_bytes(stats['raw_bytes'])} raw "
+                f"({ratio:.2f}x, {1.0 / ratio:.1f}:1)"
+                if ratio > 0
+                else "compression: n/a"
+            )
         # Refresh the aggregate view whenever a root exists -- including
         # an emptied one, so a stale manifest never outlives its artifacts.
         if os.path.isdir(root):
@@ -353,7 +367,21 @@ def _command_cache(args: argparse.Namespace) -> int:
                 if args.max_age_days is not None
                 else None
             ),
+            dry_run=args.dry_run,
         )
+        if args.dry_run:
+            for info in report.removed:
+                print(
+                    f"would evict {info.kind}/{info.key[:16]} "
+                    f"({_format_bytes(info.bytes)}, "
+                    f"last hit {info.age_s / 3600.0:.1f}h ago)"
+                )
+            print(
+                f"dry run: would prune {len(report.removed)} artifact(s), "
+                f"{_format_bytes(report.removed_bytes)}; "
+                f"{len(report.kept)} kept, {_format_bytes(report.kept_bytes)}"
+            )
+            return 0
         print(
             f"pruned {len(report.removed)} artifact(s), "
             f"{_format_bytes(report.removed_bytes)} freed; "

@@ -27,11 +27,14 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.addressing.address import NAME_BYTES_IPV4
+from array import array
+
+from repro.addressing.address import NAME_BYTES_IPV4, NAME_BYTES_IPV6
 from repro.core.nddisco import NDDiscoRouting
 from repro.core.overlay import DisseminationOverlay
 from repro.core.shortcutting import ShortcutMode, apply_shortcuts
 from repro.core.sloppy_groups import SloppyGrouping
+from repro.core.tables import SubstrateTables, get_backend
 from repro.core.vicinity import VicinityTable
 from repro.graphs.topology import Topology
 from repro.naming.hashspace import hash_prefix
@@ -101,9 +104,18 @@ class DiscoRouting(RoutingScheme):
         self._overlay = DisseminationOverlay(
             self._grouping, num_fingers=num_fingers, seed=seed
         )
-        self._group_entry_counts, self._group_entry_bytes = (
-            self._compute_group_storage()
-        )
+        counts, byte_totals = self._compute_group_storage()
+        if get_backend() == "array":
+            # Flat per-node rows instead of a list of boxed ints plus an
+            # int-keyed float dict; indexing below is unchanged.
+            n = self._nddisco.topology.num_nodes
+            self._group_entry_counts = array("q", counts)
+            self._group_entry_bytes = array(
+                "d", (byte_totals[node] for node in range(n))
+            )
+        else:
+            self._group_entry_counts = counts
+            self._group_entry_bytes = byte_totals
 
     # -- construction helpers ------------------------------------------------
 
@@ -170,6 +182,11 @@ class DiscoRouting(RoutingScheme):
         return self._nddisco
 
     @property
+    def tables(self) -> "SubstrateTables | None":
+        """The embedded substrate's flat slabs (``None`` on "dict")."""
+        return self._nddisco.tables
+
+    @property
     def shortcut_mode(self) -> ShortcutMode:
         """The shortcutting heuristic in force (shared with NDDisco)."""
         return self._shortcut_mode
@@ -232,6 +249,42 @@ class DiscoRouting(RoutingScheme):
                 name_bytes
             )
         return base + group_bytes + overlay_bytes
+
+    def state_profile(
+        self, nodes: Sequence[int]
+    ) -> tuple[list[int], list[float], list[float]]:
+        """Batched state accounting: ``(entries, IPv4 bytes, IPv6 bytes)``.
+
+        Mirrors :meth:`state_entries` / :meth:`state_bytes` value for
+        value on top of NDDisco's batched profile.
+        """
+        nd_entries, nd_v4, nd_v6 = self._nddisco.state_profile(nodes)
+        addresses = self._nddisco.addresses
+        entries_out: list[int] = []
+        bytes_v4: list[float] = []
+        bytes_v6: list[float] = []
+        for index, node in enumerate(nodes):
+            self._check_endpoints(node, node)
+            count = self._group_entry_counts[node]
+            entries_out.append(
+                nd_entries[index] + count + self._overlay.degree(node)
+            )
+            neighbors = list(self._overlay.neighbors(node))
+            for name_bytes, base, out in (
+                (NAME_BYTES_IPV4, nd_v4[index], bytes_v4),
+                (NAME_BYTES_IPV6, nd_v6[index], bytes_v6),
+            ):
+                group_bytes = self._group_entry_bytes[node]
+                if name_bytes != NAME_BYTES_IPV4:
+                    delta_per_entry = 2.0 * (name_bytes - NAME_BYTES_IPV4)
+                    group_bytes += count * delta_per_entry
+                overlay_bytes = 0.0
+                for neighbor in neighbors:
+                    overlay_bytes += addresses[neighbor].mapping_entry_bytes(
+                        name_bytes
+                    )
+                out.append(base + group_bytes + overlay_bytes)
+        return entries_out, bytes_v4, bytes_v6
 
     # -- routing ----------------------------------------------------------------
 

@@ -34,12 +34,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.addressing.address import Address, NAME_BYTES_IPV4
+from repro.addressing.address import Address, NAME_BYTES_IPV4, NAME_BYTES_IPV6
 from repro.addressing.explicit_route import ExplicitRoute
 from repro.addressing.labels import LabelCodec
 from repro.core.landmarks import closest_landmarks, landmark_spts, select_landmarks
 from repro.core.resolution import LandmarkResolutionDatabase
 from repro.core.shortcutting import ShortcutMode, apply_shortcuts
+from repro.core.tables import SubstrateTables, get_backend
 from repro.core.vicinity import VicinityTable, compute_vicinities
 from repro.graphs.topology import Topology
 from repro.naming.names import FlatName, name_for_node
@@ -117,41 +118,60 @@ class NDDiscoRouting(RoutingScheme):
             raise ValueError("landmark set must be non-empty")
 
         # Shortest-path trees rooted at each landmark: distance and parent
-        # per node, stored as dense lists for memory efficiency and built by
-        # the batched CSR driver over one shared scratch arena.
+        # per node, built by the batched CSR driver over one shared scratch
+        # arena.  On the default "array" backend the rows, the
+        # closest-landmark rows, the vicinities, and the address payloads
+        # are then re-packed into one set of flat typed slabs
+        # (:class:`SubstrateTables`); every attribute below keeps its
+        # historical dict/list shape through thin views, and the "dict"
+        # backend keeps the original per-node object graphs as the
+        # differential oracle.
         spts = landmark_spts(topology, self._landmarks)
-        self._landmark_spts = spts
-        self._landmark_distances: dict[int, list[float]] = {
-            landmark: rows[0] for landmark, rows in spts.items()
-        }
-        self._landmark_parents: dict[int, list[int]] = {
-            landmark: rows[1] for landmark, rows in spts.items()
-        }
-
-        # Closest landmark per node (ties broken by landmark id).
-        self._closest_landmark, self._closest_landmark_distance = (
-            closest_landmarks(spts, n)
-        )
+        closest_rows = closest_landmarks(spts, n)
 
         # Vicinities.
-        self._vicinities: list[VicinityTable] = (
+        built_vicinities: Sequence[VicinityTable] = (
             list(vicinities)
             if vicinities is not None
             else compute_vicinities(topology, scale=vicinity_scale, workers=workers)
         )
-        if len(self._vicinities) != n:
+        if len(built_vicinities) != n:
             raise ValueError("vicinities must cover every node")
 
-        # Addresses: explicit route from the closest landmark down its SPT.
         self._codec = LabelCodec(topology)
-        self._addresses: list[Address] = []
-        for node in range(n):
-            landmark = self._closest_landmark[node]
-            tree_path = _extract_path_dense(
-                self._landmark_parents[landmark], landmark, node
+        if get_backend() == "array":
+            self._tables: SubstrateTables | None = SubstrateTables.from_components(
+                n, spts, closest_rows, built_vicinities, self._codec
             )
-            route = ExplicitRoute.from_path(self._codec, tree_path)
-            self._addresses.append(Address(node=node, landmark=landmark, route=route))
+            self._landmark_spts = self._tables.spt_rows()
+            self._closest_landmark, self._closest_landmark_distance = (
+                self._tables.closest_rows()
+            )
+            self._vicinities = self._tables.vicinity_views()
+            self._addresses: list[Address] = self._tables.addresses()
+        else:
+            self._tables = None
+            self._landmark_spts = spts
+            self._closest_landmark, self._closest_landmark_distance = closest_rows
+            self._vicinities = list(built_vicinities)
+            # Addresses: explicit route from the closest landmark down its
+            # SPT.
+            self._addresses = []
+            for node in range(n):
+                landmark = self._closest_landmark[node]
+                tree_path = _extract_path_dense(
+                    spts[landmark][1], landmark, node
+                )
+                route = ExplicitRoute.from_path(self._codec, tree_path)
+                self._addresses.append(
+                    Address(node=node, landmark=landmark, route=route)
+                )
+        self._landmark_distances = {
+            landmark: rows[0] for landmark, rows in self._landmark_spts.items()
+        }
+        self._landmark_parents = {
+            landmark: rows[1] for landmark, rows in self._landmark_spts.items()
+        }
 
         # Name-resolution database over the landmarks.
         self._resolution = LandmarkResolutionDatabase(
@@ -160,6 +180,16 @@ class NDDiscoRouting(RoutingScheme):
         self._resolution.populate(self._names, self._addresses)
 
     # -- accessors used by Disco and the experiments ------------------------
+
+    @property
+    def tables(self) -> SubstrateTables | None:
+        """The flat substrate slabs backing this scheme's state.
+
+        ``None`` on the "dict" backend (the differential oracle).  Treat as
+        read-only; the cache layer persists and shares these slabs as raw
+        buffers, and pool workers may attach them zero-copy.
+        """
+        return self._tables
 
     @property
     def landmarks(self) -> set[int]:
@@ -302,6 +332,58 @@ class NDDiscoRouting(RoutingScheme):
         label_bytes = self.label_mapping_entries(node) * 2.0
         resolution_bytes = self._resolution.entry_bytes_at(node, name_bytes=name_bytes)
         return forwarding_bytes + label_bytes + resolution_bytes
+
+    def state_profile(
+        self, nodes: Sequence[int]
+    ) -> tuple[list[int], list[float], list[float]]:
+        """Batched state accounting: ``(entries, IPv4 bytes, IPv6 bytes)``.
+
+        Mirrors :meth:`state_entries` / :meth:`state_bytes` value for
+        value, computing the shared per-node intermediates (label-mapping
+        counts) once instead of once per metric.  Used by
+        :func:`repro.metrics.state.measure_state`.
+        """
+        landmarks = self._landmarks
+        num_landmarks = len(landmarks)
+        parents = self._landmark_parents
+        entries_out: list[int] = []
+        bytes_v4: list[float] = []
+        bytes_v6: list[float] = []
+        for node in nodes:
+            self._check_endpoints(node, node)
+            used_neighbors: set[int] = set()
+            for landmark in landmarks:
+                if landmark == node:
+                    continue
+                parent = parents[landmark][node]
+                if parent >= 0:
+                    used_neighbors.add(parent)
+            vicinity = self._vicinities[node]
+            for member, parent in vicinity.predecessors.items():
+                if parent == node:
+                    used_neighbors.add(member)
+            label_count = len(used_neighbors)
+            landmark_entries = num_landmarks - (1 if node in landmarks else 0)
+            vicinity_entries = len(vicinity) - 1
+            entries_out.append(
+                landmark_entries
+                + vicinity_entries
+                + label_count
+                + self._resolution.entries_at(node)
+            )
+            for name_bytes, out in (
+                (NAME_BYTES_IPV4, bytes_v4),
+                (NAME_BYTES_IPV6, bytes_v6),
+            ):
+                forwarding_bytes = (landmark_entries + vicinity_entries) * (
+                    name_bytes + 1.0
+                )
+                label_bytes = label_count * 2.0
+                resolution_bytes = self._resolution.entry_bytes_at(
+                    node, name_bytes=name_bytes
+                )
+                out.append(forwarding_bytes + label_bytes + resolution_bytes)
+        return entries_out, bytes_v4, bytes_v6
 
     # -- routing ------------------------------------------------------------
 

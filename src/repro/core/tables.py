@@ -1,0 +1,842 @@
+"""Flat array-backed routing-scheme state (the substrate tables layer).
+
+The converged landmark substrate that NDDisco builds (and Disco embeds and
+S4 borrows) was historically held as per-node Python object graphs:
+``dict[int, list[float]]`` landmark tables, one ``dict`` pair per vicinity,
+one boxed float per distance.  This module stores the same state as
+row-major typed slabs -- ``array('d')`` / ``array('q')`` -- exactly like the
+CSR snapshot did for the graph itself in PR 1:
+
+* **Landmark SPT slabs** -- distances and parents for every landmark,
+  ``|L| x n`` row-major (row order = ascending landmark id).
+* **Closest-landmark rows** -- per-node closest landmark and its distance.
+* **Vicinity table** (:class:`NodeSearchTables`) -- CSR-style offsets over
+  a flat member slab, with aligned distance and parent slabs, members kept
+  in Dijkstra settle order so iteration matches the historical dicts.
+* **Address payloads** -- per-node explicit-route node paths, labels, and
+  bit sizes as CSR slabs.
+
+The dict-shaped accessors the rest of the system consumes stay available as
+thin views (:class:`Row`, :class:`SearchMap`, :class:`VicinityView`), so the
+public scheme API and every experiment output are byte-identical to the
+dict implementation -- which lives on behind ``use_backend("dict")`` as the
+differential oracle, mirroring ``engine.use_engine("reference")`` for the
+kernels.
+
+Because the slabs are plain buffers they also serialize as raw bytes
+(:meth:`SubstrateTables.__getstate__`), deduplicating equal floats by
+construction, and publish zero-copy into one shared-memory segment
+(:class:`SharedTables`) that pool workers attach with
+:meth:`SubstrateTables.from_shared` instead of unpickling private copies.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "NodeSearchTables",
+    "Row",
+    "SearchMap",
+    "SharedTables",
+    "SharedTablesHandle",
+    "SubstrateTables",
+    "VicinityView",
+    "get_backend",
+    "use_backend",
+]
+
+#: Backends: "array" (slab-backed, the default) and "dict" (the historical
+#: per-node object graphs, kept as the differential oracle).
+_BACKENDS = ("array", "dict")
+
+_BACKEND: str | None = None
+
+
+def get_backend() -> str:
+    """The active scheme-state backend ("array" or "dict").
+
+    Resolved once from ``REPRO_TABLES`` (default ``array``); switch at
+    runtime with :func:`use_backend`.
+    """
+    global _BACKEND
+    if _BACKEND is None:
+        _BACKEND = os.environ.get("REPRO_TABLES", "array").strip().lower()
+    if _BACKEND not in _BACKENDS:
+        raise ValueError(
+            f"unknown tables backend {_BACKEND!r}; expected one of {_BACKENDS}"
+        )
+    return _BACKEND
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily select a scheme-state backend.
+
+    >>> with use_backend("dict") as active:
+    ...     active
+    'dict'
+    """
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown tables backend {name!r}; expected one of {_BACKENDS}"
+        )
+    global _BACKEND
+    previous = get_backend()
+    _BACKEND = name
+    try:
+        yield name
+    finally:
+        _BACKEND = previous
+
+
+class Row:
+    """Read-only, list-shaped view of one row of a slab.
+
+    Indexing, ``len``, iteration, ``reversed``, slicing (returns a list),
+    and element-wise equality against any sequence all behave like the
+    dense ``list`` rows they replace.  Pickling reduces to the owning
+    tables object plus coordinates, so every pickle of a substrate carries
+    each slab's bytes exactly once no matter how many rows view it.
+    """
+
+    __slots__ = ("_owner", "_slot", "_start", "_stop", "_view")
+
+    def __init__(self, owner: object, slot: str, start: int, stop: int) -> None:
+        self._owner = owner
+        self._slot = slot
+        self._start = start
+        self._stop = stop
+        self._view = memoryview(getattr(owner, slot))[start:stop]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._view[index].tolist()
+        return self._view[index]
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def __iter__(self):
+        return iter(self._view)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            other = other._view
+        try:
+            length = len(other)  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+        if len(self._view) != length:
+            return False
+        view = self._view
+        return all(view[i] == other[i] for i in range(length))  # type: ignore[index]
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def tolist(self) -> list:
+        """Materialize the row as a plain list."""
+        return self._view.tolist()
+
+    def __reduce__(self):
+        return (Row, (self._owner, self._slot, self._start, self._stop))
+
+    def __repr__(self) -> str:
+        return (
+            f"Row({type(self._owner).__name__}.{self._slot}"
+            f"[{self._start}:{self._stop}])"
+        )
+
+
+class SearchMap:
+    """Dict-shaped read-only view of one node's truncated-search row.
+
+    Maps member node id -> value (distance or parent) over the slab range
+    ``[lo, hi)`` of a :class:`NodeSearchTables`.  Iteration preserves the
+    Dijkstra settle order the historical dicts had; membership and lookup
+    go through the table's lazy per-node position index.
+    """
+
+    __slots__ = ("_table", "_node", "_slot", "_lo", "_hi")
+
+    def __init__(
+        self, table: "NodeSearchTables", node: int, slot: str, lo: int, hi: int
+    ) -> None:
+        self._table = table
+        self._node = node
+        self._slot = slot
+        self._lo = lo
+        self._hi = hi
+
+    def _position(self, key: object) -> int | None:
+        if type(key) is not int:
+            if not isinstance(key, int):
+                return None
+            key = int(key)
+        position = self._table._index(self._node).get(key)
+        if position is None or not self._lo <= position < self._hi:
+            return None
+        return position
+
+    def __contains__(self, key: object) -> bool:
+        return self._position(key) is not None
+
+    def __getitem__(self, key: int):
+        position = self._position(key)
+        if position is None:
+            raise KeyError(key)
+        return getattr(self._table, self._slot)[position]
+
+    def get(self, key: int, default=None):
+        position = self._position(key)
+        if position is None:
+            return default
+        return getattr(self._table, self._slot)[position]
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __iter__(self):
+        return iter(memoryview(self._table.members)[self._lo : self._hi])
+
+    def keys(self):
+        return memoryview(self._table.members)[self._lo : self._hi].tolist()
+
+    def values(self):
+        return memoryview(getattr(self._table, self._slot))[
+            self._lo : self._hi
+        ].tolist()
+
+    def items(self):
+        members = memoryview(self._table.members)[self._lo : self._hi]
+        values = memoryview(getattr(self._table, self._slot))[
+            self._lo : self._hi
+        ]
+        return zip(members.tolist(), values.tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SearchMap):
+            other = dict(other.items())
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(
+            key in other and other[key] == value for key, value in self.items()
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __reduce__(self):
+        return (
+            SearchMap,
+            (self._table, self._node, self._slot, self._lo, self._hi),
+        )
+
+    def __repr__(self) -> str:
+        return f"SearchMap(node={self._node}, {self._slot}, n={len(self)})"
+
+
+class NodeSearchTables:
+    """Per-node truncated-search results as CSR slabs.
+
+    One row per node, members in settle order (``members[offset[v]]`` is
+    ``v`` itself).  Backs both the NDDisco vicinities and the S4 reverse
+    clusters ("balls"); :meth:`distance_maps` / :meth:`predecessor_maps`
+    give the dict-shaped views the routing code consumes (the predecessor
+    map of a row excludes the owner, matching the historical dicts).
+    """
+
+    __slots__ = ("num_nodes", "offsets", "members", "dists", "parents", "_indexes")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        offsets: "array | memoryview",
+        members: "array | memoryview",
+        dists: "array | memoryview",
+        parents: "array | memoryview",
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.offsets = offsets
+        self.members = members
+        self.dists = dists
+        self.parents = parents
+        self._indexes: list[dict[int, int] | None] = [None] * num_nodes
+
+    @classmethod
+    def from_searches(
+        cls,
+        searches: Sequence[tuple[Mapping[int, float], Mapping[int, int]]],
+    ) -> "NodeSearchTables":
+        """Build slabs from per-node ``(distances, predecessors)`` dicts.
+
+        ``searches[v]`` must be rooted at ``v`` (the kernels' dict results:
+        distances iterate in settle order starting with the root, the
+        predecessor dict covers every settled node but the root).
+        """
+        offsets = [0]
+        members: list[int] = []
+        dists: list[float] = []
+        parents: list[int] = []
+        position = 0
+        for node, (distances, predecessors) in enumerate(searches):
+            order = list(distances)
+            if not order:
+                raise ValueError(f"search {node} has no settled members")
+            if order[0] != node:
+                raise ValueError(
+                    f"search {node} does not start at its own node "
+                    f"(got {order[0]})"
+                )
+            members.extend(order)
+            dists.extend(distances.values())
+            parents.append(-1)
+            iterator = iter(order)
+            next(iterator)
+            parents.extend(predecessors[member] for member in iterator)
+            position += len(order)
+            offsets.append(position)
+        return cls(
+            len(searches),
+            array("q", offsets),
+            array("q", members),
+            array("d", dists),
+            array("q", parents),
+        )
+
+    def _index(self, node: int) -> dict[int, int]:
+        """member -> absolute slab position for ``node``'s row (lazy)."""
+        index = self._indexes[node]
+        if index is None:
+            lo = self.offsets[node]
+            hi = self.offsets[node + 1]
+            members = self.members
+            index = {members[pos]: pos for pos in range(lo, hi)}
+            self._indexes[node] = index
+        return index
+
+    def row_bounds(self, node: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` slab range of ``node``'s row."""
+        return self.offsets[node], self.offsets[node + 1]
+
+    def distance_map(self, node: int) -> SearchMap:
+        """Member -> distance view for ``node`` (includes the owner at 0)."""
+        lo, hi = self.row_bounds(node)
+        return SearchMap(self, node, "dists", lo, hi)
+
+    def predecessor_map(self, node: int) -> SearchMap:
+        """Member -> parent view for ``node`` (excludes the owner)."""
+        lo, hi = self.row_bounds(node)
+        return SearchMap(self, node, "parents", lo + 1, hi)
+
+    def path_from_owner(self, node: int, member: int) -> list[int]:
+        """Shortest path ``node .. member`` along the row's search tree."""
+        if member == node:
+            return [node]
+        index = self._index(node)
+        position = index.get(member)
+        if position is None:
+            raise KeyError(member)
+        lo = self.offsets[node]
+        parents = self.parents
+        path = [member]
+        current = member
+        while current != node:
+            pos = index.get(current)
+            if pos is None or pos == lo:
+                raise ValueError(
+                    f"target {member} not reachable from {node} in "
+                    "predecessor map"
+                )
+            current = parents[pos]
+            path.append(current)
+        path.reverse()
+        return path
+
+    def __getstate__(self) -> dict:
+        return {
+            "num_nodes": self.num_nodes,
+            "slabs": {
+                "offsets": ("q", bytes(self.offsets.tobytes())),
+                "members": ("q", bytes(self.members.tobytes())),
+                "dists": ("d", bytes(self.dists.tobytes())),
+                "parents": ("q", bytes(self.parents.tobytes())),
+            },
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.num_nodes = state["num_nodes"]
+        for slot, (typecode, payload) in state["slabs"].items():
+            slab = array(typecode)
+            slab.frombytes(payload)
+            setattr(self, slot, slab)
+        self._indexes = [None] * self.num_nodes
+
+
+class VicinityView:
+    """Slab-backed stand-in for :class:`~repro.core.vicinity.VicinityTable`.
+
+    Duck-types the frozen dataclass the routing and shortcutting code
+    consumes: membership, ``len``, ``distances`` / ``predecessors``
+    mappings (settle order preserved), ``path_to``, ``distance_to``,
+    ``members``, and ``radius``.
+    """
+
+    __slots__ = ("_table", "node", "_distances", "_predecessors")
+
+    def __init__(self, table: NodeSearchTables, node: int) -> None:
+        self._table = table
+        self.node = node
+        self._distances: SearchMap | None = None
+        self._predecessors: SearchMap | None = None
+
+    @property
+    def distances(self) -> SearchMap:
+        if self._distances is None:
+            self._distances = self._table.distance_map(self.node)
+        return self._distances
+
+    @property
+    def predecessors(self) -> SearchMap:
+        if self._predecessors is None:
+            self._predecessors = self._table.predecessor_map(self.node)
+        return self._predecessors
+
+    def __contains__(self, other: int) -> bool:
+        return other in self.distances
+
+    def __len__(self) -> int:
+        lo, hi = self._table.row_bounds(self.node)
+        return hi - lo
+
+    @property
+    def members(self) -> set[int]:
+        """The member node ids (including the owner)."""
+        return set(self.distances.keys())
+
+    def distance_to(self, member: int) -> float:
+        """Shortest distance from the owner to ``member``."""
+        return self.distances[member]
+
+    def path_to(self, member: int) -> list[int]:
+        """Shortest path from the owner to ``member`` (owner first)."""
+        if member not in self.distances:
+            raise KeyError(
+                f"node {member} is not in the vicinity of {self.node}"
+            )
+        return self._table.path_from_owner(self.node, member)
+
+    def radius(self) -> float:
+        """Distance to the farthest vicinity member (0.0 for a lone node)."""
+        lo, hi = self._table.row_bounds(self.node)
+        if lo == hi:
+            return 0.0
+        return max(memoryview(self._table.dists)[lo:hi])
+
+    def __reduce__(self):
+        return (VicinityView, (self._table, self.node))
+
+    def __repr__(self) -> str:
+        return f"VicinityView(node={self.node}, size={len(self)})"
+
+
+#: Slab layout of a SubstrateTables, in publication order:
+#: (attribute, typecode).  The vicinity sub-slabs follow when present.
+_TABLE_SLOTS: tuple[tuple[str, str], ...] = (
+    ("landmark_ids", "q"),
+    ("spt_dist", "d"),
+    ("spt_parent", "q"),
+    ("closest", "q"),
+    ("closest_dist", "d"),
+    ("addr_offsets", "q"),
+    ("addr_path", "q"),
+    ("addr_labels", "q"),
+    ("addr_bits", "q"),
+)
+
+_VICINITY_SLOTS: tuple[tuple[str, str], ...] = (
+    ("offsets", "q"),
+    ("members", "q"),
+    ("dists", "d"),
+    ("parents", "q"),
+)
+
+
+class SubstrateTables:
+    """The converged landmark substrate as flat typed slabs.
+
+    Built once per scheme from the kernel outputs
+    (:meth:`from_components`); every dict-shaped accessor the schemes
+    expose is a cached thin view over these slabs.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "landmark_ids",
+        "spt_dist",
+        "spt_parent",
+        "closest",
+        "closest_dist",
+        "vicinity",
+        "addr_offsets",
+        "addr_path",
+        "addr_labels",
+        "addr_bits",
+        "_landmark_pos",
+        "_spt_rows",
+        "_closest_rows",
+        "_vicinity_views",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        landmark_ids,
+        spt_dist,
+        spt_parent,
+        closest,
+        closest_dist,
+        vicinity: NodeSearchTables | None,
+        addr_offsets,
+        addr_path,
+        addr_labels,
+        addr_bits,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.landmark_ids = landmark_ids
+        self.spt_dist = spt_dist
+        self.spt_parent = spt_parent
+        self.closest = closest
+        self.closest_dist = closest_dist
+        self.vicinity = vicinity
+        self.addr_offsets = addr_offsets
+        self.addr_path = addr_path
+        self.addr_labels = addr_labels
+        self.addr_bits = addr_bits
+        self._reset_views()
+
+    def _reset_views(self) -> None:
+        self._landmark_pos = {
+            landmark: index for index, landmark in enumerate(self.landmark_ids)
+        }
+        self._spt_rows: dict[int, tuple[Row, Row]] | None = None
+        self._closest_rows: tuple[Row, Row] | None = None
+        self._vicinity_views: list[VicinityView] | None = None
+
+    @classmethod
+    def from_components(
+        cls,
+        num_nodes: int,
+        spts: Mapping[int, tuple[Sequence[float], Sequence[int]]],
+        closest_rows: tuple[Sequence[int], Sequence[float]],
+        vicinities: Sequence[object] | None,
+        codec: "object | None",
+    ) -> "SubstrateTables":
+        """Assemble slabs from the kernel outputs.
+
+        ``spts`` maps landmark -> dense ``(dist_row, parent_row)``;
+        ``closest_rows`` are the per-node closest-landmark rows;
+        ``vicinities`` (optional) are per-node tables with ``distances`` /
+        ``predecessors`` mappings in settle order; ``codec`` (optional, a
+        :class:`~repro.addressing.labels.LabelCodec`) enables the address
+        payload slabs.
+        """
+        landmark_ids = array("q", sorted(spts))
+        spt_dist = array("d")
+        spt_parent = array("q")
+        for landmark in landmark_ids:
+            dist_row, parent_row = spts[landmark]
+            spt_dist.extend(dist_row)
+            spt_parent.extend(parent_row)
+        closest = array("q", closest_rows[0])
+        closest_dist = array("d", closest_rows[1])
+
+        vicinity = None
+        if vicinities is not None:
+            vicinity = NodeSearchTables.from_searches(
+                [(table.distances, table.predecessors) for table in vicinities]
+            )
+
+        addr_offsets = array("q", [0])
+        addr_path = array("q")
+        addr_labels = array("q")
+        addr_bits = array("q")
+        tables = cls(
+            num_nodes,
+            landmark_ids,
+            spt_dist,
+            spt_parent,
+            closest,
+            closest_dist,
+            vicinity,
+            addr_offsets,
+            addr_path,
+            addr_labels,
+            addr_bits,
+        )
+        if codec is not None and len(closest) == num_nodes:
+            position = 0
+            for node in range(num_nodes):
+                path = tables.spt_path(closest[node], node)
+                addr_path.extend(path)
+                addr_labels.extend(codec.encode_path(path))
+                addr_labels.append(-1)  # row terminator keeps rows aligned
+                addr_bits.append(codec.path_bits(path))
+                position += len(path)
+                addr_offsets.append(position)
+        return tables
+
+    # -- landmark SPT views -------------------------------------------------
+
+    @property
+    def landmarks(self) -> list[int]:
+        """The landmark ids (ascending)."""
+        return self.landmark_ids.tolist()
+
+    def spt_rows(self) -> dict[int, tuple[Row, Row]]:
+        """Landmark -> ``(dist_row, parent_row)`` views (cached, stable)."""
+        if self._spt_rows is None:
+            n = self.num_nodes
+            self._spt_rows = {
+                landmark: (
+                    Row(self, "spt_dist", index * n, (index + 1) * n),
+                    Row(self, "spt_parent", index * n, (index + 1) * n),
+                )
+                for index, landmark in enumerate(self.landmark_ids)
+            }
+        return self._spt_rows
+
+    def closest_rows(self) -> tuple[Row, Row]:
+        """Per-node ``(closest landmark, distance)`` row views (cached)."""
+        if self._closest_rows is None:
+            n = self.num_nodes
+            self._closest_rows = (
+                Row(self, "closest", 0, n),
+                Row(self, "closest_dist", 0, n),
+            )
+        return self._closest_rows
+
+    def spt_distance(self, landmark: int, node: int) -> float:
+        """d(landmark, node) straight from the slab."""
+        return self.spt_dist[self._landmark_pos[landmark] * self.num_nodes + node]
+
+    def spt_path(self, landmark: int, node: int) -> list[int]:
+        """The landmark's SPT path ``landmark .. node`` from the parent slab."""
+        base = self._landmark_pos[landmark] * self.num_nodes
+        if node == landmark:
+            return [landmark]
+        parents = self.spt_parent
+        path = [node]
+        current = node
+        steps = 0
+        limit = self.num_nodes
+        while current != landmark:
+            parent = parents[base + current]
+            if parent < 0 or steps > limit:
+                raise ValueError(
+                    f"node {node} not reachable from root {landmark}"
+                )
+            path.append(parent)
+            current = parent
+            steps += 1
+        path.reverse()
+        return path
+
+    # -- vicinity views -----------------------------------------------------
+
+    def vicinity_views(self) -> list[VicinityView]:
+        """Per-node vicinity views (cached, indexed by node id)."""
+        if self.vicinity is None:
+            raise ValueError("these tables were built without vicinities")
+        if self._vicinity_views is None:
+            self._vicinity_views = [
+                VicinityView(self.vicinity, node)
+                for node in range(self.num_nodes)
+            ]
+        return self._vicinity_views
+
+    # -- address payloads ---------------------------------------------------
+
+    def address_path(self, node: int) -> list[int]:
+        """The explicit-route node path of ``node``'s address."""
+        lo = self.addr_offsets[node]
+        hi = self.addr_offsets[node + 1]
+        return memoryview(self.addr_path)[lo:hi].tolist()
+
+    def addresses(self) -> list:
+        """Materialize per-node :class:`Address` objects from the slabs."""
+        from repro.addressing.address import Address
+        from repro.addressing.explicit_route import ExplicitRoute
+
+        offsets = self.addr_offsets
+        paths = memoryview(self.addr_path)
+        labels = memoryview(self.addr_labels)
+        bits = self.addr_bits
+        closest = self.closest
+        out = []
+        for node in range(self.num_nodes):
+            lo = offsets[node]
+            hi = offsets[node + 1]
+            path = tuple(paths[lo:hi].tolist())
+            # Label rows carry a -1 terminator so the same offsets slab
+            # addresses both (labels per row = path length - 1).
+            row_labels = tuple(labels[lo : hi - 1].tolist())
+            route = ExplicitRoute(path=path, labels=row_labels, bits=bits[node])
+            out.append(
+                Address(node=node, landmark=closest[node], route=route)
+            )
+        return out
+
+    # -- serialization ------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        slabs = {
+            slot: (typecode, bytes(memoryview(getattr(self, slot)).tobytes()))
+            for slot, typecode in _TABLE_SLOTS
+        }
+        return {
+            "num_nodes": self.num_nodes,
+            "slabs": slabs,
+            "vicinity": self.vicinity,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.num_nodes = state["num_nodes"]
+        for slot, (typecode, payload) in state["slabs"].items():
+            slab = array(typecode)
+            slab.frombytes(payload)
+            setattr(self, slot, slab)
+        self.vicinity = state["vicinity"]
+        self._reset_views()
+
+    # -- shared-memory attachment -------------------------------------------
+
+    @classmethod
+    def from_shared(cls, handle: "SharedTablesHandle") -> "SubstrateTables":
+        """Attach to a published tables segment; zero-copy views, no copy.
+
+        Mirrors :meth:`CSRGraph.from_shared`: the slabs become typed
+        ``memoryview`` casts over the shared segment, the mapping stays
+        alive exactly as long as the views do, and the publisher keeps
+        ownership of the segment's name (attachers never unlink).
+        """
+        from repro.graphs.csr import _attach_untracked
+
+        shm = _attach_untracked(handle.shm_name)
+        buf = shm.buf
+        views: dict[str, memoryview] = {}
+        offset = 0
+        for name, typecode, count in handle.slots:
+            end = offset + 8 * count
+            views[name] = buf[offset:end].cast(typecode)
+            offset = end
+        vicinity = None
+        if handle.vicinity_nodes is not None:
+            vicinity = NodeSearchTables(
+                handle.vicinity_nodes,
+                views["vicinity.offsets"],
+                views["vicinity.members"],
+                views["vicinity.dists"],
+                views["vicinity.parents"],
+            )
+        tables = cls(
+            handle.num_nodes,
+            views["landmark_ids"],
+            views["spt_dist"],
+            views["spt_parent"],
+            views["closest"],
+            views["closest_dist"],
+            vicinity,
+            views["addr_offsets"],
+            views["addr_path"],
+            views["addr_labels"],
+            views["addr_bits"],
+        )
+        # Hand lifetime management to the views (see CSRGraph.from_shared):
+        # the last live view unmaps the segment, and close() only drops the
+        # file descriptor.
+        shm._buf = None
+        shm._mmap = None
+        shm.close()
+        return tables
+
+
+@dataclass(frozen=True)
+class SharedTablesHandle:
+    """Picklable description of a published :class:`SubstrateTables`.
+
+    ``slots`` lists every slab in segment order as
+    ``(name, typecode, item_count)``; ``vicinity_nodes`` is the vicinity
+    table's node count (``None`` when the tables carry no vicinities).
+    """
+
+    shm_name: str
+    num_nodes: int
+    vicinity_nodes: int | None
+    slots: tuple[tuple[str, str, int], ...]
+
+
+class SharedTables:
+    """Publish one immutable :class:`SubstrateTables` in shared memory.
+
+    All slabs are packed back to back (every item is 8 bytes, so the
+    layout in :attr:`SharedTablesHandle.slots` is self-describing).  The
+    publisher owns the segment's lifetime: call :meth:`close` (or use as a
+    context manager) once the consumers are done; attachers' views stay
+    valid until they drop them, exactly like :class:`SharedCSR`.
+    """
+
+    def __init__(self, tables: SubstrateTables) -> None:
+        from multiprocessing import shared_memory
+
+        slabs: list[tuple[str, str, object]] = [
+            (slot, typecode, getattr(tables, slot))
+            for slot, typecode in _TABLE_SLOTS
+        ]
+        vicinity_nodes = None
+        if tables.vicinity is not None:
+            vicinity_nodes = tables.vicinity.num_nodes
+            slabs.extend(
+                (f"vicinity.{slot}", typecode, getattr(tables.vicinity, slot))
+                for slot, typecode in _VICINITY_SLOTS
+            )
+        slots = tuple(
+            (name, typecode, len(slab)) for name, typecode, slab in slabs
+        )
+        total = sum(8 * count for _, _, count in slots)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        buf = self._shm.buf
+        offset = 0
+        for (name, typecode, count), (_, _, slab) in zip(slots, slabs):
+            end = offset + 8 * count
+            if count:
+                buf[offset:end].cast(typecode)[:] = slab
+            offset = end
+        self.handle = SharedTablesHandle(
+            shm_name=self._shm.name,
+            num_nodes=tables.num_nodes,
+            vicinity_nodes=vicinity_nodes,
+            slots=slots,
+        )
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedTables":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

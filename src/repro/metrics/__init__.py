@@ -7,16 +7,20 @@ Control-plane messaging, the fourth metric, is produced by the discrete-event
 simulator (:mod:`repro.sim`).
 """
 
+from repro.metrics.batch import PairRouter, make_router, route_pairs_batch
 from repro.metrics.state import StateReport, measure_state
 from repro.metrics.stretch import StretchReport, measure_stretch, stretch_of_route
 from repro.metrics.congestion import CongestionReport, measure_congestion
 
 __all__ = [
     "CongestionReport",
+    "PairRouter",
     "StateReport",
     "StretchReport",
+    "make_router",
     "measure_congestion",
     "measure_state",
     "measure_stretch",
+    "route_pairs_batch",
     "stretch_of_route",
 ]

@@ -83,6 +83,7 @@ def measure_state(
     nodes: Sequence[int] | None = None,
     node_sample: int | None = None,
     seed: int = 0,
+    batch: bool = True,
 ) -> StateReport:
     """Measure per-node state for ``scheme``.
 
@@ -95,6 +96,11 @@ def measure_state(
         Number of nodes to sample when ``nodes`` is not given.
     seed:
         Sampling seed.
+    batch:
+        Use the scheme's batched ``state_profile`` when it offers one
+        (default), computing shared per-node intermediates once instead of
+        once per metric; ``False`` runs the historical per-node loops.
+        Output is identical either way.
     """
     topology = scheme.topology
     if nodes is None:
@@ -106,9 +112,19 @@ def measure_state(
         measured = list(nodes)
     if not measured:
         raise ValueError("no nodes to measure")
-    entries = [scheme.state_entries(node) for node in measured]
-    bytes_v4 = [scheme.state_bytes(node, name_bytes=NAME_BYTES_IPV4) for node in measured]
-    bytes_v6 = [scheme.state_bytes(node, name_bytes=NAME_BYTES_IPV6) for node in measured]
+    profile = getattr(scheme, "state_profile", None) if batch else None
+    if profile is not None:
+        entries, bytes_v4, bytes_v6 = profile(measured)
+    else:
+        entries = [scheme.state_entries(node) for node in measured]
+        bytes_v4 = [
+            scheme.state_bytes(node, name_bytes=NAME_BYTES_IPV4)
+            for node in measured
+        ]
+        bytes_v6 = [
+            scheme.state_bytes(node, name_bytes=NAME_BYTES_IPV6)
+            for node in measured
+        ]
     return StateReport(
         scheme=scheme.name,
         nodes=tuple(measured),

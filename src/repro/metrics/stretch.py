@@ -4,16 +4,26 @@ Stretch is "the ratio of the protocol's route length to the shortest path
 length" (§2).  For each sampled source-destination pair we obtain the
 protocol's first-packet and later-packet routes, measure their weighted
 length, and divide by the true shortest-path distance.
+
+Pairs are routed through the batched measurement engine
+(:mod:`repro.metrics.batch`), which shares landmark-path extractions,
+relay segments, and group-contact scans across the whole batch;
+``batch=False`` keeps the historical one-pair-at-a-time loop as the
+differential oracle and perf baseline.  Callers measuring several schemes
+over the same pairs (:class:`~repro.staticsim.simulation.StaticSimulation`)
+pass the shortest-distance table in once via ``distances`` instead of
+recomputing it per scheme.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.graphs.sampling import sample_pairs
 from repro.graphs.shortest_paths import all_pairs_sampled_distances
 from repro.graphs.topology import Topology
+from repro.metrics.batch import make_router
 from repro.protocols.base import RouteResult, RoutingScheme
 from repro.utils.distributions import Summary, cdf_points, summarize
 
@@ -87,6 +97,8 @@ def measure_stretch(
     pairs: Sequence[tuple[int, int]] | None = None,
     pair_sample: int = 500,
     seed: int = 0,
+    distances: Mapping[tuple[int, int], float] | None = None,
+    batch: bool = True,
 ) -> StretchReport:
     """Measure first- and later-packet stretch for ``scheme``.
 
@@ -99,6 +111,16 @@ def measure_stretch(
         Number of pairs to sample when ``pairs`` is not given.
     seed:
         Sampling seed.
+    distances:
+        Optional precomputed shortest-distance table covering every
+        measured pair (as returned by
+        :func:`~repro.graphs.shortest_paths.all_pairs_sampled_distances`
+        for the same pairs); lets callers measuring several schemes share
+        one computation.  Computed on demand when omitted.
+    batch:
+        Route the pairs through the batched measurement engine (default).
+        ``False`` runs the historical per-pair loop -- byte-identical
+        output, kept as the differential oracle and perf baseline.
     """
     topology = scheme.topology
     if pairs is None:
@@ -107,19 +129,44 @@ def measure_stretch(
         measured_pairs = [(s, t) for s, t in pairs if s != t]
     if not measured_pairs:
         raise ValueError("no source-destination pairs to measure")
-    distances = all_pairs_sampled_distances(topology, measured_pairs)
+    if distances is None:
+        distances = all_pairs_sampled_distances(topology, measured_pairs)
 
+    router = make_router(scheme) if batch else None
+    route_pair = router.pair if router is not None else None
+    route_length = router.route_length if router is not None else None
     first_values: list[float] = []
     later_values: list[float] = []
     failures = 0
     for source, target in measured_pairs:
         shortest = distances[(source, target)]
-        first = scheme.first_packet_route(source, target)
-        later = scheme.later_packet_route(source, target)
+        if route_pair is not None:
+            first, later = route_pair(source, target)
+        else:
+            first = scheme.first_packet_route(source, target)
+            later = scheme.later_packet_route(source, target)
         if not first.delivered:
             failures += 1
-        first_values.append(stretch_of_route(topology, first, shortest))
-        later_values.append(stretch_of_route(topology, later, shortest))
+        if router is not None:
+            # Same guards and float math as stretch_of_route, with the
+            # router's shared edge map doing the length sum (computed once
+            # when both packets took the same path).
+            if shortest <= 0:
+                raise ValueError(
+                    "shortest_distance must be > 0 (distinct endpoints)"
+                )
+            if not first.path or not later.path:
+                raise ValueError("cannot compute stretch of an empty route")
+            first_stretch = route_length(first.path) / shortest
+            first_values.append(first_stretch)
+            later_values.append(
+                first_stretch
+                if later.path == first.path
+                else route_length(later.path) / shortest
+            )
+        else:
+            first_values.append(stretch_of_route(topology, first, shortest))
+            later_values.append(stretch_of_route(topology, later, shortest))
     return StretchReport(
         scheme=scheme.name,
         pairs=tuple(measured_pairs),

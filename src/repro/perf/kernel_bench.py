@@ -338,6 +338,7 @@ def bench_kernels(
             ),
             repeats=2,
         )
+        _measurement_batch_case(results, quick=quick, repeats=repeats)
         _scenario_suite_case(
             results, quick=quick, workers=workers, repeats=1 if quick else 2
         )
@@ -355,6 +356,123 @@ def bench_kernels(
         "host": host_metadata(),
         "benchmarks": results,
     }
+
+
+#: The scenario subset of the ``scenario_suite*`` benchmarks: the five
+#: quick-scale scenarios sharing the most prerequisites (see
+#: :func:`_scenario_suite_case`).
+SUITE_IDS = (
+    "fig02-state-cdf",
+    "fig03-stretch-cdf",
+    "fig07-state-bytes",
+    "fig10-congestion-as",
+    "addr-sizes",
+)
+
+
+def suite_scale(n: int, *, quick: bool = False):
+    """The ``scenario_suite*`` benchmark scale for ``n``-node topologies."""
+    from repro.experiments.config import ExperimentScale
+
+    return ExperimentScale(
+        comparison_nodes=n,
+        large_nodes=n,
+        as_level_nodes=n,
+        router_level_nodes=n + n // 4,
+        pair_sample=60 if quick else 150,
+        messaging_sweep=(24, 32) if quick else (48, 64),
+        scaling_sweep=(n // 2, n) if quick else (n // 2, 3 * n // 4, n),
+        seed=2010,
+        label="bench-suite",
+    )
+
+
+def traced_suite_run(root: str, *, n: int = 384, quick: bool = False) -> tuple[int, int]:
+    """Run the benchmark suite against ``root`` under ``tracemalloc``.
+
+    Returns ``(retained_bytes, peak_bytes)`` measured with the run's cache
+    still alive -- the number the ``scenario_suite_warm`` params record
+    and the warm-memory canary asserts on.  Against a populated root this
+    is a fully warm run; against an empty one, a cold run.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.scenarios.cache import ArtifactCache
+    from repro.scenarios.engine import run_scenarios
+
+    cache = ArtifactCache(root)
+    tracemalloc.start()
+    try:
+        run_scenarios(
+            SUITE_IDS, scale=suite_scale(n, quick=quick), workers=1, cache=cache
+        )
+        gc.collect()
+        current, peak = tracemalloc.get_traced_memory()
+        return current, peak
+    finally:
+        tracemalloc.stop()
+        del cache
+
+
+def _measurement_batch_case(
+    results: dict[str, dict], *, quick: bool, repeats: int
+) -> None:
+    """Batched stretch measurement vs the historical per-pair loop.
+
+    The workload is the stretch half of a ``StaticSimulation.run``: three
+    converged schemes (Disco, ND-Disco, S4 on one shared substrate)
+    measured over the same sampled pairs.
+
+    * **before** -- ``measure_stretch(batch=False)`` per scheme: every pair
+      routed one at a time through the scheme objects, each scheme
+      recomputing its own shortest-distance table (exactly what
+      ``StaticSimulation.run`` did before the batched engine);
+    * **after** -- one shared distance table plus the batched measurement
+      engine (:mod:`repro.metrics.batch`), sharing SPT path extractions,
+      relay state, and group-contact rows across each batch.
+
+    Both sides produce byte-identical reports (pinned by
+    ``tests/test_metrics_batch.py``), so the ratio is a pure performance
+    number.
+    """
+    from repro.graphs.shortest_paths import all_pairs_sampled_distances
+    from repro.metrics.stretch import measure_stretch
+
+    n = 256 if quick else 768
+    pair_count = 150 if quick else 500
+    topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+    simulation = StaticSimulation(topology, ("disco", "nd-disco", "s4"), seed=1)
+    schemes = list(simulation.schemes.values())
+    pairs = sample_pairs(topology, pair_count, seed=11)
+    measured = [(s, t) for s, t in pairs if s != t]
+
+    def before() -> None:
+        for scheme in schemes:
+            measure_stretch(scheme, pairs=pairs, batch=False)
+
+    def after() -> None:
+        distances = all_pairs_sampled_distances(topology, measured)
+        for scheme in schemes:
+            measure_stretch(
+                scheme, pairs=pairs, distances=distances, batch=True
+            )
+
+    _entry(
+        f"measurement_batch/gnm-{n}",
+        {
+            "family": "gnm",
+            "n": n,
+            "pairs": len(measured),
+            "protocols": ["disco", "nd-disco", "s4"],
+            "comparison": "per-pair stretch loop vs batched measurement "
+            "engine (shared distance table)",
+        },
+        before,
+        after,
+        repeats=repeats,
+        results=results,
+    )
 
 
 def _scenario_suite_case(
@@ -379,29 +497,12 @@ def _scenario_suite_case(
     import shutil
     import tempfile
 
-    from repro.experiments.config import ExperimentScale
     from repro.scenarios.cache import ArtifactCache
     from repro.scenarios.engine import run_scenarios
 
-    ids = (
-        "fig02-state-cdf",
-        "fig03-stretch-cdf",
-        "fig07-state-bytes",
-        "fig10-congestion-as",
-        "addr-sizes",
-    )
+    ids = SUITE_IDS
     n = 96 if quick else 384
-    scale = ExperimentScale(
-        comparison_nodes=n,
-        large_nodes=n,
-        as_level_nodes=n,
-        router_level_nodes=n + n // 4,
-        pair_sample=60 if quick else 150,
-        messaging_sweep=(24, 32) if quick else (48, 64),
-        scaling_sweep=(n // 2, n) if quick else (n // 2, 3 * n // 4, n),
-        seed=2010,
-        label="bench-suite",
-    )
+    scale = suite_scale(n, quick=quick)
     name = f"scenario_suite/quick5-{n}"
     params = {
         "scenarios": list(ids),
@@ -431,23 +532,11 @@ def _scenario_suite_case(
     # number at cold parity instead of one substrate copy per scheme --
     # while ``*_peak_kb`` additionally includes transient build /
     # unpickle allocations.
-    import gc
-    import tracemalloc
-
     def run_with_root(root: str) -> None:
         run_scenarios(ids, scale=scale, workers=1, cache=ArtifactCache(root))
 
     def traced_run(root: str) -> tuple[int, int]:
-        cache = ArtifactCache(root)
-        tracemalloc.start()
-        try:
-            run_scenarios(ids, scale=scale, workers=1, cache=cache)
-            gc.collect()
-            current, peak = tracemalloc.get_traced_memory()
-            return current, peak
-        finally:
-            tracemalloc.stop()
-            del cache
+        return traced_suite_run(root, n=n, quick=quick)
 
     warm_root = tempfile.mkdtemp(prefix="repro-bench-warmcache-")
     cold_roots: list[str] = []

@@ -30,11 +30,13 @@ Model
 
 from __future__ import annotations
 
+from array import array
 from typing import Sequence
 
 from repro.core.landmarks import closest_landmarks, landmark_spts, select_landmarks
 from repro.core.resolution import LandmarkResolutionDatabase
-from repro.addressing.address import Address, NAME_BYTES_IPV4
+from repro.core.tables import NodeSearchTables, SubstrateTables, get_backend
+from repro.addressing.address import Address, NAME_BYTES_IPV4, NAME_BYTES_IPV6
 from repro.addressing.explicit_route import ExplicitRoute
 from repro.addressing.labels import LabelCodec
 from repro.graphs.csr import parallel_radius
@@ -110,9 +112,12 @@ class S4Routing(RoutingScheme):
         if not self._landmarks:
             raise ValueError("landmark set must be non-empty")
 
-        # Landmark shortest-path trees (distances and parents, dense lists),
+        # Landmark shortest-path trees (distances and parents, dense rows),
         # either shared from the sibling scheme or built by the batched
-        # driver.
+        # driver.  A scheme that builds its own landmark state re-packs it
+        # into flat :class:`SubstrateTables` slabs on the "array" backend
+        # (a shared substrate's slabs are reused as-is).
+        self._tables: SubstrateTables | None = None
         if substrate is not None:
             # Identity is the common case; equality (same nodes and weighted
             # edges) admits substrates round-tripped through the scenario
@@ -125,22 +130,35 @@ class S4Routing(RoutingScheme):
             self._closest_landmark, self._landmark_distance_of = (
                 substrate.closest_landmark_rows
             )
+            self._tables = getattr(substrate, "tables", None)
+        elif get_backend() == "array":
+            built = landmark_spts(topology, self._landmarks)
+            closest_rows = closest_landmarks(built, n)
+            self._codec = LabelCodec(topology)
+            self._tables = SubstrateTables.from_components(
+                n, built, closest_rows, None, self._codec
+            )
+            spts = self._tables.spt_rows()
+            self._closest_landmark, self._landmark_distance_of = (
+                self._tables.closest_rows()
+            )
         else:
             spts = landmark_spts(topology, self._landmarks)
             self._closest_landmark, self._landmark_distance_of = (
                 closest_landmarks(spts, n)
             )
-        self._landmark_distances: dict[int, list[float]] = {
+        self._landmark_distances = {
             landmark: rows[0] for landmark, rows in spts.items()
         }
-        self._landmark_parents: dict[int, list[int]] = {
+        self._landmark_parents = {
             landmark: rows[1] for landmark, rows in spts.items()
         }
 
         # Reverse-cluster ("ball") searches: for each node w, find every node
         # v with d(w, v) < d(w, ℓw); those v have w in their cluster.  The
         # search tree also provides the shortest path from w back to v, which
-        # is the (reversed) route v uses to reach w.
+        # is the (reversed) route v uses to reach w.  On the "array" backend
+        # the per-node dict pairs collapse into one CSR-slab table.
         radii = self._landmark_distance_of
         if get_engine() == "csr":
             balls = parallel_radius(topology, radii, workers=workers or 1)
@@ -148,16 +166,25 @@ class S4Routing(RoutingScheme):
             balls = [
                 dijkstra_radius(topology, node, radii[node]) for node in range(n)
             ]
-        self._ball_distances: list[dict[int, float]] = []
-        self._ball_parents: list[dict[int, int]] = []
+        self._balls: NodeSearchTables | None = None
         cluster_sizes = [0] * n
-        for node, (distances, parents) in enumerate(balls):
-            self._ball_distances.append(distances)
-            self._ball_parents.append(parents)
+        for node, (distances, _parents) in enumerate(balls):
             for member in distances:
                 if member != node:
                     cluster_sizes[member] += 1
-        self._cluster_sizes = cluster_sizes
+        if get_backend() == "array":
+            self._balls = NodeSearchTables.from_searches(balls)
+            self._ball_distances = [
+                self._balls.distance_map(node) for node in range(n)
+            ]
+            self._ball_parents = [
+                self._balls.predecessor_map(node) for node in range(n)
+            ]
+            self._cluster_sizes = array("q", cluster_sizes)
+        else:
+            self._ball_distances = [distances for distances, _ in balls]
+            self._ball_parents = [parents for _, parents in balls]
+            self._cluster_sizes = cluster_sizes
 
         # Location service over the landmarks (consistent hashing of names).
         # Addresses are a pure function of topology and landmark set, so a
@@ -165,6 +192,8 @@ class S4Routing(RoutingScheme):
         if substrate is not None:
             self._codec = substrate.codec
             self._addresses = list(substrate.addresses)
+        elif self._tables is not None:
+            self._addresses = self._tables.addresses()
         else:
             self._codec = LabelCodec(topology)
             self._addresses = []
@@ -181,6 +210,20 @@ class S4Routing(RoutingScheme):
         self._resolution.populate(self._names, self._addresses)
 
     # -- accessors -----------------------------------------------------------
+
+    @property
+    def tables(self) -> SubstrateTables | None:
+        """The flat landmark-substrate slabs this scheme routes over.
+
+        Shared with the sibling ND-Disco instance when a ``substrate`` was
+        supplied; ``None`` on the "dict" backend.  Read-only.
+        """
+        return self._tables
+
+    @property
+    def balls(self) -> NodeSearchTables | None:
+        """The reverse-cluster CSR slabs (``None`` on the "dict" backend)."""
+        return self._balls
 
     @property
     def landmarks(self) -> set[int]:
@@ -238,6 +281,40 @@ class S4Routing(RoutingScheme):
         forwarding_bytes = forwarding_entries * (name_bytes + 1.0)
         resolution_bytes = self._resolution.entry_bytes_at(node, name_bytes=name_bytes)
         return forwarding_bytes + resolution_bytes
+
+    def state_profile(
+        self, nodes: Sequence[int]
+    ) -> tuple[list[int], list[float], list[float]]:
+        """Batched state accounting: ``(entries, IPv4 bytes, IPv6 bytes)``.
+
+        Mirrors :meth:`state_entries` / :meth:`state_bytes` value for
+        value; used by :func:`repro.metrics.state.measure_state`.
+        """
+        num_landmarks = len(self._landmarks)
+        entries_out: list[int] = []
+        bytes_v4: list[float] = []
+        bytes_v6: list[float] = []
+        for node in nodes:
+            self._check_endpoints(node, node)
+            landmark_entries = num_landmarks - (
+                1 if node in self._landmarks else 0
+            )
+            cluster = self._cluster_sizes[node]
+            entries_out.append(
+                cluster + landmark_entries + self._resolution.entries_at(node)
+            )
+            for name_bytes, out in (
+                (NAME_BYTES_IPV4, bytes_v4),
+                (NAME_BYTES_IPV6, bytes_v6),
+            ):
+                forwarding_bytes = (cluster + landmark_entries) * (
+                    name_bytes + 1.0
+                )
+                resolution_bytes = self._resolution.entry_bytes_at(
+                    node, name_bytes=name_bytes
+                )
+                out.append(forwarding_bytes + resolution_bytes)
+        return entries_out, bytes_v4, bytes_v6
 
     # -- routing ----------------------------------------------------------------
 

@@ -7,7 +7,7 @@ several figures measure from different angles.  This module deduplicates
 both, and -- new in the v2 store -- persists the shared landmark substrate
 **once** instead of embedding a private copy in every scheme that uses it.
 
-Three artifact kinds:
+Four artifact kinds:
 
 * **Topologies** are keyed by their *construction inputs* (generator
   family, node count, seed, structural parameters, plus a schema-version
@@ -28,6 +28,19 @@ Three artifact kinds:
   reattaches to the *same* substrate object graph -- a fully warm run
   holds exactly one substrate in memory, just like a cold run whose
   schemes shared it at build time.
+* **Tables** -- the substrate's flat slab payload
+  (:class:`~repro.core.tables.SubstrateTables`) -- are externalized from
+  the substrate pickle into their own artifact (key derived from the
+  substrate key), serialized as raw typed buffers.  Because the slabs are
+  plain bytes, the scenario engine can also *publish* them to shared
+  memory before a parallel run: workers then resolve the tables reference
+  by attaching a zero-copy view instead of unpickling a private copy
+  (see :attr:`ArtifactCache.shared_tables`).
+
+On-disk payloads are zlib-compressed behind a magic prefix
+(:data:`COMPRESS_MAGIC`); artifacts written by older versions without the
+prefix still load, and each sidecar records both the stored and the raw
+byte count so ``repro cache stats`` can report the compression ratio.
 
 A mutated topology can never hit a stale artifact: scheme and substrate
 keys change with ``content_key()``, and persistent references carry a
@@ -57,13 +70,15 @@ import os
 import pickle
 import tempfile
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, TypeVar
+from typing import Callable, Iterator, Mapping, TypeVar
 
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactCache",
+    "COMPRESS_MAGIC",
     "SUBSTRATE_SCHEMES",
     "Uncacheable",
     "active_cache",
@@ -71,15 +86,24 @@ __all__ = [
     "cache_key",
     "cached_scheme",
     "canonical_value",
+    "load_tables_artifact",
     "scheme_key",
+    "tables_key",
 ]
 
 #: Version salt baked into every key: the artifact-layout revision (bump on
 #: layout changes) plus the package version, so version bumps retire stale
 #: artifacts wholesale.  Keys cover *inputs*, not code -- after changing an
 #: algorithm without bumping either, run ``repro cache clear`` to force
-#: cold builds.
-ARTIFACT_SCHEMA = "repro-artifacts/v2"
+#: cold builds.  v3: array-backed substrate tables externalized into their
+#: own artifact kind.
+ARTIFACT_SCHEMA = "repro-artifacts/v3"
+
+#: Framing prefix of zlib-compressed artifact payloads.  Chosen to be
+#: impossible as the start of a raw pickle stream (pickles begin with the
+#: PROTO opcode ``\x80``), so legacy uncompressed artifacts are
+#: recognized and still load.
+COMPRESS_MAGIC = b"RPZC"
 
 #: Scheme names whose converged object *is* the shared landmark substrate.
 #: These are stored under the ``substrate`` kind and their components are
@@ -92,7 +116,12 @@ def _schema_salt() -> str:
         from repro import __version__
     except Exception:  # pragma: no cover - partial-install fallback
         __version__ = "unknown"
-    return f"{ARTIFACT_SCHEMA}|repro-{__version__}"
+    # The scheme-state backend shapes what an artifact *contains* (slab
+    # tables vs per-node object graphs), so it salts every key: a dict
+    # oracle run can never be served array-built artifacts or vice versa.
+    from repro.core.tables import get_backend
+
+    return f"{ARTIFACT_SCHEMA}|repro-{__version__}|tables-{get_backend()}"
 
 T = TypeVar("T")
 
@@ -205,19 +234,20 @@ class _ShellPickler(pickle.Pickler):
 
     Any object present in the cache's shared-object registry (and whose
     topology content guard still holds) is replaced by a persistent
-    ``(kind, key, path)`` reference.  ``skip_key`` suppresses references
-    into the artifact currently being stored, so a substrate's own pickle
-    never references itself.
+    ``(kind, key, path)`` reference.  ``skip`` suppresses references into
+    the artifact currently being stored, so a substrate's own pickle never
+    references itself (its *tables* reference, stored under a different
+    kind/key, survives).
     """
 
-    def __init__(self, buffer, shared, *, skip_key: str | None = None):
+    def __init__(self, buffer, shared, *, skip: tuple[str, str] | None = None):
         super().__init__(buffer, protocol=4)
         self._shared = shared
-        self._skip_key = skip_key
+        self._skip = skip
 
     def persistent_id(self, obj):
         ref = self._shared.get(id(obj))
-        if ref is None or ref.key == self._skip_key:
+        if ref is None or (ref.kind, ref.key) == self._skip:
             return None
         if not ref.is_valid():
             return None
@@ -236,13 +266,17 @@ class _ShellUnpickler(pickle.Unpickler):
         root = self._cache._load_artifact(kind, key)
         if kind == "substrate":
             return _resolve_substrate_path(root, path)
+        if kind == "tables" and path:
+            if path == ("vicinity",):
+                return root.vicinity
+            raise _ArtifactMissing(f"unknown tables path {path!r}")
         if path:
             raise _ArtifactMissing(f"unexpected path {path!r} for {kind}")
         return root
 
 
 class ArtifactCache:
-    """Three-kind (topology / substrate / scheme) two-level artifact store.
+    """Four-kind (topology / substrate / tables / scheme) artifact store.
 
     Parameters
     ----------
@@ -251,10 +285,22 @@ class ArtifactCache:
         keeps the cache memory-only.  Disk writes are atomic
         (temp file + ``os.replace``), so concurrent workers sharing one
         root can only ever observe complete artifacts.
+    shared_tables:
+        Optional ``tables_key -> SharedTablesHandle`` map of substrate
+        tables a parent process published to shared memory.  When a
+        substrate load resolves its tables reference, a published key is
+        attached zero-copy instead of read from disk -- this is how pool
+        workers avoid unpickling a private slab copy each.
     """
 
-    def __init__(self, root: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        *,
+        shared_tables: "Mapping[str, object] | None" = None,
+    ) -> None:
         self.root = os.fspath(root) if root is not None else None
+        self.shared_tables = dict(shared_tables or {})
         self._memory: dict[str, object] = {}
         #: id(object) -> _SharedRef for every registered shared component.
         #: Roots are pinned by ``_memory``, so registered ids stay live.
@@ -277,12 +323,27 @@ class ArtifactCache:
             self.misses += 1
             artifact = build()
             self._register(kind, key, artifact)
+            if kind == "substrate":
+                # Externalize the substrate's slab payload into its own
+                # artifact *before* the substrate pickle is written, so
+                # the shell pickler replaces the tables object with a
+                # reference and the slabs persist exactly once.
+                self._store_tables(key, artifact)
             self._store_disk(kind, key, artifact)
         else:
             self.hits += 1
             self._register(kind, key, artifact)
         self._memory[key] = artifact
         return artifact  # type: ignore[return-value]
+
+    def _store_tables(self, substrate_key: str, substrate: object) -> None:
+        """Persist a substrate's :class:`SubstrateTables` as raw buffers."""
+        tables = getattr(substrate, "tables", None)
+        if tables is None or id(tables) not in self._shared:
+            return
+        derived = tables_key(substrate_key)
+        self._memory[derived] = tables
+        self._store_disk("tables", derived, tables)
 
     def topology(self, parts: tuple, build: Callable[[], T]) -> T:
         """Topology keyed by construction inputs (family, n, seed, ...)."""
@@ -320,6 +381,31 @@ class ArtifactCache:
                         id(obj),
                         _SharedRef("substrate", key, path, topology, content),
                     )
+                tables = getattr(artifact, "tables", None)
+                if tables is not None:
+                    # The slab payload lives under its own kind/key so the
+                    # substrate's pickle externalizes it (and parallel runs
+                    # can swap in a shared-memory attachment).  The nested
+                    # vicinity table is registered as well: the per-node
+                    # views reference it directly.
+                    derived = tables_key(key)
+                    self._shared.setdefault(
+                        id(tables),
+                        _SharedRef("tables", derived, (), topology, content),
+                    )
+                    if tables.vicinity is not None:
+                        self._shared.setdefault(
+                            id(tables.vicinity),
+                            _SharedRef(
+                                "tables",
+                                derived,
+                                ("vicinity",),
+                                topology,
+                                content,
+                            ),
+                        )
+            # kind == "tables" registers nothing by itself: the owning
+            # substrate's registration (above) carries the topology guard.
         except Exception:
             # A partially built or exotic artifact simply is not shared.
             return
@@ -329,12 +415,32 @@ class ArtifactCache:
 
         Unlike :meth:`get` there is no builder: a missing artifact raises
         :class:`_ArtifactMissing`, which the enclosing shell load treats
-        as a cache miss.
+        as a cache miss.  ``tables`` artifacts published to shared memory
+        by a parent process are attached zero-copy instead of being read
+        from disk.
         """
         cached = self._memory.get(key)
         if cached is not None:
             return cached
-        artifact = self._load_disk(kind, key)
+        artifact = None
+        if kind == "tables" and key in self.shared_tables:
+            try:
+                from repro.core.tables import SubstrateTables
+
+                artifact = SubstrateTables.from_shared(
+                    self.shared_tables[key]
+                )
+            except Exception:
+                artifact = None  # vanished segment: fall back to disk
+            else:
+                # A shared-memory hit is still a use of the on-disk
+                # artifact: bump its sidecar so LRU pruning never ranks
+                # the store's hottest tables as its coldest.
+                path = self._path(kind, key)
+                if path is not None:
+                    self._touch_meta(path, key)
+        if artifact is None:
+            artifact = self._load_disk(kind, key)
         if artifact is None:
             raise _ArtifactMissing(f"{kind} artifact {key} unavailable")
         self._register(kind, key, artifact)
@@ -354,7 +460,10 @@ class ArtifactCache:
             return None
         try:
             with open(path, "rb") as handle:
-                artifact = _ShellUnpickler(handle, self).load()
+                data = handle.read()
+            if data.startswith(COMPRESS_MAGIC):
+                data = zlib.decompress(data[len(COMPRESS_MAGIC) :])
+            artifact = _ShellUnpickler(io.BytesIO(data), self).load()
         except Exception:
             # A truncated, version-skewed, or dangling-reference artifact
             # (e.g. its substrate was evicted) is treated as a miss; the
@@ -372,14 +481,16 @@ class ArtifactCache:
             _ShellPickler(
                 buffer,
                 self._shared,
-                # A substrate may reference the topology artifact but never
-                # itself; plain artifacts (topologies) have nothing
-                # registered pointing at other artifacts anyway.
-                skip_key=key,
+                # A substrate may reference the topology and tables
+                # artifacts but never itself; plain artifacts (topologies)
+                # have nothing registered pointing at other artifacts
+                # anyway.
+                skip=(kind, key),
             ).dump(artifact)
-            payload = buffer.getvalue()
+            raw = buffer.getvalue()
         except Exception:
             return  # unpicklable artifacts stay memory-only
+        payload = COMPRESS_MAGIC + zlib.compress(raw, 6)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         if not self._atomic_write(path, payload, directory):
@@ -392,6 +503,7 @@ class ArtifactCache:
                 "kind": kind,
                 "key": key,
                 "bytes": len(payload),
+                "raw_bytes": len(raw),
                 "created": now,
                 "last_hit": now,
             },
@@ -442,6 +554,29 @@ class ArtifactCache:
             return
         meta["last_hit"] = round(time.time(), 3)
         self._write_meta(path, meta)
+
+
+def tables_key(substrate_key: str) -> str:
+    """The derived artifact key of a substrate's externalized tables.
+
+    Deterministic per substrate key, and distinct from it, so the two
+    artifacts can never collide in the memory layer or on disk.
+    """
+    return cache_key("tables", substrate_key)
+
+
+def load_tables_artifact(path: str):
+    """Load one on-disk ``tables`` artifact (plain unpickle, unframed).
+
+    Used by the scenario engine's parent process to publish already-cached
+    substrate tables into shared memory before a parallel run.  Raises on
+    unreadable/corrupt payloads; callers treat that as "skip this one".
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data.startswith(COMPRESS_MAGIC):
+        data = zlib.decompress(data[len(COMPRESS_MAGIC) :])
+    return pickle.loads(data)
 
 
 class Uncacheable(Exception):

@@ -132,14 +132,77 @@ _WORKER_CACHE: ArtifactCache | None = None
 
 
 def _worker_init(
-    scale: ExperimentScale, cache_root: str | None, cache_enabled: bool
+    scale: ExperimentScale,
+    cache_root: str | None,
+    cache_enabled: bool,
+    shared_tables: dict | None = None,
 ) -> None:
     global _WORKER_SCALE, _WORKER_CACHE
     registry.load_catalog()
     _WORKER_SCALE = scale
     _WORKER_CACHE = (
-        ArtifactCache(cache_root) if cache_enabled else None
+        ArtifactCache(cache_root, shared_tables=shared_tables)
+        if cache_enabled
+        else None
     )
+
+
+#: Budget for parent-side shared-memory publication of cached tables: a
+#: long-lived shared cache root can hold slabs for many topologies, but a
+#: run only benefits from the ones its scenarios touch, so publication is
+#: bounded (most-recently-hit first) instead of mirroring the whole store
+#: into ``/dev/shm``.  Keys outside the budget simply read disk per
+#: worker, as before.
+_PUBLISH_MAX_BYTES = 256 * 1024 * 1024
+_PUBLISH_MAX_SEGMENTS = 64
+
+
+def _publish_cached_tables(
+    cache: ArtifactCache,
+) -> tuple[dict[str, object], list[object]]:
+    """Publish cached ``tables`` artifacts into shared memory.
+
+    Called by the parent before a pool run against a warm disk cache: a
+    substrate's slab payload is loaded once and pushed into one
+    shared-memory segment, and workers resolving that substrate attach
+    the segment zero-copy instead of unpickling a private copy each
+    (:attr:`ArtifactCache.shared_tables`).  Publication is
+    most-recently-hit first under :data:`_PUBLISH_MAX_BYTES` /
+    :data:`_PUBLISH_MAX_SEGMENTS`, and each published artifact's sidecar
+    is bumped (publication is a use; LRU pruning must see it).  Returns
+    the ``tables_key -> handle`` map for the worker initializer plus the
+    live publications, which the caller must close after the pool is
+    done.  A cold cache (or a platform without shared memory) publishes
+    nothing and the workers simply read disk, as before.
+    """
+    from repro.core.tables import SharedTables
+    from repro.scenarios.cache import load_tables_artifact
+    from repro.scenarios.lifecycle import scan
+
+    handles: dict[str, object] = {}
+    published: list[object] = []
+    if cache.root is None:
+        return handles, published
+    candidates = [info for info in scan(cache.root) if info.kind == "tables"]
+    candidates.sort(key=lambda info: info.last_hit, reverse=True)
+    budget = _PUBLISH_MAX_BYTES
+    for info in candidates:
+        if len(published) >= _PUBLISH_MAX_SEGMENTS:
+            break
+        # raw_bytes approximates the segment size (slabs dominate the
+        # uncompressed pickle).
+        if info.raw_bytes > budget:
+            continue
+        try:
+            tables = load_tables_artifact(info.path)
+            publication = SharedTables(tables)
+        except Exception:
+            continue  # unreadable or unpublishable: workers read disk
+        published.append(publication)
+        handles[info.key] = publication.handle
+        budget -= info.raw_bytes
+        cache._touch_meta(info.path, info.key)
+    return handles, published
 
 
 def _run_task(
@@ -237,16 +300,32 @@ def run_scenarios(
     if workers > 1 and len(tasks) > 1:
         from multiprocessing import Pool
 
-        with Pool(
-            workers,
-            initializer=_worker_init,
-            initargs=(scale, cache.root if cache else None, cache is not None),
-        ) as pool:
-            for task, (seconds, hits, misses, payload) in zip(
-                tasks, pool.map(_run_task, tasks, chunksize=1)
-            ):
-                task_outputs[task] = (seconds, payload)
-                book(task[0], hits, misses)
+        # Warm disk caches get their substrate slabs published to shared
+        # memory once, so the workers attach zero-copy views instead of
+        # each unpickling a private copy (cold caches publish nothing).
+        shared_handles: dict[str, object] = {}
+        publications: list[object] = []
+        if cache is not None and cache.root:
+            shared_handles, publications = _publish_cached_tables(cache)
+        try:
+            with Pool(
+                workers,
+                initializer=_worker_init,
+                initargs=(
+                    scale,
+                    cache.root if cache else None,
+                    cache is not None,
+                    shared_handles,
+                ),
+            ) as pool:
+                for task, (seconds, hits, misses, payload) in zip(
+                    tasks, pool.map(_run_task, tasks, chunksize=1)
+                ):
+                    task_outputs[task] = (seconds, payload)
+                    book(task[0], hits, misses)
+        finally:
+            for publication in publications:
+                publication.close()
     else:
         with activated(cache):
             for task in tasks:

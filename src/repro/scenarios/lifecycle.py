@@ -59,12 +59,17 @@ __all__ = [
 ]
 
 #: Artifact kind subdirectories, in display order.
-KINDS = ("topology", "substrate", "scheme")
+KINDS = ("topology", "substrate", "tables", "scheme")
 
 
 @dataclass(frozen=True)
 class ArtifactInfo:
-    """One on-disk artifact and its manifest metadata."""
+    """One on-disk artifact and its manifest metadata.
+
+    ``bytes`` is the stored (compressed) payload size -- what eviction
+    budgets count; ``raw_bytes`` is the uncompressed pickle size (equal to
+    ``bytes`` for artifacts written before compression framing).
+    """
 
     kind: str
     key: str
@@ -72,6 +77,7 @@ class ArtifactInfo:
     bytes: int
     created: float
     last_hit: float
+    raw_bytes: int = 0
 
     @property
     def age_s(self) -> float:
@@ -135,14 +141,16 @@ def scan(root: str | os.PathLike) -> list[ArtifactInfo]:
                     "created": stat.st_mtime,
                     "last_hit": stat.st_mtime,
                 }
+            stored = int(meta.get("bytes", stat.st_size))
             found.append(
                 ArtifactInfo(
                     kind=kind,
                     key=key,
                     path=path,
-                    bytes=int(meta.get("bytes", stat.st_size)),
+                    bytes=stored,
                     created=float(meta.get("created", stat.st_mtime)),
                     last_hit=float(meta.get("last_hit", stat.st_mtime)),
+                    raw_bytes=int(meta.get("raw_bytes", stored)),
                 )
             )
     return found
@@ -160,12 +168,20 @@ def _aggregate(root: str | os.PathLike, artifacts: list[ArtifactInfo]) -> dict:
         kinds[kind] = {
             "count": len(of_kind),
             "bytes": sum(info.bytes for info in of_kind),
+            "raw_bytes": sum(info.raw_bytes for info in of_kind),
         }
+    total_bytes = sum(info.bytes for info in artifacts)
+    total_raw = sum(info.raw_bytes for info in artifacts)
     return {
         "schema": ARTIFACT_SCHEMA,
         "root": os.fspath(root),
         "count": len(artifacts),
-        "bytes": sum(info.bytes for info in artifacts),
+        "bytes": total_bytes,
+        "raw_bytes": total_raw,
+        # Stored / raw: < 1.0 once compressed artifacts dominate.
+        "compression_ratio": (
+            round(total_bytes / total_raw, 4) if total_raw else None
+        ),
         "kinds": kinds,
         "oldest_hit": min(
             (info.last_hit for info in artifacts), default=None
@@ -259,11 +275,14 @@ def prune(
     max_bytes: int | None = None,
     max_age_s: float | None = None,
     now: float | None = None,
+    dry_run: bool = False,
 ) -> PruneReport:
     """Apply the eviction policy (see the module docstring) to ``root``.
 
     At least one of ``max_bytes`` / ``max_age_s`` should be given; with
     neither, this is a no-op scan.  ``now`` overrides the clock (tests).
+    With ``dry_run`` nothing is unlinked: the report lists what *would*
+    be evicted, and the store is untouched.
     """
     now = time.time() if now is None else now
     artifacts = scan(root)
@@ -293,6 +312,8 @@ def prune(
                 break
         kept = survivors
 
+    if dry_run:
+        return PruneReport(removed=tuple(removed), kept=tuple(kept))
     removed = [info for info in removed if _remove(info)]
     if removed:
         _sweep_orphan_sidecars(root)

@@ -264,11 +264,24 @@ class StaticSimulation:
             if congestion_pairs is not None
             else one_destination_per_node(self._topology, seed=self._seed + 2)
         )
+        # The true shortest distances are a function of topology and pairs
+        # alone, so all protocols share one table (the batched measurement
+        # engine then shares per-target relay state within each scheme).
+        distances = None
+        if measure_stretch_flag and selected:
+            from repro.graphs.shortest_paths import all_pairs_sampled_distances
+
+            measured_pairs = [(s, t) for s, t in pairs if s != t]
+            distances = all_pairs_sampled_distances(
+                self._topology, measured_pairs
+            )
         for scheme in selected:
             if measure_state_flag:
                 results.state[scheme.name] = measure_state(scheme, nodes=nodes)
             if measure_stretch_flag:
-                results.stretch[scheme.name] = measure_stretch(scheme, pairs=pairs)
+                results.stretch[scheme.name] = measure_stretch(
+                    scheme, pairs=pairs, distances=distances
+                )
             if measure_congestion_flag:
                 results.congestion[scheme.name] = measure_congestion(
                     scheme, pairs=flows

@@ -306,3 +306,76 @@ class TestCacheCli:
         assert _parse_size("2K") == 2048
         assert _parse_size("1.5M") == int(1.5 * 1024**2)
         assert _parse_size("1g") == 1024**3
+
+
+class TestCompressedFraming:
+    def test_payloads_are_compressed_on_disk(self, tmp_path):
+        from repro.scenarios.cache import COMPRESS_MAGIC
+
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("scheme", "compress-me")
+        cache.get("scheme", key, lambda: "x" * 50_000)
+        payload = (tmp_path / "scheme" / f"{key}.pkl").read_bytes()
+        assert payload.startswith(COMPRESS_MAGIC)
+        # Highly repetitive payload: compression must bite hard.
+        assert len(payload) < 5_000
+        meta = json.loads(
+            (tmp_path / "scheme" / f"{key}.meta.json").read_text()
+        )
+        assert meta["bytes"] == len(payload)
+        assert meta["raw_bytes"] > meta["bytes"]
+
+    def test_legacy_uncompressed_artifact_still_loads(self, tmp_path):
+        import pickle
+
+        key = cache_key("scheme", "legacy")
+        directory = tmp_path / "scheme"
+        directory.mkdir(parents=True)
+        (directory / f"{key}.pkl").write_bytes(
+            pickle.dumps("legacy-payload", protocol=4)
+        )
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("scheme", key, lambda: "rebuilt") == "legacy-payload"
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_stats_report_compression_ratio(self, tmp_path):
+        _fill(tmp_path, {"a": 50_000})
+        stats = cache_stats(tmp_path)
+        assert stats["raw_bytes"] > stats["bytes"]
+        assert 0 < stats["compression_ratio"] < 1
+
+    def test_stats_cli_prints_ratio(self, tmp_path, capsys):
+        _fill(tmp_path, {"a": 50_000})
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "compression:" in capsys.readouterr().out
+
+
+class TestPruneDryRun:
+    def test_dry_run_removes_nothing(self, tmp_path):
+        _fill(tmp_path, {"a": 4096, "b": 4096})
+        before = {info.key for info in scan(tmp_path)}
+        report = prune(tmp_path, max_bytes=1, dry_run=True)
+        assert {info.key for info in report.removed} == before
+        assert {info.key for info in scan(tmp_path)} == before
+
+    def test_dry_run_report_matches_real_prune(self, tmp_path):
+        _fill(tmp_path, {"a": 4096, "b": 4096, "c": 4096})
+        dry = prune(tmp_path, max_bytes=5000, dry_run=True)
+        real = prune(tmp_path, max_bytes=5000)
+        assert {info.key for info in dry.removed} == {
+            info.key for info in real.removed
+        }
+        assert {info.key for info in dry.kept} == {
+            info.key for info in real.kept
+        }
+
+    def test_cli_dry_run_prints_and_preserves(self, tmp_path, capsys):
+        _fill(tmp_path, {"a": 4096})
+        before = _total_pickle_bytes(tmp_path)
+        assert main(
+            ["cache", "prune", "--cache-dir", str(tmp_path),
+             "--max-bytes", "1", "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would evict" in out and "dry run" in out
+        assert _total_pickle_bytes(tmp_path) == before
