@@ -1,4 +1,4 @@
-"""Memory canary: warm-run retained footprint of the scenario suite.
+"""Memory canaries: scenario-suite warm footprint, substrate build peak.
 
 PR 4 closed the warm-vs-cold *object graph* gap (scheme shells rewire onto
 one shared substrate on load) but left warm retained memory at cold parity
@@ -55,4 +55,55 @@ def test_warm_retained_memory_below_pr4_baseline(benchmark, run_once):
     assert warm_end_kb < PR4_COLD_PARITY_KB, (
         f"warm retained {warm_end_kb:.0f} KB regressed above the PR 4 "
         f"cold-parity baseline ({PR4_COLD_PARITY_KB:.0f} KB)"
+    )
+
+
+#: Build-time peak ceiling for the slab-direct substrate build, as a
+#: multiple of the finished slab payload.  The builder writes kernel rows
+#: straight into the preallocated slabs, so its transient overhead is a
+#: few scratch rows plus the address accumulators -- measured ~1.26x at
+#: n = 2^15 on both kernel tiers.  The dict-mediated path it replaced
+#: peaked at several times the slab payload (per-node dict pairs plus
+#: boxed floats for every vicinity entry); a return of per-node
+#: intermediates trips this immediately, allocator noise cannot.
+BUILD_PEAK_SLAB_RATIO = 1.6
+
+
+def test_substrate_build_peak_memory_stays_slab_bound(benchmark, run_once):
+    """Peak traced memory of a 2^15-node slab-direct build stays near the
+    slab payload itself -- the canary for dict intermediates creeping back
+    into the build path."""
+    import gc
+    import tracemalloc
+
+    from repro.addressing.labels import LabelCodec
+    from repro.core.landmarks import select_landmarks
+    from repro.core.substrate_build import build_substrate_tables
+    from repro.graphs.generators import gnm_random_graph
+
+    n = 32768  # 2^15: the committed substrate_build/gnm-32768 bench point
+
+    def measure() -> tuple[int, int]:
+        topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+        codec = LabelCodec(topology)
+        landmarks = select_landmarks(n, seed=1)
+        topology.csr()  # snapshot outside the trace, as in the benchmark
+        gc.collect()
+        tracemalloc.start()
+        try:
+            tables = build_substrate_tables(
+                topology, landmarks, codec=codec
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return tables.slab_bytes(), peak
+
+    slab_bytes, peak_bytes = run_once(measure)
+    benchmark.extra_info["slab_mb"] = round(slab_bytes / 1024**2, 1)
+    benchmark.extra_info["build_peak_mb"] = round(peak_bytes / 1024**2, 1)
+    assert peak_bytes < slab_bytes * BUILD_PEAK_SLAB_RATIO, (
+        f"substrate build peaked at {peak_bytes / 1024**2:.0f} MiB for "
+        f"{slab_bytes / 1024**2:.0f} MiB of slabs "
+        f"(> {BUILD_PEAK_SLAB_RATIO}x): dict intermediates are back?"
     )

@@ -12,6 +12,8 @@ can reproduce the paper or study their own topology without writing code::
     python -m repro profile net.edges                 # structural profile
     python -m repro compare net.edges --protocols disco s4 vrr
     python -m repro bench --out BENCH_kernels.json    # perf-regression harness
+    python -m repro bench compare latest 24b0d68      # run-to-run deltas
+    python -m repro substrate gnm 1048576 --storage slabs --vicinity-storage mmap
     python -m repro cache stats                       # artifact-cache totals
     python -m repro cache prune --max-bytes 500M      # bound the cache on disk
 
@@ -226,6 +228,97 @@ def build_parser() -> argparse.ArgumentParser:
         "profile allows it (A/B the indexed 4-ary heap against the Dial "
         "bucket queue); skips the end-to-end staticsim cases, which always "
         "auto-select; default: auto-select per topology",
+    )
+    bench_parser.add_argument(
+        "--history-dir",
+        default=None,
+        help="append the report to this run-history directory "
+        "(default: benchmarks/history)",
+    )
+    bench_parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the benchmark history",
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command")
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="per-benchmark speedup deltas between two recorded runs",
+    )
+    bench_compare.add_argument(
+        "run_a",
+        help="first run: a history filename/sha prefix, 'latest', or a "
+        "path to any bench report JSON",
+    )
+    bench_compare.add_argument("run_b", help="second run (same forms)")
+    bench_compare.add_argument(
+        "--history-dir",
+        dest="compare_history_dir",
+        default=None,
+        help="history directory to resolve prefixes in "
+        "(default: benchmarks/history)",
+    )
+
+    substrate_parser = subparsers.add_parser(
+        "substrate",
+        help="converge routing substrates standalone -- multi-core, "
+        "mmap/disk slab placement, per-phase timing and RSS (the "
+        "large-n driver; see docs/REPRODUCING.md)",
+    )
+    substrate_parser.add_argument(
+        "source",
+        help="topology family (%s) or an edge-list path"
+        % ", ".join(sorted(_GENERATORS)),
+    )
+    substrate_parser.add_argument(
+        "nodes",
+        type=int,
+        nargs="?",
+        default=None,
+        help="node count (required with a generator family)",
+    )
+    substrate_parser.add_argument("--seed", type=int, default=0)
+    substrate_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["nd-disco", "s4"],
+        choices=["nd-disco", "s4"],
+        help="schemes to converge; when both are listed they share one "
+        "substrate, exactly as StaticSimulation builds them",
+    )
+    substrate_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the SPT / vicinity / ball phases over this many worker "
+        "processes (byte-identical output for any worker count)",
+    )
+    substrate_parser.add_argument(
+        "--storage",
+        default=None,
+        help='slab placement: "mmap" (anonymous mmap) or a directory path '
+        "(file-backed slabs, mmap-attachable afterwards); default RAM "
+        "arrays",
+    )
+    substrate_parser.add_argument(
+        "--vicinity-storage",
+        default=None,
+        help="override --storage for the vicinity slabs (e.g. SPT slabs "
+        "on disk, vicinity in anonymous mmap when neither medium fits "
+        "everything)",
+    )
+    substrate_parser.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="skip finishing a --storage directory into a complete "
+        "mmap-attachable slab artifact (implied when the vicinity slabs "
+        "live on a different medium)",
+    )
+    substrate_parser.add_argument(
+        "--routes",
+        type=int,
+        default=4,
+        help="sampled routing sanity checks after convergence (0 skips)",
     )
     return parser
 
@@ -485,6 +578,9 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "bench_command", None) == "compare":
+        return _command_bench_compare(args)
+    from repro.perf import history
     from repro.perf.kernel_bench import bench_kernels, write_bench_json
 
     # Validate the output path before spending minutes on the benchmarks,
@@ -515,6 +611,194 @@ def _command_bench(args: argparse.Namespace) -> int:
     )
     write_bench_json(report, args.out)
     print(f"wrote {args.out}")
+    if not args.no_history:
+        try:
+            record = history.record_run(
+                report, args.history_dir or history.DEFAULT_HISTORY_DIR
+            )
+            print(f"recorded {record}")
+        except OSError as error:
+            print(f"history not recorded: {error}", file=sys.stderr)
+    return 0
+
+
+def _command_bench_compare(args: argparse.Namespace) -> int:
+    from repro.perf import history
+
+    directory = args.compare_history_dir or history.DEFAULT_HISTORY_DIR
+    try:
+        run_a = history.resolve_run(args.run_a, directory)
+        run_b = history.resolve_run(args.run_b, directory)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    for label, run in (("A", run_a), ("B", run_b)):
+        report = run["report"]
+        sha = run["git"].get("sha") or "?"
+        print(
+            f"{label}: {os.path.basename(run['path'])}  "
+            f"sha={sha[:12]}  generated={report.get('generated', '?')}  "
+            f"quick={bool(report.get('quick'))}"
+        )
+    delta = history.compare_reports(run_a["report"], run_b["report"])
+    if delta["quick_mismatch"]:
+        print(
+            "note: one run is --quick -- workloads differ, compare the "
+            "speedup columns only",
+            file=sys.stderr,
+        )
+    rows = [
+        [
+            row["name"],
+            row["a_after_s"],
+            row["b_after_s"],
+            f"x{row['after_ratio']:.3f}" if row["after_ratio"] else "-",
+            row["a_speedup"],
+            row["b_speedup"],
+            f"{row['speedup_delta']:+.3f}",
+        ]
+        for row in delta["common"]
+    ]
+    print(
+        format_table(
+            [
+                "benchmark",
+                "A after (s)",
+                "B after (s)",
+                "A/B",
+                "A speedup",
+                "B speedup",
+                "delta",
+            ],
+            rows,
+            float_format="{:.4f}",
+        )
+    )
+    for key, label in (("only_a", "only in A"), ("only_b", "only in B")):
+        if delta[key]:
+            print(f"{label}: {', '.join(delta[key])}")
+    return 0
+
+
+def _memory_kb() -> tuple[int, int]:
+    """Current and peak resident set size in KiB (Linux; zeros elsewhere)."""
+    rss = peak = 0
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    rss = int(line.split()[1])
+                elif line.startswith("VmHWM:"):
+                    peak = int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return 0, 0
+    return rss, peak
+
+
+def _command_substrate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.nddisco import NDDiscoRouting
+    from repro.graphs.sampling import sample_pairs
+    from repro.protocols.registry import build_scheme
+
+    if args.source in _GENERATORS:
+        if args.nodes is None:
+            print(
+                f"substrate {args.source}: node count required",
+                file=sys.stderr,
+            )
+            return 2
+        topology = _GENERATORS[args.source](args.nodes, seed=args.seed)
+    else:
+        try:
+            topology = read_edge_list(args.source)
+        except OSError as error:
+            print(f"cannot read {args.source}: {error}", file=sys.stderr)
+            return 2
+        if not topology.is_connected():
+            topology, _ = topology.largest_component_subgraph()
+            print(
+                "note: using the largest connected component "
+                f"({topology.num_nodes} nodes)"
+            )
+    protocols = [name.strip().lower() for name in args.protocols]
+    placement = []
+    if args.storage:
+        placement.append(f"storage={args.storage}")
+    if args.vicinity_storage:
+        placement.append(f"vicinity-storage={args.vicinity_storage}")
+    print(
+        f"{topology.name}: {topology.num_nodes} nodes, "
+        f"{topology.num_edges} edges"
+        + (f"  [{' '.join(placement)}]" if placement else "")
+    )
+    persist = not args.no_persist and (
+        args.vicinity_storage is None
+        or args.vicinity_storage == args.storage
+    )
+    started = time.perf_counter()
+    schemes: dict[str, object] = {}
+    nddisco: NDDiscoRouting | None = None
+    if "nd-disco" in protocols:
+        stats: dict = {}
+        nddisco = NDDiscoRouting(
+            topology,
+            seed=args.seed,
+            workers=args.workers,
+            storage=args.storage,
+            vicinity_storage=args.vicinity_storage,
+            persist_storage=persist,
+            build_stats=stats,
+            build_progress=lambda line: print(f"  nd-disco: {line}"),
+        )
+        schemes["nd-disco"] = nddisco
+        rss, peak = _memory_kb()
+        print(
+            f"nd-disco converged: {len(nddisco.landmarks)} landmarks, "
+            f"{stats.get('slab_bytes', 0) / 1024**2:.0f} MiB slabs, "
+            f"{time.perf_counter() - started:.1f}s elapsed, "
+            f"rss {rss / 1024:.0f} MiB (peak {peak / 1024:.0f} MiB)"
+        )
+    if "s4" in protocols:
+        s4_started = time.perf_counter()
+        options: dict[str, object] = {"workers": args.workers}
+        if nddisco is not None:
+            # Same landmark set and shared substrate, exactly as
+            # StaticSimulation couples the two schemes.
+            options["landmarks"] = nddisco.landmarks
+            options["substrate"] = nddisco
+        elif args.storage:
+            options["storage"] = (
+                args.storage
+                if args.storage == "mmap"
+                else os.path.join(args.storage, "s4")
+            )
+        schemes["s4"] = build_scheme(
+            "s4", topology, seed=args.seed, **options
+        )
+        rss, peak = _memory_kb()
+        print(
+            f"s4 converged: {time.perf_counter() - s4_started:.1f}s, "
+            f"rss {rss / 1024:.0f} MiB (peak {peak / 1024:.0f} MiB)"
+        )
+    if args.routes > 0:
+        for source, target in sample_pairs(
+            topology, args.routes, seed=args.seed + 1
+        ):
+            for name, scheme in schemes.items():
+                result = scheme.later_packet_route(source, target)
+                assert result.path[0] == source
+                assert result.path[-1] == target
+                print(
+                    f"  route {source}->{target} [{name}]: "
+                    f"{len(result.path) - 1} hops via {result.mechanism}"
+                )
+    rss, peak = _memory_kb()
+    print(
+        f"done: {time.perf_counter() - started:.1f}s total, "
+        f"peak rss {peak / 1024:.0f} MiB"
+    )
     return 0
 
 
@@ -538,6 +822,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_compare(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "substrate":
+        return _command_substrate(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

@@ -32,7 +32,7 @@ Routing behaviour:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.addressing.address import Address, NAME_BYTES_IPV4, NAME_BYTES_IPV6
 from repro.addressing.explicit_route import ExplicitRoute
@@ -40,8 +40,10 @@ from repro.addressing.labels import LabelCodec
 from repro.core.landmarks import closest_landmarks, landmark_spts, select_landmarks
 from repro.core.resolution import LandmarkResolutionDatabase
 from repro.core.shortcutting import ShortcutMode, apply_shortcuts
+from repro.core.substrate_build import build_substrate_tables
 from repro.core.tables import SubstrateTables, get_backend
 from repro.core.vicinity import VicinityTable, compute_vicinities
+from repro.graphs.engine import get_engine
 from repro.graphs.topology import Topology
 from repro.naming.names import FlatName, name_for_node
 from repro.protocols.base import RouteResult, RoutingScheme
@@ -74,8 +76,26 @@ class NDDiscoRouting(RoutingScheme):
     resolution_virtual_nodes:
         Virtual ring points per landmark in the resolution database.
     workers:
-        Opt-in multiprocessing fan-out for the per-node vicinity builds
-        (forwarded to :func:`~repro.core.vicinity.compute_vicinities`).
+        Opt-in multiprocessing fan-out for the substrate build: on the
+        slab-direct path the landmark SPTs and the per-node vicinity
+        searches both partition over the worker pool (see
+        :func:`~repro.core.substrate_build.build_substrate_tables`); on
+        the component-wise fallback it is forwarded to
+        :func:`~repro.core.vicinity.compute_vicinities`.  Results are
+        byte-identical for any worker count.
+    storage / vicinity_storage / persist_storage:
+        Slab placement for the slab-direct build -- ``None`` (RAM arrays),
+        ``"mmap"`` (anonymous mmap), or a directory path (file-backed
+        slabs, mmap-attachable afterwards); ``vicinity_storage`` overrides
+        the choice for the vicinity slabs and ``persist_storage=False``
+        skips finishing a directory into a complete artifact.  Ignored on
+        the component-wise fallback paths (dict backend, reference engine,
+        pre-supplied ``vicinities``).
+    build_stats / build_progress:
+        Optional build instrumentation, forwarded to the slab-direct
+        builder: ``build_stats`` (a dict) receives per-phase wall-clock
+        seconds and slab byte counts, ``build_progress`` one line per
+        phase.  ``repro substrate`` uses these for its large-n reporting.
     """
 
     name = "ND-Disco"
@@ -93,6 +113,11 @@ class NDDiscoRouting(RoutingScheme):
         resolve_first_packet: bool = True,
         resolution_virtual_nodes: int = 1,
         workers: int | None = None,
+        storage: "str | None" = None,
+        vicinity_storage: "str | None" = None,
+        persist_storage: bool = True,
+        build_stats: dict | None = None,
+        build_progress: "Callable[[str], None] | None" = None,
     ) -> None:
         super().__init__(topology)
         self._seed = seed
@@ -117,32 +142,57 @@ class NDDiscoRouting(RoutingScheme):
         if not self._landmarks:
             raise ValueError("landmark set must be non-empty")
 
-        # Shortest-path trees rooted at each landmark: distance and parent
-        # per node, built by the batched CSR driver over one shared scratch
-        # arena.  On the default "array" backend the rows, the
-        # closest-landmark rows, the vicinities, and the address payloads
-        # are then re-packed into one set of flat typed slabs
-        # (:class:`SubstrateTables`); every attribute below keeps its
-        # historical dict/list shape through thin views, and the "dict"
-        # backend keeps the original per-node object graphs as the
-        # differential oracle.
-        spts = landmark_spts(topology, self._landmarks)
-        closest_rows = closest_landmarks(spts, n)
-
-        # Vicinities.
-        built_vicinities: Sequence[VicinityTable] = (
-            list(vicinities)
-            if vicinities is not None
-            else compute_vicinities(topology, scale=vicinity_scale, workers=workers)
-        )
-        if len(built_vicinities) != n:
-            raise ValueError("vicinities must cover every node")
-
+        # The converged substrate: landmark SPT rows, closest-landmark
+        # rows, vicinities, and address payloads as one set of flat typed
+        # slabs (:class:`SubstrateTables`).  On the default "array"
+        # backend + CSR engine the slab-direct builder
+        # (:func:`~repro.core.substrate_build.build_substrate_tables`)
+        # writes kernel results straight into the preallocated slabs --
+        # optionally fanning the SPT and vicinity phases over a worker
+        # pool and/or packing into mmap-backed storage -- without ever
+        # materializing the per-node dict intermediates.  Every attribute
+        # below keeps its historical dict/list shape through thin views,
+        # and the "dict" backend keeps the original per-node object
+        # graphs, built component-wise, as the differential oracle (the
+        # two paths are asserted byte-identical in
+        # ``tests/test_substrate_build.py``).
         self._codec = LabelCodec(topology)
-        if get_backend() == "array":
-            self._tables: SubstrateTables | None = SubstrateTables.from_components(
+        if (
+            get_backend() == "array"
+            and get_engine() == "csr"
+            and vicinities is None
+        ):
+            self._tables: SubstrateTables | None = build_substrate_tables(
+                topology,
+                self._landmarks,
+                codec=self._codec,
+                vicinity_scale=vicinity_scale,
+                workers=workers,
+                storage=storage,
+                vicinity_storage=vicinity_storage,
+                persist=persist_storage,
+                stats=build_stats,
+                progress=build_progress,
+            )
+        elif get_backend() == "array":
+            spts = landmark_spts(topology, self._landmarks)
+            closest_rows = closest_landmarks(spts, n)
+            built_vicinities: Sequence[VicinityTable] = (
+                list(vicinities)
+                if vicinities is not None
+                else compute_vicinities(
+                    topology, scale=vicinity_scale, workers=workers
+                )
+            )
+            if len(built_vicinities) != n:
+                raise ValueError("vicinities must cover every node")
+            self._tables = SubstrateTables.from_components(
                 n, spts, closest_rows, built_vicinities, self._codec
             )
+        else:
+            self._tables = None
+
+        if self._tables is not None:
             self._landmark_spts = self._tables.spt_rows()
             self._closest_landmark, self._closest_landmark_distance = (
                 self._tables.closest_rows()
@@ -150,7 +200,17 @@ class NDDiscoRouting(RoutingScheme):
             self._vicinities = self._tables.vicinity_views()
             self._addresses: list[Address] = self._tables.addresses()
         else:
-            self._tables = None
+            spts = landmark_spts(topology, self._landmarks)
+            closest_rows = closest_landmarks(spts, n)
+            built_vicinities = (
+                list(vicinities)
+                if vicinities is not None
+                else compute_vicinities(
+                    topology, scale=vicinity_scale, workers=workers
+                )
+            )
+            if len(built_vicinities) != n:
+                raise ValueError("vicinities must cover every node")
             self._landmark_spts = spts
             self._closest_landmark, self._closest_landmark_distance = closest_rows
             self._vicinities = list(built_vicinities)

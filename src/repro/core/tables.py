@@ -32,6 +32,8 @@ construction, and publish zero-copy into one shared-memory segment
 
 from __future__ import annotations
 
+import json
+import mmap as _mmap
 import os
 from array import array
 from contextlib import contextmanager
@@ -44,11 +46,18 @@ __all__ = [
     "SearchMap",
     "SharedTables",
     "SharedTablesHandle",
+    "SlabArena",
     "SubstrateTables",
     "VicinityView",
+    "SLAB_SCHEMA",
     "get_backend",
     "use_backend",
 ]
+
+#: On-disk raw-slab layout version (``save_slabs`` / ``from_mmap``): a
+#: directory holding ``manifest.json`` plus one little-endian 8-byte-item
+#: ``<slab name>.bin`` file per slab.
+SLAB_SCHEMA = "repro-tables-slabs/v1"
 
 #: Backends: "array" (slab-backed, the default) and "dict" (the historical
 #: per-node object graphs, kept as the differential oracle).
@@ -765,6 +774,139 @@ class SubstrateTables:
         shm.close()
         return tables
 
+    # -- raw-slab persistence (mmap attach) ----------------------------------
+
+    def slab_items(self) -> list[tuple[str, str, object]]:
+        """Every slab as ``(name, typecode, buffer)`` in publication order.
+
+        Vicinity sub-slabs are named ``vicinity.<slot>`` and follow the
+        table slots, matching :class:`SharedTables`' segment layout and the
+        on-disk slab-directory layout.
+        """
+        slabs: list[tuple[str, str, object]] = [
+            (slot, typecode, getattr(self, slot))
+            for slot, typecode in _TABLE_SLOTS
+        ]
+        if self.vicinity is not None:
+            slabs.extend(
+                (f"vicinity.{slot}", typecode, getattr(self.vicinity, slot))
+                for slot, typecode in _VICINITY_SLOTS
+            )
+        return slabs
+
+    def slab_bytes(self) -> int:
+        """Total raw slab payload in bytes (every item is 8 bytes)."""
+        return sum(8 * len(slab) for _, _, slab in self.slab_items())
+
+    def save_slabs(
+        self, path: "str | os.PathLike", *, skip: "set[str] | None" = None
+    ) -> str:
+        """Write the tables as a raw slab directory (see :data:`SLAB_SCHEMA`).
+
+        The directory is mmap-attachable with :meth:`from_mmap` -- the
+        natural format for substrates larger than RAM, and the format the
+        artifact cache stores big ``tables`` artifacts in.  ``skip`` names
+        slabs whose ``.bin`` files already hold the final content (the
+        out-of-core build packs the big slabs straight into those files and
+        only the small slabs plus the manifest remain to be written).
+        Returns the directory path.
+        """
+        path = os.fspath(path)
+        os.makedirs(path, exist_ok=True)
+        slabs = self.slab_items()
+        for name, _typecode, slab in slabs:
+            if skip and name in skip:
+                continue
+            target = os.path.join(path, f"{name}.bin")
+            scratch = target + ".tmp"
+            with open(scratch, "wb") as handle:
+                # write() consumes the buffer directly -- no bytes copy, so
+                # slabs larger than RAM stream straight from their mmap.
+                handle.write(memoryview(slab))
+            os.replace(scratch, target)
+        manifest = {
+            "schema": SLAB_SCHEMA,
+            "num_nodes": self.num_nodes,
+            "vicinity_nodes": (
+                self.vicinity.num_nodes if self.vicinity is not None else None
+            ),
+            "slots": [
+                [name, typecode, len(slab)] for name, typecode, slab in slabs
+            ],
+        }
+        manifest_path = os.path.join(path, "manifest.json")
+        scratch = manifest_path + ".tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+        os.replace(scratch, manifest_path)
+        return path
+
+    @classmethod
+    def from_mmap(cls, path: "str | os.PathLike") -> "SubstrateTables":
+        """Attach to a raw slab directory written by :meth:`save_slabs`.
+
+        Mirrors :meth:`from_shared`, with files instead of a shared-memory
+        segment: every slab becomes a typed ``memoryview`` cast over a
+        read-only ``mmap`` of its ``.bin`` file, so attaching is O(1) in
+        the substrate size and the resident set grows only with the pages
+        actually touched -- substrates larger than RAM stay usable, and
+        concurrent attachers (e.g. scenario-shard workers) share one page
+        cache instead of private copies.  Each mapping stays alive exactly
+        as long as its views do.
+        """
+        path = os.fspath(path)
+        with open(os.path.join(path, "manifest.json"), encoding="utf-8") as f:
+            manifest = json.load(f)
+        if manifest.get("schema") != SLAB_SCHEMA:
+            raise ValueError(
+                f"unsupported slab schema {manifest.get('schema')!r} in "
+                f"{path} (expected {SLAB_SCHEMA})"
+            )
+        views: dict[str, memoryview] = {}
+        for name, typecode, count in manifest["slots"]:
+            views[name] = _mmap_slab_file(
+                os.path.join(path, f"{name}.bin"), typecode, count
+            )
+        vicinity = None
+        if manifest["vicinity_nodes"] is not None:
+            vicinity = NodeSearchTables(
+                manifest["vicinity_nodes"],
+                views["vicinity.offsets"],
+                views["vicinity.members"],
+                views["vicinity.dists"],
+                views["vicinity.parents"],
+            )
+        return cls(
+            manifest["num_nodes"],
+            views["landmark_ids"],
+            views["spt_dist"],
+            views["spt_parent"],
+            views["closest"],
+            views["closest_dist"],
+            vicinity,
+            views["addr_offsets"],
+            views["addr_path"],
+            views["addr_labels"],
+            views["addr_bits"],
+        )
+
+
+def _mmap_slab_file(path: str, typecode: str, count: int) -> memoryview:
+    """Read-only typed view over one slab file (the view owns the mapping)."""
+    if count == 0:
+        return memoryview(b"").cast(typecode)
+    expected = 8 * count
+    size = os.path.getsize(path)
+    if size != expected:
+        raise ValueError(
+            f"slab file {path} holds {size} bytes, manifest expects {expected}"
+        )
+    with open(path, "rb") as handle:
+        mapped = _mmap.mmap(handle.fileno(), expected, access=_mmap.ACCESS_READ)
+    # The cast memoryview keeps the mapping alive via the buffer protocol;
+    # dropping the last view unmaps it.
+    return memoryview(mapped).cast(typecode)
+
 
 @dataclass(frozen=True)
 class SharedTablesHandle:
@@ -840,3 +982,119 @@ class SharedTables:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class SlabArena:
+    """Writable slab allocator for the slab-direct substrate build.
+
+    Three storage modes, selected by ``storage``:
+
+    * ``None`` / ``"array"`` -- plain ``array`` slabs in RAM (the default;
+      what :meth:`SubstrateTables.from_components` has always produced).
+    * ``"mmap"`` -- anonymous ``mmap`` slabs: still RAM, but page-aligned
+      and returned to the OS as whole pages when dropped, which keeps the
+      build's peak footprint flat for the big SPT / vicinity slabs.
+    * a directory path -- file-backed ``mmap`` slabs named
+      ``<slab name>.bin`` inside the directory, i.e. the build packs
+      straight into the :data:`SLAB_SCHEMA` on-disk layout and the finished
+      directory only needs the small slabs and the manifest
+      (:meth:`SubstrateTables.save_slabs` with ``skip=arena.file_slabs``)
+      to become mmap-attachable.  This is the out-of-core mode: slabs
+      larger than RAM spill to disk through the page cache.
+
+    Buffers returned by :meth:`alloc` are writable (``array`` objects or
+    ``memoryview`` casts of the mapping).  :meth:`trim` shrinks a slab
+    whose final fill fell short of its preallocated capacity (disconnected
+    truncated searches); callers must drop every view of the slab first.
+    """
+
+    def __init__(self, storage: "str | os.PathLike | None" = None) -> None:
+        if storage is None or storage == "array":
+            self.mode = "array"
+            self.root: str | None = None
+        elif storage == "mmap":
+            self.mode = "mmap"
+            self.root = None
+        else:
+            self.mode = "dir"
+            self.root = os.fspath(storage)
+            os.makedirs(self.root, exist_ok=True)
+        self._slabs: dict[str, tuple[str, object, str | None]] = {}
+
+    @property
+    def file_slabs(self) -> set[str]:
+        """Names of slabs backed by files in the arena directory."""
+        return {
+            name
+            for name, (_typecode, _backing, path) in self._slabs.items()
+            if path is not None
+        }
+
+    def alloc(self, name: str, typecode: str, count: int):
+        """Allocate a zero-filled slab of ``count`` 8-byte items."""
+        if name in self._slabs:
+            raise ValueError(f"slab {name!r} already allocated")
+        nbytes = 8 * count
+        if self.mode == "array" or count == 0:
+            backing: object = array(typecode, bytes(nbytes))
+            self._slabs[name] = (typecode, backing, None)
+            return backing
+        if self.mode == "mmap":
+            backing = _mmap.mmap(-1, nbytes)
+            self._slabs[name] = (typecode, backing, None)
+            return memoryview(backing).cast(typecode)
+        path = os.path.join(self.root, f"{name}.bin")
+        with open(path, "wb") as handle:
+            handle.truncate(nbytes)
+        with open(path, "r+b") as handle:
+            backing = _mmap.mmap(
+                handle.fileno(), nbytes, access=_mmap.ACCESS_WRITE
+            )
+        self._slabs[name] = (typecode, backing, path)
+        return memoryview(backing).cast(typecode)
+
+    def view(self, name: str):
+        """A fresh writable buffer for an allocated slab."""
+        typecode, backing, _path = self._slabs[name]
+        if isinstance(backing, array):
+            return backing
+        return memoryview(backing).cast(typecode)
+
+    def trim(self, name: str, count: int):
+        """Shrink ``name`` to ``count`` items; returns the new buffer.
+
+        Every outstanding view of the slab must have been dropped (a live
+        export raises ``BufferError``).
+        """
+        typecode, backing, path = self._slabs[name]
+        nbytes = 8 * count
+        if isinstance(backing, array):
+            del backing[count:]
+            return backing
+        if len(backing) == nbytes:
+            return self.view(name)
+        if count == 0:
+            backing.close()
+            if path is not None:
+                os.truncate(path, 0)
+            empty = array(typecode)
+            self._slabs[name] = (typecode, empty, None)
+            return empty
+        if path is None:
+            backing.resize(nbytes)
+            return self.view(name)
+        backing.flush()
+        backing.close()
+        os.truncate(path, nbytes)
+        with open(path, "r+b") as handle:
+            backing = _mmap.mmap(
+                handle.fileno(), nbytes, access=_mmap.ACCESS_WRITE
+            )
+        self._slabs[name] = (typecode, backing, path)
+        return self.view(name)
+
+    def flush(self) -> None:
+        """Flush file-backed slabs to disk (no-op for the RAM modes)."""
+        for _typecode, backing, path in self._slabs.values():
+            if path is not None:
+                backing.flush()

@@ -131,13 +131,33 @@ def compute_vicinities(
 
     Returns
     -------
-    list[VicinityTable]
-        Indexed by node id.
+    list
+        Indexed by node id.  The serial paths return
+        :class:`VicinityTable` objects; the fan-out path returns
+        slab-backed :class:`~repro.core.tables.VicinityView` stand-ins
+        (same read API) so workers ship four flat typed arrays per chunk
+        instead of pickling every vicinity as two dicts, and the parent
+        builds one :class:`~repro.core.tables.NodeSearchTables` instead
+        of ``2n`` dicts.
     """
     if size is None:
         size = vicinity_size(topology.num_nodes, scale=scale)
     require_positive("size", size)
     if get_engine() == "csr":
+        if workers is not None and workers > 1:
+            from repro.core.tables import NodeSearchTables, VicinityView
+            from repro.graphs.csr import parallel_k_nearest_flat
+
+            offsets, members, dists, parents = parallel_k_nearest_flat(
+                topology, size, workers=workers
+            )
+            tables = NodeSearchTables(
+                topology.num_nodes, offsets, members, dists, parents
+            )
+            return [
+                VicinityView(tables, node)
+                for node in range(topology.num_nodes)
+            ]
         searches = parallel_k_nearest(topology, size, workers=workers or 1)
         return [
             VicinityTable(node=node, distances=distances, predecessors=predecessors)

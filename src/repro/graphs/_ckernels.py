@@ -159,6 +159,14 @@ def load_kernels() -> ctypes.CDLL | None:
         lib.spt_heap4.argtypes = _HEAP4_ARGTYPES
         lib.spt_dial.restype = _I64
         lib.spt_dial.argtypes = _DIAL_ARGTYPES
+        lib.gather_f64.restype = None
+        lib.gather_f64.argtypes = [_PI64, _PDBL, _PDBL, _I64]
+        lib.gather_i64.restype = None
+        lib.gather_i64.argtypes = [_PI64, _PI64, _PI64, _I64]
+        lib.closest_update.restype = None
+        lib.closest_update.argtypes = [_I64, _PDBL, _I64, _PDBL, _PI64]
+        lib.bincount_i64.restype = None
+        lib.bincount_i64.argtypes = [_PI64, _I64, _PI64]
         _lib = lib
     except OSError as error:  # pragma: no cover - load failure is env-specific
         _build_error = f"load failed: {error}"

@@ -314,3 +314,48 @@ i64 spt_dial(
         head[slot] = -1;
     return settled;
 }
+
+/* ------------------------------------------------------------ slab helpers
+ *
+ * Small flat-array passes used by the slab-direct substrate build: they move
+ * kernel results (scratch-arena rows, settle orders) into SubstrateTables
+ * slabs without boxing each element through a Python object.  All of them
+ * have pure-Python fallbacks in repro.graphs.csr / repro.core.landmarks.
+ */
+
+/* dst[i] = src[idx[i]] -- extract a settle-ordered row from an arena. */
+void gather_f64(const i64 *idx, const double *src, double *dst, i64 count)
+{
+    for (i64 i = 0; i < count; i++)
+        dst[i] = src[idx[i]];
+}
+
+void gather_i64(const i64 *idx, const i64 *src, i64 *dst, i64 count)
+{
+    for (i64 i = 0; i < count; i++)
+        dst[i] = src[idx[i]];
+}
+
+/* One ascending-landmark step of the closest-landmark sweep.  best_dist is
+ * initialised to +inf, landmarks are processed in ascending id order, and
+ * the strict < keeps equal-distance ties on the smaller landmark id --
+ * exactly the reference semantics of repro.core.landmarks.closest_landmarks.
+ */
+void closest_update(i64 n, const double *dist, i64 landmark,
+                    double *best_dist, i64 *best_landmark)
+{
+    for (i64 v = 0; v < n; v++) {
+        if (dist[v] < best_dist[v]) {
+            best_dist[v] = dist[v];
+            best_landmark[v] = landmark;
+        }
+    }
+}
+
+/* counts[src[i]] += 1 for every i -- S4 cluster sizes over a flat members
+ * slab.  Values must already be bounds-checked by the caller. */
+void bincount_i64(const i64 *src, i64 count, i64 *counts)
+{
+    for (i64 i = 0; i < count; i++)
+        counts[src[i]]++;
+}

@@ -103,6 +103,8 @@ __all__ = [
     "KERNELS",
     "parallel_k_nearest",
     "parallel_radius",
+    "parallel_k_nearest_flat",
+    "parallel_radius_flat",
 ]
 
 _INF = math.inf
@@ -644,6 +646,60 @@ class CSRGraph:
             )
         return arena["order"][:count].tolist()
 
+    def _search_c_count(
+        self,
+        source: int,
+        k: int | None,
+        radius: float | None,
+        inclusive: bool,
+    ) -> int:
+        """Run one C-tier search and return only the settled count.
+
+        The settle order stays in ``self._c["order"]`` as a typed array --
+        the flat batched drivers gather rows straight out of the arena
+        without materializing a Python list per search (the per-element
+        boxing of ``order.tolist()`` dominates small truncated searches).
+        """
+        if not 0 <= source < self.num_nodes:
+            raise ValueError(
+                f"node {source} out of range for graph with "
+                f"{self.num_nodes} nodes"
+            )
+        arena = self._c_arena()
+        self._generation += 1
+        if radius is None:
+            radius_val, radius_mode = -1.0, _RADIUS_NONE
+        else:
+            radius_val = radius
+            radius_mode = _RADIUS_INCLUSIVE if inclusive else _RADIUS_STRICT
+        common = (
+            self.num_nodes,
+            arena["p_offsets"],
+            arena["p_neighbors"],
+            arena["p_weights"],
+            source,
+            arena["p_dist"],
+            arena["p_pred"],
+            arena["p_seen"],
+            self._generation,
+            arena["p_order"],
+        )
+        tail = (k or 0, radius_val, radius_mode, None, 0, arena["p_tflag"])
+        if self.kernel == "bucket":
+            return self._clib.spt_dial(
+                *common,
+                self.profile.quantum,
+                arena["slots"],
+                arena["p_head"],
+                arena["p_pool_node"],
+                arena["p_pool_next"],
+                arena["p_batch"],
+                *tail,
+            )
+        return self._clib.spt_heap4(
+            *common, arena["p_heap"], arena["p_pos"], *tail
+        )
+
     # -- Python heap kernel (lazy heapq; the no-compiler fallback) ----------
 
     def _search_heap(
@@ -1013,6 +1069,224 @@ class CSRGraph:
         self._search(source, out=(dist_row, parent_row))
         return dist_row, parent_row
 
+    # -- slab-direct drivers ------------------------------------------------
+    #
+    # The substrate build writes kernel output straight into preallocated
+    # SubstrateTables slabs (possibly mmap-backed and larger than RAM), so
+    # these drivers take writable buffers instead of returning per-node
+    # dicts: no per-element boxing, no intermediate dict materialization.
+
+    def _flat_scratch(self) -> dict:
+        """Arena extension for the flat drivers: settle-order row gathers."""
+        arena = self._c_arena()
+        if "row_d" not in arena:
+            n = max(self.num_nodes, 1)
+            row_d = array("d", bytes(8 * n))
+            row_q = array("q", bytes(8 * n))
+            arena["row_d"] = row_d
+            arena["row_q"] = row_q
+            arena["p_row_d"] = (ctypes.c_double * n).from_buffer(row_d)
+            arena["p_row_q"] = (ctypes.c_int64 * n).from_buffer(row_q)
+        return arena
+
+    def spt_rows_into(
+        self, source: int, dist_out, parent_out, *, fill: float = 0.0
+    ) -> None:
+        """Like :meth:`spt_rows`, writing into caller-owned dense buffers.
+
+        ``dist_out`` / ``parent_out`` are writable length-``n`` buffers
+        (``array`` or ``memoryview`` of format ``'d'`` / ``'q'``, e.g. one
+        row of a ``SubstrateTables`` slab).  The C tier copies the scratch
+        arena with two C-level slice assignments instead of boxing ``2n``
+        Python objects through :meth:`spt_rows`'s lists; contents are
+        bit-identical to :meth:`spt_rows`.
+        """
+        n = self.num_nodes
+        dist_out = memoryview(dist_out)
+        parent_out = memoryview(parent_out)
+        if self.tier == "c":
+            count = self._search_c_count(source, None, None, False)
+            dist_out[:] = memoryview(self._c["dist"])
+            parent_out[:] = memoryview(self._c["pred"])
+            if count < n:
+                # Disconnected graph: unreached slots hold stale values from
+                # earlier searches; restore the fill contract.
+                generation = self._generation
+                seen = self._c["seen"]
+                for node in range(n):
+                    if seen[node] != generation:
+                        dist_out[node] = fill
+                        parent_out[node] = -1
+            return
+        # Python tiers write settled nodes straight into the output rows;
+        # prefill so unreachable nodes keep the fill contract.
+        dist_out[:] = memoryview(array("d", [fill]) * n)
+        parent_out[:] = memoryview(array("q", [-1]) * n)
+        self._search(source, out=(dist_out, parent_out))
+
+    def k_nearest_into(
+        self,
+        k: int,
+        sources: Iterable[int],
+        members,
+        dists,
+        parents,
+        offsets: array,
+        *,
+        base: int = 0,
+    ) -> int:
+        """Truncated searches written straight into preallocated slabs.
+
+        For each source (in the given order) the settled row -- members in
+        settle order, their distances, and their predecessors (``-1`` for
+        the source itself) -- is appended to the writable buffers starting
+        at position ``base``; one offset per source is appended to
+        ``offsets``.  Returns the position after the last row.  The caller
+        guarantees capacity (``k`` settles per source on a connected graph
+        with ``k <= n``).  Contents are bit-identical to
+        :meth:`dijkstra_k_nearest` run per source.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        members = memoryview(members)
+        dists = memoryview(dists)
+        parents = memoryview(parents)
+        position = base
+        if self.tier == "c":
+            arena = self._flat_scratch()
+            lib = self._clib
+            order_mv = memoryview(arena["order"])
+            row_d = memoryview(arena["row_d"])
+            row_q = memoryview(arena["row_q"])
+            for source in sources:
+                count = self._search_c_count(source, k, None, False)
+                lib.gather_f64(
+                    arena["p_order"], arena["p_dist"], arena["p_row_d"], count
+                )
+                lib.gather_i64(
+                    arena["p_order"], arena["p_pred"], arena["p_row_q"], count
+                )
+                end = position + count
+                members[position:end] = order_mv[:count]
+                dists[position:end] = row_d[:count]
+                parents[position:end] = row_q[:count]
+                position = end
+                offsets.append(end)
+            return position
+        for source in sources:
+            order = self._search(source, k=k)
+            dist = self._dist
+            pred = self._pred
+            for node in order:
+                members[position] = node
+                dists[position] = dist[node]
+                parents[position] = pred[node]
+                position += 1
+            offsets.append(position)
+        return position
+
+    def batched_k_nearest_flat(
+        self, k: int, nodes: Iterable[int] | None = None
+    ) -> tuple[array, array, array, array]:
+        """Per-source *k*-nearest rows as one flat CSR-shaped result.
+
+        Returns ``(offsets, members, dists, parents)``: row ``i`` of the
+        batch (source ``i`` of ``nodes``, default all nodes in id order)
+        lives at ``offsets[i] .. offsets[i + 1]`` of the three data arrays,
+        members in settle order with the source first (its parent entry is
+        ``-1``).  This is the flat-transport equivalent of
+        :meth:`batched_k_nearest` -- same searches, no per-node dicts.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        sources = range(self.num_nodes) if nodes is None else nodes
+        offsets = array("q", [0])
+        members = array("q")
+        dists = array("d")
+        parents = array("q")
+        if self.tier == "c":
+            arena = self._flat_scratch()
+            lib = self._clib
+            order_arr = arena["order"]
+            row_d = arena["row_d"]
+            row_q = arena["row_q"]
+            for source in sources:
+                count = self._search_c_count(source, k, None, False)
+                lib.gather_f64(
+                    arena["p_order"], arena["p_dist"], arena["p_row_d"], count
+                )
+                lib.gather_i64(
+                    arena["p_order"], arena["p_pred"], arena["p_row_q"], count
+                )
+                members += order_arr[:count]
+                dists += row_d[:count]
+                parents += row_q[:count]
+                offsets.append(len(members))
+            return offsets, members, dists, parents
+        for source in sources:
+            order = self._search(source, k=k)
+            dist = self._dist
+            pred = self._pred
+            members.extend(order)
+            dists.extend([dist[node] for node in order])
+            parents.extend([pred[node] for node in order])
+            offsets.append(len(members))
+        return offsets, members, dists, parents
+
+    def batched_radius_flat(
+        self,
+        radii: Sequence[float],
+        nodes: Sequence[int] | None = None,
+        *,
+        inclusive: bool = False,
+    ) -> tuple[array, array, array, array]:
+        """Per-source radius-bounded rows as one flat CSR-shaped result.
+
+        The flat-transport equivalent of :meth:`batched_radius` (same
+        layout as :meth:`batched_k_nearest_flat`); ``radii`` aligns with
+        ``nodes`` and the boundary is strict unless ``inclusive``.
+        """
+        sources = range(self.num_nodes) if nodes is None else nodes
+        if len(radii) != len(sources):
+            raise ValueError(
+                f"radii must have exactly {len(sources)} entries, "
+                f"got {len(radii)}"
+            )
+        offsets = array("q", [0])
+        members = array("q")
+        dists = array("d")
+        parents = array("q")
+        c_tier = self.tier == "c"
+        if c_tier:
+            arena = self._flat_scratch()
+            lib = self._clib
+            order_arr = arena["order"]
+            row_d = arena["row_d"]
+            row_q = arena["row_q"]
+        for source, radius in zip(sources, radii):
+            if radius < 0:
+                raise ValueError(f"radius must be >= 0, got {radius}")
+            if c_tier:
+                count = self._search_c_count(source, None, radius, inclusive)
+                lib.gather_f64(
+                    arena["p_order"], arena["p_dist"], arena["p_row_d"], count
+                )
+                lib.gather_i64(
+                    arena["p_order"], arena["p_pred"], arena["p_row_q"], count
+                )
+                members += order_arr[:count]
+                dists += row_d[:count]
+                parents += row_q[:count]
+            else:
+                order = self._search(source, radius=radius, inclusive=inclusive)
+                dist = self._dist
+                pred = self._pred
+                members.extend(order)
+                dists.extend([dist[node] for node in order])
+                parents.extend([pred[node] for node in order])
+            offsets.append(len(members))
+        return offsets, members, dists, parents
+
     # -- batched drivers ----------------------------------------------------
 
     def batched_spt(
@@ -1238,6 +1512,48 @@ def _radius_chunk(
     return _WORKER_CSR.batched_radius(radii, nodes)
 
 
+def _k_nearest_flat_chunk(
+    task: tuple[int, list[int]]
+) -> tuple[array, array, array, array]:
+    k, nodes = task
+    assert _WORKER_CSR is not None
+    return _WORKER_CSR.batched_k_nearest_flat(k, nodes)
+
+
+def _radius_flat_chunk(
+    task: tuple[list[int], list[float]]
+) -> tuple[array, array, array, array]:
+    nodes, radii = task
+    assert _WORKER_CSR is not None
+    return _WORKER_CSR.batched_radius_flat(radii, nodes)
+
+
+def _merge_flat_chunks(
+    chunked: Sequence[tuple[array, array, array, array]]
+) -> tuple[array, array, array, array]:
+    """Concatenate per-chunk flat rows in chunk order (deterministic merge).
+
+    Chunks partition the sources contiguously in id order and ``pool.map``
+    returns them in task order, so the merged result is positionally
+    identical to the serial flat driver regardless of worker scheduling.
+    """
+    offsets = array("q", [0])
+    members = array("q")
+    dists = array("d")
+    parents = array("q")
+    for chunk_offsets, chunk_members, chunk_dists, chunk_parents in chunked:
+        base = offsets[-1]
+        offsets.extend(
+            array("q", [base + offset for offset in chunk_offsets[1:]])
+            if base
+            else chunk_offsets[1:]
+        )
+        members += chunk_members
+        dists += chunk_dists
+        parents += chunk_parents
+    return offsets, members, dists, parents
+
+
 def _chunks(items: list, count: int) -> list[list]:
     size = max(1, -(-len(items) // count))
     return [items[i : i + size] for i in range(0, len(items), size)]
@@ -1296,6 +1612,84 @@ def parallel_k_nearest(
         if shared is not None:
             shared.close()
     return [result for chunk in chunked for result in chunk]
+
+
+def parallel_k_nearest_flat(
+    topology: "Topology",
+    k: int,
+    *,
+    workers: int = 1,
+    kernel: str | None = None,
+) -> tuple[array, array, array, array]:
+    """Flat-transport fan-out of :meth:`CSRGraph.batched_k_nearest_flat`.
+
+    Unlike :func:`parallel_k_nearest`, workers ship four typed arrays per
+    chunk (pickled as raw bytes) instead of per-node dict pairs, and the
+    parent concatenates them in chunk order -- no dict boxing on either
+    side of the pipe.  Results are positionally identical to the serial
+    driver for any worker count.
+    """
+    nodes = list(topology.nodes())
+    if workers <= 1 or len(nodes) < 4 * workers:
+        if kernel is None:
+            return topology.csr().batched_k_nearest_flat(k)
+        return CSRGraph.from_topology(
+            topology, kernel=kernel
+        ).batched_k_nearest_flat(k)
+    from multiprocessing import Pool
+
+    tasks = [(k, chunk) for chunk in _chunks(nodes, workers * 4)]
+    shared = _publish_csr(topology, kernel)
+    initializer, initargs = _pool_args(topology, kernel, shared)
+    try:
+        with Pool(workers, initializer=initializer, initargs=initargs) as pool:
+            chunked = pool.map(_k_nearest_flat_chunk, tasks)
+    finally:
+        if shared is not None:
+            shared.close()
+    return _merge_flat_chunks(chunked)
+
+
+def parallel_radius_flat(
+    topology: "Topology",
+    radii: Sequence[float],
+    *,
+    workers: int = 1,
+    kernel: str | None = None,
+) -> tuple[array, array, array, array]:
+    """Flat-transport fan-out of :meth:`CSRGraph.batched_radius_flat`.
+
+    ``radii[v]`` bounds node ``v``'s search (strict boundary); workers and
+    merge behave as in :func:`parallel_k_nearest_flat`.
+    """
+    nodes = list(topology.nodes())
+    if len(radii) != len(nodes):
+        raise ValueError(
+            f"radii must have exactly {len(nodes)} entries, got {len(radii)}"
+        )
+    if workers <= 1 or len(nodes) < 4 * workers:
+        if kernel is None:
+            return topology.csr().batched_radius_flat(radii)
+        return CSRGraph.from_topology(
+            topology, kernel=kernel
+        ).batched_radius_flat(radii)
+    from multiprocessing import Pool
+
+    node_chunks = _chunks(nodes, workers * 4)
+    tasks = []
+    start = 0
+    for chunk in node_chunks:
+        tasks.append((chunk, list(radii[start : start + len(chunk)])))
+        start += len(chunk)
+    shared = _publish_csr(topology, kernel)
+    initializer, initargs = _pool_args(topology, kernel, shared)
+    try:
+        with Pool(workers, initializer=initializer, initargs=initargs) as pool:
+            chunked = pool.map(_radius_flat_chunk, tasks)
+    finally:
+        if shared is not None:
+            shared.close()
+    return _merge_flat_chunks(chunked)
 
 
 def parallel_radius(

@@ -1,0 +1,223 @@
+"""Benchmark run history: append-only run records plus run comparison.
+
+``repro bench`` writes its report to ``--out`` (``BENCH_kernels.json``)
+*and* appends the same report to a history directory (default
+``benchmarks/history/``) as one self-contained JSON document per run.
+Each record wraps the report with the git revision it measured, so the
+report's ``host`` block plus the record's ``git`` block together answer
+"what code, on what machine" for every number ever recorded -- committed
+``BENCH_kernels.json`` files only ever show the latest run, while the
+history accumulates the trajectory.
+
+``repro bench compare A B`` resolves two recorded runs (by history file
+name prefix, git sha prefix, the literal ``latest``, or an explicit path
+to any report JSON) and prints the per-benchmark speedup deltas -- the
+"did this commit help" view that diffing two 60-line JSON files by hand
+does not give.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+
+__all__ = [
+    "DEFAULT_HISTORY_DIR",
+    "HISTORY_SCHEMA",
+    "compare_reports",
+    "git_revision",
+    "list_runs",
+    "record_run",
+    "resolve_run",
+]
+
+HISTORY_SCHEMA = "repro-bench-history/v1"
+
+#: Where ``repro bench`` appends run records (relative to the cwd, which
+#: for the committed history is the repository root).
+DEFAULT_HISTORY_DIR = os.path.join("benchmarks", "history")
+
+
+def git_revision(cwd: str | None = None) -> dict:
+    """``{"sha": ..., "dirty": ...}`` of the working tree (best-effort).
+
+    Both fields are ``None`` when git (or a repository) is unavailable --
+    history records stay writable from an exported tarball.
+    """
+
+    def run(*argv: str) -> "subprocess.CompletedProcess[str]":
+        return subprocess.run(
+            argv, cwd=cwd, capture_output=True, text=True, timeout=10
+        )
+
+    try:
+        proc = run("git", "rev-parse", "HEAD")
+        if proc.returncode != 0:
+            return {"sha": None, "dirty": None}
+        sha = proc.stdout.strip() or None
+        status = run("git", "status", "--porcelain")
+        dirty = (
+            bool(status.stdout.strip()) if status.returncode == 0 else None
+        )
+        return {"sha": sha, "dirty": dirty}
+    except (OSError, subprocess.SubprocessError):
+        return {"sha": None, "dirty": None}
+
+
+def _timestamp_slug(generated: str) -> str:
+    """``2026-08-08T12:34:56+0000`` -> filename-safe ``20260808T123456``."""
+    slug = "".join(c for c in generated.split("+")[0] if c.isalnum() or c == "T")
+    return slug or "unknown"
+
+
+def record_run(
+    report: dict, directory: str, *, git: dict | None = None
+) -> str:
+    """Append one run record for ``report``; returns the record path.
+
+    The filename is ``<generated>-<sha7>.json`` (``nogit`` without a
+    repository); an existing name gets a numeric suffix rather than being
+    overwritten, so records are append-only.
+    """
+    git = git_revision() if git is None else git
+    sha = git.get("sha") or ""
+    stem = "{}-{}".format(
+        _timestamp_slug(str(report.get("generated", ""))),
+        sha[:7] if sha else "nogit",
+    )
+    os.makedirs(directory, exist_ok=True)
+    record = {"schema": HISTORY_SCHEMA, "git": git, "report": report}
+    payload = json.dumps(record, indent=2, sort_keys=False) + "\n"
+    path = os.path.join(directory, stem + ".json")
+    suffix = 0
+    while os.path.exists(path):
+        suffix += 1
+        path = os.path.join(directory, f"{stem}-{suffix}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return path
+
+
+def _load(path: str) -> dict:
+    """Load a history record or a bare ``BENCH_kernels.json`` report.
+
+    Returns a normalized record: ``{"path", "git", "report"}``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: not a benchmark document")
+    if "report" in document:  # history record
+        report = document["report"]
+        git = document.get("git") or {}
+    elif "benchmarks" in document:  # bare bench_kernels report
+        report = document
+        git = {}
+    else:
+        raise ValueError(f"{path}: neither a history record nor a report")
+    if not isinstance(report.get("benchmarks"), dict):
+        raise ValueError(f"{path}: report has no benchmarks table")
+    return {"path": path, "git": git, "report": report}
+
+
+def list_runs(directory: str) -> list[str]:
+    """History record paths under ``directory``, oldest first.
+
+    Timestamped filenames make lexicographic order chronological.
+    """
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    return [
+        os.path.join(directory, name)
+        for name in names
+        if name.endswith(".json")
+    ]
+
+
+def resolve_run(token: str, directory: str) -> dict:
+    """Resolve ``token`` to a loaded run record.
+
+    ``token`` may be an explicit path to any report JSON, the literal
+    ``latest`` (newest record in ``directory``), or a prefix of either a
+    record filename or a recorded git sha.  Ambiguity and misses raise
+    ``ValueError`` naming the candidates.
+    """
+    if os.path.isfile(token):
+        return _load(token)
+    runs = list_runs(directory)
+    if token == "latest":
+        if not runs:
+            raise ValueError(f"no history records under {directory}")
+        return _load(runs[-1])
+    matches = []
+    for path in runs:
+        name = os.path.basename(path)
+        if name.startswith(token) or name[: -len(".json")].startswith(token):
+            matches.append(path)
+            continue
+        try:
+            record = _load(path)
+        except (OSError, ValueError):
+            continue
+        sha = record["git"].get("sha") or ""
+        if token and sha.startswith(token):
+            matches.append(path)
+    if not matches:
+        raise ValueError(
+            f"no history record matches {token!r} under {directory} "
+            f"({len(runs)} record(s) present)"
+        )
+    if len(matches) > 1:
+        names = ", ".join(os.path.basename(m) for m in matches)
+        raise ValueError(f"{token!r} is ambiguous: {names}")
+    return _load(matches[0])
+
+
+def compare_reports(a: dict, b: dict) -> dict:
+    """Per-benchmark deltas between two ``bench_kernels`` reports.
+
+    Returns ``{"common": [...], "only_a": [...], "only_b": [...]}`` where
+    each ``common`` row carries both runs' ``after_s`` and ``speedup``
+    plus the derived deltas:
+
+    * ``after_ratio`` -- ``a.after_s / b.after_s``; > 1 means run B's
+      measured implementation is faster on that workload;
+    * ``speedup_delta`` -- ``b.speedup - a.speedup``.
+
+    Comparing a ``--quick`` run against a full run is allowed but flagged
+    (``quick_mismatch``): the workloads differ, so ``after_ratio`` is not
+    meaningful there, only the speedup columns are.
+    """
+    bench_a = a.get("benchmarks", {})
+    bench_b = b.get("benchmarks", {})
+    common = []
+    for name in sorted(set(bench_a) & set(bench_b)):
+        entry_a, entry_b = bench_a[name], bench_b[name]
+        after_a = float(entry_a.get("after_s", 0.0))
+        after_b = float(entry_b.get("after_s", 0.0))
+        common.append(
+            {
+                "name": name,
+                "a_after_s": after_a,
+                "b_after_s": after_b,
+                "after_ratio": round(after_a / after_b, 3)
+                if after_b > 0
+                else None,
+                "a_speedup": entry_a.get("speedup"),
+                "b_speedup": entry_b.get("speedup"),
+                "speedup_delta": round(
+                    float(entry_b.get("speedup", 0.0))
+                    - float(entry_a.get("speedup", 0.0)),
+                    3,
+                ),
+            }
+        )
+    return {
+        "common": common,
+        "only_a": sorted(set(bench_a) - set(bench_b)),
+        "only_b": sorted(set(bench_b) - set(bench_a)),
+        "quick_mismatch": bool(a.get("quick")) != bool(b.get("quick")),
+    }

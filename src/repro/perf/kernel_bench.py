@@ -338,6 +338,7 @@ def bench_kernels(
             ),
             repeats=2,
         )
+        _substrate_build_case(results, quick=quick, workers=workers)
         _measurement_batch_case(results, quick=quick, repeats=repeats)
         _scenario_suite_case(
             results, quick=quick, workers=workers, repeats=1 if quick else 2
@@ -413,6 +414,132 @@ def traced_suite_run(root: str, *, n: int = 384, quick: bool = False) -> tuple[i
     finally:
         tracemalloc.stop()
         del cache
+
+
+def _substrate_build_case(
+    results: dict[str, dict], *, quick: bool, workers: int | None
+) -> None:
+    """Slab-direct substrate construction vs the dict-mediated path.
+
+    The workload is one converged NDDisco substrate on a G(n,m) topology:
+    landmark SPT rows, closest-landmark rows, the vicinity CSR, and the
+    label-encoded address payloads.
+
+    * **before** -- the historical component-wise build: dense SPT rows
+      collected per landmark, per-node ``VicinityTable`` dicts from
+      ``compute_vicinities``, then one ``SubstrateTables.from_components``
+      pass boxing everything back out of the dicts into slabs;
+    * **after** -- :func:`repro.core.substrate_build.build_substrate_tables`
+      writing the same kernel results straight into the preallocated
+      row-major slabs (no per-node dict intermediates).
+
+    Both sides produce byte-identical slabs (``tests/test_substrate_build.py``),
+    so the ratio is a pure performance number.  The CSR snapshot is built
+    outside the timers -- both sides run on the same kernels; only the
+    assembly strategy differs.
+
+    The scaling tail (n = 2^16 and 2^17, full mode only) drops the dict
+    side -- at those sizes it is pure waiting -- and instead A/Bs slab
+    placement: RAM arrays ("before") vs anonymous mmap ("after"), pinning
+    the cost of going out-of-core at ~parity.
+    """
+    from repro.addressing.labels import LabelCodec
+    from repro.core.landmarks import (
+        closest_landmarks,
+        landmark_spts,
+        select_landmarks,
+    )
+    from repro.core.substrate_build import build_substrate_tables
+    from repro.core.tables import SubstrateTables
+    from repro.core.vicinity import compute_vicinities
+
+    sizes = [1024] if quick else [1024, 2048, 4096, 8192, 16384, 32768]
+    for n in sizes:
+        topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+        landmarks = select_landmarks(n, seed=1)
+        codec = LabelCodec(topology)
+        csr = topology.csr()  # shared by both sides, outside the timers
+
+        def before(
+            topology=topology, landmarks=landmarks, codec=codec, n=n
+        ) -> None:
+            spts = landmark_spts(topology, landmarks)
+            closest = closest_landmarks(spts, n)
+            vicinities = compute_vicinities(topology)
+            SubstrateTables.from_components(
+                n, spts, closest, vicinities, codec
+            )
+
+        def after(topology=topology, landmarks=landmarks, codec=codec) -> None:
+            build_substrate_tables(topology, landmarks, codec=codec)
+
+        _entry(
+            f"substrate_build/gnm-{n}",
+            {
+                "family": "gnm",
+                "n": n,
+                "landmarks": len(landmarks),
+                "vicinity_k": vicinity_size(n),
+                "kernel": csr.kernel,
+                "tier": csr.tier,
+                "comparison": "component-wise dict-mediated build + "
+                "from_components vs slab-direct build",
+            },
+            before,
+            after,
+            repeats=1 if n >= 16384 else (2 if quick else 3),
+            results=results,
+        )
+        if workers and workers > 1 and n == sizes[-1]:
+            parallel_s = _best_of(
+                lambda: build_substrate_tables(
+                    topology, landmarks, codec=codec, workers=workers
+                ),
+                1,
+            )
+            base = results[f"substrate_build/gnm-{n}"]
+            results[f"substrate_build/gnm-{n}/workers-{workers}"] = {
+                "params": {**base["params"], "workers": workers},
+                "before_s": base["before_s"],
+                "after_s": round(parallel_s, 6),
+                "speedup": round(base["before_s"] / parallel_s, 3)
+                if parallel_s > 0
+                else math.inf,
+            }
+
+    if quick:
+        return
+
+    # -- scaling tail: slab placement A/B at sizes the dict path cannot --
+    for n in (65536, 131072):
+        topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+        landmarks = select_landmarks(n, seed=1)
+        codec = LabelCodec(topology)
+        csr = topology.csr()
+        _entry(
+            f"substrate_build/gnm-{n}-mmap",
+            {
+                "family": "gnm",
+                "n": n,
+                "landmarks": len(landmarks),
+                "vicinity_k": vicinity_size(n),
+                "kernel": csr.kernel,
+                "tier": csr.tier,
+                "comparison": "slab-direct build, RAM arrays vs anonymous "
+                "mmap placement (out-of-core parity; the dict path is "
+                "omitted at this size)",
+            },
+            lambda topology=topology, landmarks=landmarks, codec=codec: (
+                build_substrate_tables(topology, landmarks, codec=codec)
+            ),
+            lambda topology=topology, landmarks=landmarks, codec=codec: (
+                build_substrate_tables(
+                    topology, landmarks, codec=codec, storage="mmap"
+                )
+            ),
+            repeats=1,
+            results=results,
+        )
 
 
 def _measurement_batch_case(

@@ -35,6 +35,11 @@ from typing import Sequence
 
 from repro.core.landmarks import closest_landmarks, landmark_spts, select_landmarks
 from repro.core.resolution import LandmarkResolutionDatabase
+from repro.core.substrate_build import (
+    build_ball_tables,
+    build_substrate_tables,
+    cluster_sizes_from_members,
+)
 from repro.core.tables import NodeSearchTables, SubstrateTables, get_backend
 from repro.addressing.address import Address, NAME_BYTES_IPV4, NAME_BYTES_IPV6
 from repro.addressing.explicit_route import ExplicitRoute
@@ -77,8 +82,14 @@ class S4Routing(RoutingScheme):
         read-only.  :class:`~repro.staticsim.simulation.StaticSimulation`
         passes NDDisco here when the schemes share a landmark set.
     workers:
-        Opt-in multiprocessing fan-out for the per-node cluster ("ball")
-        searches; ``None`` or ``1`` runs the serial batched driver.
+        Opt-in multiprocessing fan-out for the landmark SPTs (own-substrate
+        builds) and the per-node cluster ("ball") searches; ``None`` or
+        ``1`` runs the serial batched drivers.
+    storage:
+        Slab placement for an own-substrate build (``None``, ``"mmap"``,
+        or a directory path -- see
+        :func:`~repro.core.substrate_build.build_substrate_tables`).
+        Ignored when a shared ``substrate`` supplies the slabs.
     """
 
     name = "S4"
@@ -93,6 +104,7 @@ class S4Routing(RoutingScheme):
         resolve_first_packet: bool = True,
         substrate: "object | None" = None,
         workers: int | None = None,
+        storage: "str | None" = None,
     ) -> None:
         super().__init__(topology)
         n = topology.num_nodes
@@ -132,12 +144,25 @@ class S4Routing(RoutingScheme):
             )
             self._tables = getattr(substrate, "tables", None)
         elif get_backend() == "array":
-            built = landmark_spts(topology, self._landmarks)
-            closest_rows = closest_landmarks(built, n)
             self._codec = LabelCodec(topology)
-            self._tables = SubstrateTables.from_components(
-                n, built, closest_rows, None, self._codec
-            )
+            if get_engine() == "csr":
+                # Slab-direct build (landmark slabs only, no vicinity):
+                # SPT rows land straight in the slabs, optionally fanned
+                # over workers / packed into mmap-backed storage.
+                self._tables = build_substrate_tables(
+                    topology,
+                    self._landmarks,
+                    codec=self._codec,
+                    include_vicinity=False,
+                    workers=workers,
+                    storage=storage,
+                )
+            else:
+                built = landmark_spts(topology, self._landmarks)
+                closest_rows = closest_landmarks(built, n)
+                self._tables = SubstrateTables.from_components(
+                    n, built, closest_rows, None, self._codec
+                )
             spts = self._tables.spt_rows()
             self._closest_landmark, self._landmark_distance_of = (
                 self._tables.closest_rows()
@@ -160,31 +185,50 @@ class S4Routing(RoutingScheme):
         # is the (reversed) route v uses to reach w.  On the "array" backend
         # the per-node dict pairs collapse into one CSR-slab table.
         radii = self._landmark_distance_of
-        if get_engine() == "csr":
-            balls = parallel_radius(topology, radii, workers=workers or 1)
-        else:
-            balls = [
-                dijkstra_radius(topology, node, radii[node]) for node in range(n)
-            ]
         self._balls: NodeSearchTables | None = None
-        cluster_sizes = [0] * n
-        for node, (distances, _parents) in enumerate(balls):
-            for member in distances:
-                if member != node:
-                    cluster_sizes[member] += 1
-        if get_backend() == "array":
-            self._balls = NodeSearchTables.from_searches(balls)
+        if get_backend() == "array" and get_engine() == "csr":
+            # Flat transport: rows are gathered straight into the CSR
+            # slabs (workers ship typed arrays, not per-node dicts) and
+            # cluster sizes come from one C-speed bincount over the
+            # members slab -- every row starts with its owner, so the
+            # historical "member != node" exclusion is the minus-one in
+            # cluster_sizes_from_members.
+            self._balls = build_ball_tables(topology, radii, workers=workers)
             self._ball_distances = [
                 self._balls.distance_map(node) for node in range(n)
             ]
             self._ball_parents = [
                 self._balls.predecessor_map(node) for node in range(n)
             ]
-            self._cluster_sizes = array("q", cluster_sizes)
+            self._cluster_sizes = cluster_sizes_from_members(
+                self._balls.members, n
+            )
         else:
-            self._ball_distances = [distances for distances, _ in balls]
-            self._ball_parents = [parents for _, parents in balls]
-            self._cluster_sizes = cluster_sizes
+            if get_engine() == "csr":
+                balls = parallel_radius(topology, radii, workers=workers or 1)
+            else:
+                balls = [
+                    dijkstra_radius(topology, node, radii[node])
+                    for node in range(n)
+                ]
+            cluster_sizes = [0] * n
+            for node, (distances, _parents) in enumerate(balls):
+                for member in distances:
+                    if member != node:
+                        cluster_sizes[member] += 1
+            if get_backend() == "array":
+                self._balls = NodeSearchTables.from_searches(balls)
+                self._ball_distances = [
+                    self._balls.distance_map(node) for node in range(n)
+                ]
+                self._ball_parents = [
+                    self._balls.predecessor_map(node) for node in range(n)
+                ]
+                self._cluster_sizes = array("q", cluster_sizes)
+            else:
+                self._ball_distances = [distances for distances, _ in balls]
+                self._ball_parents = [parents for _, parents in balls]
+                self._cluster_sizes = cluster_sizes
 
         # Location service over the landmarks (consistent hashing of names).
         # Addresses are a pure function of topology and landmark set, so a

@@ -79,6 +79,7 @@ __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactCache",
     "COMPRESS_MAGIC",
+    "SLAB_ARTIFACT_THRESHOLD",
     "SUBSTRATE_SCHEMES",
     "Uncacheable",
     "active_cache",
@@ -96,8 +97,18 @@ __all__ = [
 #: artifacts wholesale.  Keys cover *inputs*, not code -- after changing an
 #: algorithm without bumping either, run ``repro cache clear`` to force
 #: cold builds.  v3: array-backed substrate tables externalized into their
-#: own artifact kind.
-ARTIFACT_SCHEMA = "repro-artifacts/v3"
+#: own artifact kind.  v4: large tables artifacts stored as raw slab
+#: directories (``<key>.slabs/``, :data:`repro.core.tables.SLAB_SCHEMA`)
+#: that loads attach with ``mmap`` instead of unpickling.
+ARTIFACT_SCHEMA = "repro-artifacts/v4"
+
+#: Tables artifacts at or above this many slab bytes are stored as a raw
+#: slab directory instead of a compressed pickle.  A slab directory loads
+#: by ``mmap`` attach: no unpickle copy, lazy paging, and every process
+#: that attaches shares the same page-cache pages -- which is what makes
+#: larger-than-RAM substrates usable from a warm cache.  Below the
+#: threshold the zlib pickle wins (compression, single file).
+SLAB_ARTIFACT_THRESHOLD = 64 * 1024 * 1024
 
 #: Framing prefix of zlib-compressed artifact payloads.  Chosen to be
 #: impossible as the start of a raw pickle stream (pickles begin with the
@@ -337,13 +348,67 @@ class ArtifactCache:
         return artifact  # type: ignore[return-value]
 
     def _store_tables(self, substrate_key: str, substrate: object) -> None:
-        """Persist a substrate's :class:`SubstrateTables` as raw buffers."""
+        """Persist a substrate's :class:`SubstrateTables` as raw buffers.
+
+        Small payloads go through the compressed-pickle path; payloads at
+        or above :data:`SLAB_ARTIFACT_THRESHOLD` are written as a raw slab
+        directory (``<key>.slabs/``) so later loads mmap-attach instead of
+        materializing an unpickle copy.
+        """
         tables = getattr(substrate, "tables", None)
         if tables is None or id(tables) not in self._shared:
             return
         derived = tables_key(substrate_key)
         self._memory[derived] = tables
-        self._store_disk("tables", derived, tables)
+        try:
+            big = tables.slab_bytes() >= SLAB_ARTIFACT_THRESHOLD
+        except Exception:
+            big = False
+        if big:
+            self._store_slab_dir(derived, tables)
+        else:
+            self._store_disk("tables", derived, tables)
+
+    def _slab_dir_path(self, key: str) -> str | None:
+        if self.root is None:
+            return None
+        return os.path.join(self.root, "tables", f"{key}.slabs")
+
+    def _store_slab_dir(self, key: str, tables: object) -> None:
+        """Write one tables artifact as an atomic raw slab directory."""
+        target = self._slab_dir_path(key)
+        if target is None or os.path.isdir(target):
+            return
+        directory = os.path.dirname(target)
+        os.makedirs(directory, exist_ok=True)
+        scratch = tempfile.mkdtemp(dir=directory, suffix=".tmp")
+        try:
+            tables.save_slabs(scratch)
+            # Directory rename is atomic; a concurrent writer that won the
+            # race leaves the target in place and we discard our copy.
+            os.replace(scratch, target)
+        except Exception:
+            import shutil
+
+            shutil.rmtree(scratch, ignore_errors=True)
+            if not os.path.isdir(target):
+                return
+        size = tables.slab_bytes()
+        now = round(time.time(), 3)
+        self._write_meta(
+            target,
+            {
+                "schema": ARTIFACT_SCHEMA,
+                "format": "slabs",
+                "kind": "tables",
+                "key": key,
+                "bytes": size,
+                "raw_bytes": size,
+                "created": now,
+                "last_hit": now,
+            },
+        )
+        self._touched.add(key)
 
     def topology(self, parts: tuple, build: Callable[[], T]) -> T:
         """Topology keyed by construction inputs (family, n, seed, ...)."""
@@ -455,6 +520,18 @@ class ArtifactCache:
         return os.path.join(self.root, kind, f"{key}.pkl")
 
     def _load_disk(self, kind: str, key: str) -> object | None:
+        if kind == "tables":
+            slab_dir = self._slab_dir_path(key)
+            if slab_dir is not None and os.path.isdir(slab_dir):
+                try:
+                    from repro.core.tables import SubstrateTables
+
+                    artifact: object = SubstrateTables.from_mmap(slab_dir)
+                except Exception:
+                    pass  # incomplete/corrupt directory: try the pickle
+                else:
+                    self._touch_meta(slab_dir, key)
+                    return artifact
         path = self._path(kind, key)
         if path is None or not os.path.exists(path):
             return None
@@ -566,12 +643,19 @@ def tables_key(substrate_key: str) -> str:
 
 
 def load_tables_artifact(path: str):
-    """Load one on-disk ``tables`` artifact (plain unpickle, unframed).
+    """Load one on-disk ``tables`` artifact.
 
-    Used by the scenario engine's parent process to publish already-cached
-    substrate tables into shared memory before a parallel run.  Raises on
-    unreadable/corrupt payloads; callers treat that as "skip this one".
+    A ``<key>.slabs`` directory attaches by mmap
+    (:meth:`~repro.core.tables.SubstrateTables.from_mmap`); a ``.pkl``
+    payload is plain-unpickled (unframed).  Used by the scenario engine's
+    parent process to publish already-cached substrate tables into shared
+    memory before a parallel run.  Raises on unreadable/corrupt payloads;
+    callers treat that as "skip this one".
     """
+    if os.path.isdir(path):
+        from repro.core.tables import SubstrateTables
+
+        return SubstrateTables.from_mmap(path)
     with open(path, "rb") as handle:
         data = handle.read()
     if data.startswith(COMPRESS_MAGIC):
@@ -610,17 +694,20 @@ def scheme_key(topology, scheme_name: str, **params: object) -> str | None:
 
     The key covers the topology *content* (``Topology.content_key()``,
     which is invalidated on mutation) plus every canonicalizable
-    constructor parameter.  ``workers`` is excluded -- it parallelizes the
-    build without changing the converged state.  Returns ``None`` when any
-    parameter is uncacheable.  Substrate-carrying schemes
-    (:data:`SUBSTRATE_SCHEMES`) key under the ``substrate`` kind so the
-    two artifact namespaces can never collide.
+    constructor parameter.  Build-mechanics parameters are excluded:
+    ``workers`` parallelizes the build and the ``storage`` family places
+    the slabs in RAM / mmap / a directory, but neither changes the
+    converged state (the slab-direct build is byte-identical across all
+    of them).  Returns ``None`` when any parameter is uncacheable.
+    Substrate-carrying schemes (:data:`SUBSTRATE_SCHEMES`) key under the
+    ``substrate`` kind so the two artifact namespaces can never collide.
     """
+    excluded = ("workers", "storage", "vicinity_storage", "persist_storage")
     try:
         canonical = tuple(
             (name, canonical_value(value))
             for name, value in sorted(params.items())
-            if name != "workers"
+            if name not in excluded
         )
     except Uncacheable:
         return None

@@ -183,7 +183,15 @@ def _publish_cached_tables(
     published: list[object] = []
     if cache.root is None:
         return handles, published
-    candidates = [info for info in scan(cache.root) if info.kind == "tables"]
+    # Slab-directory artifacts are excluded: workers mmap-attach them
+    # straight from disk, and the page cache already gives every attached
+    # process one shared physical copy -- mirroring them into /dev/shm
+    # would double the resident footprint for nothing.
+    candidates = [
+        info
+        for info in scan(cache.root)
+        if info.kind == "tables" and not info.path.endswith(".slabs")
+    ]
     candidates.sort(key=lambda info: info.last_hit, reverse=True)
     budget = _PUBLISH_MAX_BYTES
     for info in candidates:

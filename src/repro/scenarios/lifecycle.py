@@ -101,6 +101,22 @@ class PruneReport:
         return sum(info.bytes for info in self.kept)
 
 
+def _dir_bytes(path: str) -> int:
+    """Summed file sizes of a slab directory (best-effort)."""
+    total = 0
+    try:
+        with os.scandir(path) as entries:
+            for entry in entries:
+                try:
+                    if entry.is_file(follow_symlinks=False):
+                        total += entry.stat(follow_symlinks=False).st_size
+                except OSError:
+                    continue
+    except OSError:
+        return 0
+    return total
+
+
 def _read_meta(meta_path: str) -> dict | None:
     try:
         with open(meta_path, "r", encoding="utf-8") as handle:
@@ -126,22 +142,30 @@ def scan(root: str | os.PathLike) -> list[ArtifactInfo]:
         except OSError:
             continue
         for name in names:
-            if not name.endswith(".pkl"):
-                continue
             path = os.path.join(directory, name)
-            key = name[: -len(".pkl")]
+            if name.endswith(".pkl"):
+                key = name[: -len(".pkl")]
+            elif name.endswith(".slabs") and os.path.isdir(path):
+                # Raw slab directory (large tables artifacts, mmap-attached
+                # on load); its payload size is the sum of the slab files.
+                key = name[: -len(".slabs")]
+            else:
+                continue
             meta = _read_meta(ArtifactCache.meta_path(path))
             try:
                 stat = os.stat(path)
             except OSError:
                 continue  # vanished mid-scan (concurrent prune/clear)
+            default_bytes = (
+                _dir_bytes(path) if name.endswith(".slabs") else stat.st_size
+            )
             if meta is None:
                 meta = {
-                    "bytes": stat.st_size,
+                    "bytes": default_bytes,
                     "created": stat.st_mtime,
                     "last_hit": stat.st_mtime,
                 }
-            stored = int(meta.get("bytes", stat.st_size))
+            stored = int(meta.get("bytes", default_bytes))
             found.append(
                 ArtifactInfo(
                     kind=kind,
@@ -220,11 +244,19 @@ def write_manifest(root: str | os.PathLike) -> str:
 
 
 def _remove(info: ArtifactInfo) -> bool:
-    """Unlink one artifact (pickle first, then sidecar); False if gone."""
+    """Remove one artifact (payload first, then sidecar); False if gone.
+
+    The payload is either a pickle file or a ``.slabs`` directory.
+    """
     removed = False
     for path in (info.path, ArtifactCache.meta_path(info.path)):
         try:
-            os.unlink(path)
+            if os.path.isdir(path):
+                import shutil
+
+                shutil.rmtree(path)
+            else:
+                os.unlink(path)
             removed = True
         except FileNotFoundError:
             continue
@@ -251,10 +283,14 @@ def _sweep_orphan_sidecars(root: str | os.PathLike) -> None:
         for name in names:
             if not name.endswith(".meta.json"):
                 continue
-            pickle_path = os.path.join(
-                directory, name[: -len(".meta.json")] + ".pkl"
-            )
-            if os.path.exists(pickle_path):
+            stem = name[: -len(".meta.json")]
+            if stem.endswith(".slabs"):
+                # Sidecar of a slab directory: orphaned only when the
+                # directory itself is gone.
+                payload_path = os.path.join(directory, stem)
+            else:
+                payload_path = os.path.join(directory, stem + ".pkl")
+            if os.path.exists(payload_path):
                 continue
             try:
                 os.unlink(os.path.join(directory, name))

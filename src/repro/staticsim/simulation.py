@@ -15,6 +15,7 @@ congestion figure: given a topology and a list of protocol names it
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -71,6 +72,18 @@ class StaticSimulation:
         to S4), exactly as one deployment would.  Set False to rebuild every
         scheme from scratch -- the perf harness uses this to reproduce the
         seed implementation's behavior as its "before" measurement.
+    substrate_storage:
+        Slab placement for the substrate builds (``"mmap"`` or a directory
+        path; ``None`` keeps RAM arrays) -- forwarded as ``storage`` to
+        :class:`NDDiscoRouting` and, for non-shared builds, to S4.  A
+        build-mechanics knob: converged state is byte-identical across
+        placements, so it never enters the cache keys.
+    substrate_vicinity_storage:
+        Override for the vicinity slabs (e.g. keep the landmark SPT slabs
+        on disk but the vicinity slabs in anonymous mmap when the two do
+        not fit on the same medium; implies the slab directory is left
+        unfinished -- see ``persist`` in
+        :func:`~repro.core.substrate_build.build_substrate_tables`).
     """
 
     def __init__(
@@ -83,6 +96,8 @@ class StaticSimulation:
         num_fingers: int = 1,
         scheme_options: Mapping[str, Mapping[str, object]] | None = None,
         share_substrate: bool = True,
+        substrate_storage: "str | None" = None,
+        substrate_vicinity_storage: "str | None" = None,
     ) -> None:
         if not protocols:
             raise ValueError("at least one protocol is required")
@@ -91,6 +106,8 @@ class StaticSimulation:
         self._shortcut_mode = shortcut_mode
         self._num_fingers = num_fingers
         self._share_substrate = share_substrate
+        self._substrate_storage = substrate_storage
+        self._substrate_vicinity_storage = substrate_vicinity_storage
         self._options = {
             name.lower(): dict(opts) for name, opts in (scheme_options or {}).items()
         }
@@ -109,6 +126,19 @@ class StaticSimulation:
         normalized = [name.strip().lower() for name in protocols]
         shared_nddisco: NDDiscoRouting | None = None
         nddisco_options = self._options.get("nd-disco", {})
+        # Slab placement is a build-mechanics knob (byte-identical output),
+        # so it rides outside nddisco_options and never shapes a cache key.
+        storage_options: dict[str, object] = {}
+        if self._substrate_storage is not None:
+            storage_options["storage"] = self._substrate_storage
+        if self._substrate_vicinity_storage is not None:
+            storage_options["vicinity_storage"] = (
+                self._substrate_vicinity_storage
+            )
+            if self._substrate_vicinity_storage != self._substrate_storage:
+                # Slabs split across media: no single directory can hold a
+                # complete artifact, so skip finishing one.
+                storage_options["persist_storage"] = False
 
         def get_nddisco() -> NDDiscoRouting:
             nonlocal shared_nddisco
@@ -120,6 +150,7 @@ class StaticSimulation:
                         self._topology,
                         seed=self._seed,
                         shortcut_mode=self._shortcut_mode,
+                        **storage_options,
                         **nddisco_options,
                     ),
                     seed=self._seed,
@@ -182,6 +213,16 @@ class StaticSimulation:
                     key_options["nddisco_options"] = tuple(
                         sorted(nddisco_options.items())
                     )
+                if "substrate" not in options and "storage" not in options:
+                    # Own-substrate build: give S4's landmark slabs the
+                    # same placement (a shared substrate brings its own).
+                    # A directory gets an "s4" subdirectory so two schemes
+                    # never write slab files over each other.
+                    storage = self._substrate_storage
+                    if storage is not None:
+                        if storage != "mmap":
+                            storage = os.path.join(storage, "s4")
+                        options["storage"] = storage
                 scheme = cached_scheme(
                     self._topology,
                     "s4",

@@ -101,7 +101,20 @@ class TestCommands:
         import json
 
         out = tmp_path / "BENCH_kernels.json"
-        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        history = tmp_path / "history"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--quick",
+                    "--out",
+                    str(out),
+                    "--history-dir",
+                    str(history),
+                ]
+            )
+            == 0
+        )
         output = capsys.readouterr().out
         assert "staticsim/gnm-256" in output
         report = json.loads(out.read_text())
@@ -114,7 +127,111 @@ class TestCommands:
         assert host["python"]
         assert host["kernel_tier"] in ("c", "python")
         assert "scenario_suite/quick5-96" in report["benchmarks"]
+        # The substrate-build smoke entry rides in quick mode (CI canary).
+        assert "substrate_build/gnm-1024" in report["benchmarks"]
         for entry in report["benchmarks"].values():
             assert entry["before_s"] > 0
             assert entry["after_s"] > 0
             assert entry["speedup"] > 0
+        # One history record per run, wrapping the same report.
+        records = list(history.glob("*.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        assert record["schema"] == "repro-bench-history/v1"
+        assert "sha" in record["git"] and "dirty" in record["git"]
+        assert record["report"]["benchmarks"] == report["benchmarks"]
+
+    def test_bench_compare_reports_deltas(self, tmp_path, capsys):
+        import json
+
+        from repro.perf.history import record_run
+
+        history = tmp_path / "history"
+
+        def fake_report(generated, after_s):
+            return {
+                "schema": "repro-bench-kernels/v3",
+                "generated": generated,
+                "quick": False,
+                "benchmarks": {
+                    "substrate_build/gnm-1024": {
+                        "params": {"n": 1024},
+                        "before_s": 1.0,
+                        "after_s": after_s,
+                        "speedup": round(1.0 / after_s, 3),
+                    },
+                    f"only-{generated}": {
+                        "params": {},
+                        "before_s": 1.0,
+                        "after_s": 1.0,
+                        "speedup": 1.0,
+                    },
+                },
+            }
+
+        record_run(
+            fake_report("2026-01-01T00:00:00+0000", 0.5),
+            str(history),
+            git={"sha": "a" * 40, "dirty": False},
+        )
+        record_run(
+            fake_report("2026-01-02T00:00:00+0000", 0.25),
+            str(history),
+            git={"sha": "b" * 40, "dirty": False},
+        )
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    "20260101",
+                    "latest",
+                    "--history-dir",
+                    str(history),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "substrate_build/gnm-1024" in output
+        assert "x2.000" in output  # A after / B after
+        assert "+2.000" in output  # speedup delta 4.0 - 2.0
+        assert "only in A" in output and "only in B" in output
+        # Ambiguous and missing prefixes fail with exit code 2.
+        assert (
+            main(["bench", "compare", "2026", "latest", "--history-dir", str(history)])
+            == 2
+        )
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_substrate_command_converges_and_reports(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "substrate",
+                    "gnm",
+                    "300",
+                    "--seed",
+                    "3",
+                    "--storage",
+                    str(tmp_path / "slabs"),
+                    "--routes",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "nd-disco converged" in output
+        assert "s4 converged" in output
+        assert "route " in output
+        assert "peak rss" in output
+        # The storage directory is a complete, mmap-attachable artifact.
+        from repro.core.tables import SubstrateTables
+
+        attached = SubstrateTables.from_mmap(tmp_path / "slabs")
+        assert attached.num_nodes == 300
+
+    def test_substrate_requires_node_count_for_families(self, capsys):
+        assert main(["substrate", "gnm"]) == 2
+        assert "node count required" in capsys.readouterr().err

@@ -1,0 +1,205 @@
+"""Differential suite for the slab-direct substrate builder.
+
+:func:`repro.core.substrate_build.build_substrate_tables` replaces the
+dict-mediated component path (dense per-landmark rows, per-node
+``VicinityTable`` objects, one ``SubstrateTables.from_components`` pass)
+with kernel output written straight into the preallocated slabs, plus an
+optional worker fan-out and mmap-backed placement.  Nothing about the
+*content* is allowed to change: every variant must produce slabs
+byte-identical to the component-path oracle, on every topology family the
+experiments use.
+
+The comparisons here are exact (``bytes(slab) == bytes(slab)`` per slab),
+not approximate -- the cache layer shares these slabs as raw buffers
+across processes, so a single differing byte is corruption, not noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.addressing.labels import LabelCodec
+from repro.core.landmarks import (
+    closest_landmarks,
+    landmark_spts,
+    select_landmarks,
+)
+from repro.core.substrate_build import (
+    build_ball_tables,
+    build_substrate_tables,
+    cluster_sizes_from_members,
+)
+from repro.core.tables import NodeSearchTables, SubstrateTables
+from repro.core.vicinity import compute_vicinities
+from repro.graphs.generators import (
+    geometric_random_graph,
+    gnm_random_graph,
+    internet_router_level,
+)
+from repro.graphs.csr import parallel_radius
+
+
+def _families():
+    return [
+        ("gnm", gnm_random_graph(257, seed=5, average_degree=6.0)),
+        ("geometric", geometric_random_graph(120, seed=7, average_degree=7.0)),
+        ("router-level", internet_router_level(150, seed=9)),
+    ]
+
+
+FAMILIES = _families()
+
+
+def _oracle(topology, landmarks, codec):
+    """The dict-mediated component path the builder must reproduce."""
+    n = topology.num_nodes
+    spts = landmark_spts(topology, landmarks)
+    closest = closest_landmarks(spts, n)
+    vicinities = compute_vicinities(topology)
+    return SubstrateTables.from_components(n, spts, closest, vicinities, codec)
+
+
+def _assert_identical_slabs(expected: SubstrateTables, actual: SubstrateTables):
+    left = expected.slab_items()
+    right = actual.slab_items()
+    assert [(name, code) for name, code, _ in left] == [
+        (name, code) for name, code, _ in right
+    ]
+    for (name, _, slab_a), (_, _, slab_b) in zip(left, right):
+        assert bytes(slab_a) == bytes(slab_b), f"slab {name} differs"
+    assert expected.num_nodes == actual.num_nodes
+    assert bytes(expected.landmark_ids) == bytes(actual.landmark_ids)
+
+
+@pytest.mark.parametrize("family,topology", FAMILIES, ids=[f for f, _ in FAMILIES])
+def test_slab_direct_serial_matches_dict_path(family, topology):
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    codec = LabelCodec(topology)
+    expected = _oracle(topology, landmarks, codec)
+    actual = build_substrate_tables(topology, landmarks, codec=codec)
+    _assert_identical_slabs(expected, actual)
+
+
+@pytest.mark.parametrize("family,topology", FAMILIES, ids=[f for f, _ in FAMILIES])
+def test_slab_direct_two_workers_matches_dict_path(family, topology):
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    codec = LabelCodec(topology)
+    expected = _oracle(topology, landmarks, codec)
+    actual = build_substrate_tables(
+        topology, landmarks, codec=codec, workers=2
+    )
+    _assert_identical_slabs(expected, actual)
+
+
+@pytest.mark.parametrize("family,topology", FAMILIES, ids=[f for f, _ in FAMILIES])
+def test_mmap_attached_load_matches_dict_path(family, topology, tmp_path):
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    codec = LabelCodec(topology)
+    expected = _oracle(topology, landmarks, codec)
+    root = str(tmp_path / "slabs")
+    built = build_substrate_tables(
+        topology, landmarks, codec=codec, storage=root
+    )
+    _assert_identical_slabs(expected, built)
+    attached = SubstrateTables.from_mmap(root)
+    _assert_identical_slabs(expected, attached)
+
+
+def test_anonymous_mmap_placement_matches_dict_path():
+    family, topology = FAMILIES[0]
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    codec = LabelCodec(topology)
+    expected = _oracle(topology, landmarks, codec)
+    actual = build_substrate_tables(
+        topology, landmarks, codec=codec, storage="mmap"
+    )
+    _assert_identical_slabs(expected, actual)
+
+
+def test_split_storage_matches_dict_path(tmp_path):
+    """SPT slabs in a directory, vicinity slabs in anonymous mmap."""
+    family, topology = FAMILIES[0]
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    codec = LabelCodec(topology)
+    expected = _oracle(topology, landmarks, codec)
+    actual = build_substrate_tables(
+        topology,
+        landmarks,
+        codec=codec,
+        storage=str(tmp_path / "spt"),
+        vicinity_storage="mmap",
+        persist=False,
+    )
+    _assert_identical_slabs(expected, actual)
+
+
+def test_landmark_only_build_matches_from_components():
+    """S4's own substrate: no vicinity slabs, addresses still present."""
+    family, topology = FAMILIES[1]
+    n = topology.num_nodes
+    landmarks = select_landmarks(n, seed=2)
+    codec = LabelCodec(topology)
+    spts = landmark_spts(topology, landmarks)
+    closest = closest_landmarks(spts, n)
+    expected = SubstrateTables.from_components(n, spts, closest, None, codec)
+    actual = build_substrate_tables(
+        topology, landmarks, codec=codec, include_vicinity=False
+    )
+    _assert_identical_slabs(expected, actual)
+
+
+def test_build_stats_and_progress_hooks():
+    family, topology = FAMILIES[0]
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    stats: dict = {}
+    lines: list[str] = []
+    build_substrate_tables(
+        topology, landmarks, stats=stats, progress=lines.append
+    )
+    assert stats["spt_seconds"] >= 0.0
+    assert stats["vicinity_seconds"] >= 0.0
+    assert stats["slab_bytes"] > 0
+    assert any("landmark SPTs" in line for line in lines)
+    assert any("vicinities" in line for line in lines)
+
+
+def test_rejects_empty_and_out_of_range_landmarks():
+    family, topology = FAMILIES[0]
+    with pytest.raises(ValueError):
+        build_substrate_tables(topology, [])
+    with pytest.raises(ValueError):
+        build_substrate_tables(topology, [topology.num_nodes])
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_ball_tables_match_dict_transport(workers):
+    family, topology = FAMILIES[2]
+    n = topology.num_nodes
+    landmarks = select_landmarks(n, seed=2)
+    spts = landmark_spts(topology, landmarks)
+    _, closest_dist = closest_landmarks(spts, n)
+    radii = list(closest_dist)
+    searches = parallel_radius(topology, radii, workers=1)
+    expected = NodeSearchTables.from_searches(searches)
+    actual = build_ball_tables(topology, radii, workers=workers)
+    assert bytes(expected.offsets) == bytes(actual.offsets)
+    assert bytes(expected.members) == bytes(actual.members)
+    assert bytes(expected.dists) == bytes(actual.dists)
+    assert bytes(expected.parents) == bytes(actual.parents)
+
+
+def test_cluster_sizes_match_membership_double_loop():
+    family, topology = FAMILIES[0]
+    n = topology.num_nodes
+    landmarks = select_landmarks(n, seed=2)
+    spts = landmark_spts(topology, landmarks)
+    _, closest_dist = closest_landmarks(spts, n)
+    balls = build_ball_tables(topology, list(closest_dist))
+    expected = [0] * n
+    for node in range(n):
+        row = balls.members[balls.offsets[node] : balls.offsets[node + 1]]
+        for member in row:
+            if member != node:
+                expected[member] += 1
+    actual = cluster_sizes_from_members(balls.members, n)
+    assert list(actual) == expected
