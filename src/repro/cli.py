@@ -259,6 +259,60 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: benchmarks/history)",
     )
 
+    churn_parser = subparsers.add_parser(
+        "churn",
+        help="drive the event-driven churn engine over a seeded event "
+        "stream and report per-event maintenance bills (see "
+        "docs/REPRODUCING.md for the command map)",
+    )
+    churn_parser.add_argument(
+        "family",
+        choices=sorted(_GENERATORS),
+        help="topology family for the base graph",
+    )
+    churn_parser.add_argument("nodes", type=int, help="node count")
+    churn_parser.add_argument(
+        "--events", type=int, default=8, help="number of churn events"
+    )
+    churn_parser.add_argument("--seed", type=int, default=0)
+    churn_parser.add_argument(
+        "--mode",
+        choices=["event", "replay"],
+        default="event",
+        help="event = incremental ChurnEngine (default); replay = seed-era "
+        "full-reconvergence oracle (edge events only); both print the "
+        "same bills",
+    )
+    churn_parser.add_argument(
+        "--kinds",
+        nargs="+",
+        default=None,
+        metavar="KIND",
+        help="opt into a rich event stream with these kinds (edge-down, "
+        "edge-up, edge-reweight, node-leave, node-join); default: the "
+        "seed-era edge failure/recovery workload, comparable across "
+        "both modes",
+    )
+    churn_parser.add_argument(
+        "--events-per-tick",
+        type=int,
+        default=1,
+        help="calendar event rate: events sharing one tick (rich streams)",
+    )
+    churn_parser.add_argument(
+        "--allow-partition",
+        action="store_true",
+        help="let rich streams partition the graph (default streams keep "
+        "the live nodes connected)",
+    )
+    churn_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the per-event bills as deterministic JSON "
+        "(timings excluded; used by the CI mode differential)",
+    )
+
     substrate_parser = subparsers.add_parser(
         "substrate",
         help="converge routing substrates standalone -- multi-core, "
@@ -802,6 +856,150 @@ def _command_substrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_churn(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.landmarks import select_landmarks
+    from repro.core.nddisco import NDDiscoRouting
+    from repro.dynamics import (
+        EVENT_KINDS,
+        ChurnEngine,
+        events_from_workload,
+        generate_churn_workload,
+        generate_event_stream,
+        maintenance_cost,
+    )
+    from repro.dynamics.churn import apply_event
+
+    if args.kinds is not None:
+        unknown = [kind for kind in args.kinds if kind not in EVENT_KINDS]
+        if unknown:
+            print(f"unknown event kinds: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        if args.mode == "replay":
+            print(
+                "--kinds requires --mode event (the replay oracle only "
+                "models edge failure/recovery)",
+                file=sys.stderr,
+            )
+            return 2
+
+    topology = _GENERATORS[args.family](args.nodes, seed=args.seed)
+    landmarks = select_landmarks(topology.num_nodes, seed=args.seed)
+    if args.kinds is None:
+        workload = generate_churn_workload(
+            topology, num_events=args.events, seed=args.seed + 17
+        )
+        events = events_from_workload(
+            workload.events, events_per_tick=args.events_per_tick
+        )
+    else:
+        workload = None
+        events = generate_event_stream(
+            topology,
+            num_events=args.events,
+            seed=args.seed + 17,
+            kinds=tuple(args.kinds),
+            events_per_tick=args.events_per_tick,
+            preserve_connectivity=not args.allow_partition,
+        )
+    print(
+        f"{topology.name}: {topology.num_nodes} nodes, "
+        f"{topology.num_edges} edges, {len(landmarks)} landmarks, "
+        f"{len(events)} events, mode={args.mode}"
+    )
+
+    started = time.perf_counter()
+    if args.mode == "replay":
+        state = NDDiscoRouting(topology, seed=args.seed, landmarks=landmarks)
+        current = topology
+        costs = []
+        for event in workload.events:
+            current = apply_event(current, event)
+            next_state = NDDiscoRouting(
+                current, seed=args.seed, landmarks=landmarks
+            )
+            costs.append(maintenance_cost(state, next_state))
+            state = next_state
+        applied = [True] * len(costs)
+    else:
+        engine = ChurnEngine(topology, seed=args.seed, landmarks=landmarks)
+        reports = engine.run(events)
+        costs = [report.cost for report in reports]
+        applied = [report.applied for report in reports]
+    elapsed = time.perf_counter() - started
+
+    rows = []
+    for index, (event, cost) in enumerate(zip(events, costs)):
+        target = f"{event.u}-{event.v}" if event.v >= 0 else str(event.u)
+        rows.append(
+            [
+                index,
+                event.tick,
+                event.kind if applied[index] else f"{event.kind} (no-op)",
+                target,
+                cost.addresses_changed,
+                cost.vicinity_entries_changed,
+                cost.landmark_entries_changed,
+                cost.total_incremental_entries,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "event",
+                "tick",
+                "kind",
+                "target",
+                "addr",
+                "vicinity",
+                "landmark",
+                "total",
+            ],
+            rows,
+            float_format="{:.0f}",
+        )
+    )
+    total = sum(cost.total_incremental_entries for cost in costs)
+    rate = len(events) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"total incremental entries: {total}  "
+        f"({elapsed:.2f}s, {rate:.1f} events/s)"
+    )
+    if args.json:
+        payload = {
+            "schema": "repro-churn-bills/v1",
+            "family": args.family,
+            "nodes": topology.num_nodes,
+            "seed": args.seed,
+            "events": [
+                {
+                    "tick": event.tick,
+                    "kind": event.kind,
+                    "u": event.u,
+                    "v": event.v,
+                    "weight": event.weight,
+                    "applied": applied[index],
+                    "cost": {
+                        "addresses_changed": cost.addresses_changed,
+                        "resolution_updates": cost.resolution_updates,
+                        "dissemination_messages": cost.dissemination_messages,
+                        "vicinity_entries_changed": cost.vicinity_entries_changed,
+                        "landmark_entries_changed": cost.landmark_entries_changed,
+                        "total_incremental_entries": cost.total_incremental_entries,
+                    },
+                }
+                for index, (event, cost) in enumerate(zip(events, costs))
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"bills written to {args.json}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -824,6 +1022,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_bench(args)
     if args.command == "substrate":
         return _command_substrate(args)
+    if args.command == "churn":
+        return _command_churn(args)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

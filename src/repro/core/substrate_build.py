@@ -59,6 +59,7 @@ from repro.graphs.csr import (
 from repro.graphs.topology import Topology
 
 __all__ = [
+    "apply_maintenance",
     "build_substrate_tables",
     "build_ball_tables",
     "cluster_sizes_from_members",
@@ -385,6 +386,49 @@ def build_substrate_tables(
         tables.save_slabs(root, skip=skip)
     _record(stats, "slab_bytes", tables.slab_bytes())
     return tables
+
+
+def apply_maintenance(
+    tables: SubstrateTables, engine, *, codec: "object | None" = None
+) -> "object":
+    """Catch a :class:`SubstrateTables` snapshot up with a churn engine.
+
+    Consumes the engine's accumulated dirty sets
+    (:meth:`~repro.dynamics.engine.ChurnEngine.take_dirty`) and patches
+    only the touched slab entries: SPT rows, closest-landmark rows,
+    vicinity rows (rebuilt, untouched rows copied wholesale), and -- when a
+    ``codec`` built on the *mutated* topology is given -- the address
+    payload slabs.  The patched slabs are bit-identical to rebuilding the
+    tables from scratch on the engine's current topology, provided that
+    topology is connected (the dense slab rows cannot represent
+    unreachable nodes); the churn differential tests pin exactly this.
+
+    Returns the consumed :class:`~repro.dynamics.engine.DirtyState` so
+    callers can account for the patch volume.
+    """
+    dirty = engine.take_dirty()
+    for landmark in sorted(dirty.rows):
+        nodes = dirty.rows[landmark]
+        dist_row, parent_row = engine.landmark_row(landmark)
+        tables.patch_spt_row(landmark, sorted(nodes), dist_row, parent_row)
+    if dirty.closest:
+        closest_row, closest_dist_row = engine.closest_landmark_rows
+        tables.patch_closest(
+            sorted(dirty.closest), closest_row, closest_dist_row
+        )
+    if dirty.vicinities and tables.vicinity is not None:
+        vicinities = engine.vicinities
+        updates = {
+            node: (
+                vicinities[node].distances,
+                vicinities[node].predecessors,
+            )
+            for node in sorted(dirty.vicinities)
+        }
+        tables.replace_vicinity(tables.vicinity.with_rows(updates))
+    if codec is not None and len(tables.addr_offsets) == tables.num_nodes + 1:
+        tables.patch_addresses(sorted(dirty.addresses), codec)
+    return dirty
 
 
 def build_ball_tables(

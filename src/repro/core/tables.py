@@ -318,6 +318,50 @@ class NodeSearchTables:
             array("q", parents),
         )
 
+    def with_rows(
+        self,
+        updates: Mapping[int, tuple[Mapping[int, float], Mapping[int, int]]],
+    ) -> "NodeSearchTables":
+        """Return new tables with the rows of ``updates`` replaced.
+
+        ``updates`` maps node -> ``(distances, predecessors)`` in the same
+        shape :meth:`from_searches` accepts.  Row lengths may change (a
+        partition can shrink a truncated search below k), so the slabs are
+        rebuilt; untouched rows are copied wholesale via slab slices, never
+        re-walked.  The result is bit-identical to :meth:`from_searches`
+        over the full updated search set.
+        """
+        offsets = array("q", [0])
+        members = array("q")
+        dists = array("d")
+        parents = array("q")
+        old_members = memoryview(self.members)
+        old_dists = memoryview(self.dists)
+        old_parents = memoryview(self.parents)
+        for node in range(self.num_nodes):
+            update = updates.get(node)
+            if update is None:
+                lo, hi = self.row_bounds(node)
+                members.extend(old_members[lo:hi])
+                dists.extend(old_dists[lo:hi])
+                parents.extend(old_parents[lo:hi])
+            else:
+                distances, predecessors = update
+                order = list(distances)
+                if not order or order[0] != node:
+                    raise ValueError(
+                        f"replacement search {node} does not start at its "
+                        "own node"
+                    )
+                members.extend(order)
+                dists.extend(distances.values())
+                parents.append(-1)
+                iterator = iter(order)
+                next(iterator)
+                parents.extend(predecessors[member] for member in iterator)
+            offsets.append(len(members))
+        return NodeSearchTables(self.num_nodes, offsets, members, dists, parents)
+
     def _index(self, node: int) -> dict[int, int]:
         """member -> absolute slab position for ``node``'s row (lazy)."""
         index = self._indexes[node]
@@ -700,6 +744,80 @@ class SubstrateTables:
                 Address(node=node, landmark=closest[node], route=route)
             )
         return out
+
+    # -- incremental maintenance hooks --------------------------------------
+    #
+    # The event-driven churn engine (repro.dynamics.engine) repairs its own
+    # list-backed state per event; these hooks let a slab snapshot catch up
+    # by rewriting only the touched entries/rows.  They assume the dense-row
+    # conventions of this class (connected topology: every distance finite),
+    # which is exactly the regime the replay-differential tests pin.  See
+    # repro.core.substrate_build.apply_maintenance for the driver.
+
+    def patch_spt_row(self, landmark: int, nodes, dist_row, parent_row) -> None:
+        """Overwrite entries of one landmark's SPT row in place.
+
+        ``dist_row`` / ``parent_row`` are full dense rows (node-indexed);
+        only the entries listed in ``nodes`` are written.  Cached views stay
+        valid (they read through the slabs).
+        """
+        base = self._landmark_pos[landmark] * self.num_nodes
+        spt_dist = self.spt_dist
+        spt_parent = self.spt_parent
+        for node in nodes:
+            spt_dist[base + node] = dist_row[node]
+            spt_parent[base + node] = parent_row[node]
+
+    def patch_closest(self, nodes, closest_row, closest_dist_row) -> None:
+        """Overwrite per-node closest-landmark entries in place."""
+        closest = self.closest
+        closest_dist = self.closest_dist
+        for node in nodes:
+            closest[node] = closest_row[node]
+            closest_dist[node] = closest_dist_row[node]
+
+    def replace_vicinity(self, vicinity: NodeSearchTables) -> None:
+        """Swap in updated vicinity slabs (see NodeSearchTables.with_rows)."""
+        self.vicinity = vicinity
+        self._vicinity_views = None
+
+    def patch_addresses(self, dirty_nodes, codec) -> None:
+        """Rebuild the address slabs after SPT/closest patches.
+
+        Explicit-route *paths* are re-walked (over the already-patched
+        parent slabs) only for ``dirty_nodes``; clean rows are copied
+        wholesale.  Forwarding *labels and bit sizes* are re-encoded for
+        every row with the caller's ``codec``: a label is a neighbor's
+        position in its node's adjacency list, so any adjacency change
+        renumbers labels on every path through the touched nodes -- ``codec``
+        must be built on the mutated topology.
+        """
+        if len(self.addr_offsets) != self.num_nodes + 1:
+            raise ValueError("these tables were built without addresses")
+        dirty = set(dirty_nodes)
+        old_offsets = self.addr_offsets
+        old_path = memoryview(self.addr_path)
+        new_offsets = array("q", [0])
+        new_path = array("q")
+        new_labels = array("q")
+        new_bits = array("q")
+        for node in range(self.num_nodes):
+            if node in dirty:
+                path = self.spt_path(self.closest[node], node)
+                new_path.extend(path)
+            else:
+                lo = old_offsets[node]
+                hi = old_offsets[node + 1]
+                path = old_path[lo:hi].tolist()
+                new_path.extend(old_path[lo:hi])
+            new_labels.extend(codec.encode_path(path))
+            new_labels.append(-1)  # row terminator keeps rows aligned
+            new_bits.append(codec.path_bits(path))
+            new_offsets.append(len(new_path))
+        self.addr_offsets = new_offsets
+        self.addr_path = new_path
+        self.addr_labels = new_labels
+        self.addr_bits = new_bits
 
     # -- serialization ------------------------------------------------------
 

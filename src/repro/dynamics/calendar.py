@@ -1,0 +1,162 @@
+"""Flat-array event calendar: a Dial bucket queue over integer ticks.
+
+The discrete-event engine needs a pending-event structure with three
+properties: O(1) schedule, O(1) amortized pop in timestamp order, and a
+*deterministic* total order (ascending tick, FIFO within a tick) so that
+replaying the same stream always applies events identically.
+
+This reuses the Dial bucket-queue idiom from the graph kernels
+(:mod:`repro.graphs.csr`): because ticks are exact integers, a circular
+ring of buckets indexed ``tick % capacity`` replaces a comparison heap.
+Events live in parallel flat arrays (kind codes, endpoints, weights,
+ticks) appended once and never moved; each ring slot holds the head/tail
+of an intrusive linked list threaded through a ``next`` array, giving
+FIFO order within a bucket without any per-event allocation.  The ring
+doubles (entries re-threaded by index order, which preserves FIFO) when a
+scheduled tick falls outside the current horizon.
+"""
+
+from __future__ import annotations
+
+from repro.dynamics.stream import EVENT_KINDS, DynEvent
+from repro.utils.validation import require_positive
+
+__all__ = ["EventCalendar"]
+
+_KIND_CODES = {kind: code for code, kind in enumerate(EVENT_KINDS)}
+
+
+class EventCalendar:
+    """Dial bucket queue of :class:`DynEvent` keyed by integer tick."""
+
+    __slots__ = (
+        "_kinds",
+        "_u",
+        "_v",
+        "_weights",
+        "_ticks",
+        "_next",
+        "_heads",
+        "_tails",
+        "_cursor",
+        "_pending",
+        "_popped",
+    )
+
+    def __init__(self, *, horizon: int = 64) -> None:
+        require_positive("horizon", horizon)
+        self._kinds: list[int] = []
+        self._u: list[int] = []
+        self._v: list[int] = []
+        self._weights: list[float] = []
+        self._ticks: list[int] = []
+        self._next: list[int] = []
+        self._heads: list[int] = [-1] * horizon
+        self._tails: list[int] = [-1] * horizon
+        self._cursor = 0  # next tick to inspect; min over pending ticks
+        self._pending = 0
+        self._popped: list[int] = []  # per-entry consumed flag (0/1)
+
+    def __len__(self) -> int:
+        return self._pending
+
+    def __bool__(self) -> bool:
+        return self._pending > 0
+
+    @property
+    def current_tick(self) -> int:
+        """The tick the pop cursor is at (lower bound on pending ticks)."""
+        return self._cursor
+
+    def schedule(self, event: DynEvent) -> int:
+        """Enqueue ``event``; return its entry index (stable handle)."""
+        if event.tick < self._cursor:
+            raise ValueError(
+                f"cannot schedule event at tick {event.tick}: calendar "
+                f"already advanced to tick {self._cursor}"
+            )
+        index = len(self._ticks)
+        self._kinds.append(_KIND_CODES[event.kind])
+        self._u.append(event.u)
+        self._v.append(event.v)
+        self._weights.append(event.weight)
+        self._ticks.append(event.tick)
+        self._next.append(-1)
+        self._popped.append(0)
+        if event.tick - self._cursor >= len(self._heads):
+            self._grow(event.tick)
+        slot = event.tick % len(self._heads)
+        tail = self._tails[slot]
+        if tail < 0:
+            self._heads[slot] = index
+        else:
+            self._next[tail] = index
+        self._tails[slot] = index
+        self._pending += 1
+        return index
+
+    def extend(self, events) -> None:
+        """Schedule every event of an iterable."""
+        for event in events:
+            self.schedule(event)
+
+    def _grow(self, furthest_tick: int) -> None:
+        capacity = len(self._heads)
+        while furthest_tick - self._cursor >= capacity:
+            capacity *= 2
+        heads = [-1] * capacity
+        tails = [-1] * capacity
+        # Re-thread every unconsumed entry in index order: entries were
+        # appended in schedule order, so per-bucket FIFO survives the move.
+        for index, tick in enumerate(self._ticks):
+            if self._popped[index]:
+                continue
+            self._next[index] = -1
+            slot = tick % capacity
+            if tails[slot] < 0:
+                heads[slot] = index
+            else:
+                self._next[tails[slot]] = index
+            tails[slot] = index
+        self._heads = heads
+        self._tails = tails
+
+    def pop(self) -> DynEvent | None:
+        """Remove and return the earliest pending event (FIFO within tick).
+
+        Returns ``None`` when the calendar is empty.
+        """
+        if self._pending == 0:
+            return None
+        capacity = len(self._heads)
+        scanned = 0
+        while scanned <= capacity:
+            slot = self._cursor % capacity
+            index = self._heads[slot]
+            # The ring wraps, so a slot may hold events for a future lap;
+            # events are bucketed FIFO and ticks never decrease within a
+            # chain, so only the head needs its tick checked.
+            if index >= 0 and self._ticks[index] == self._cursor:
+                self._heads[slot] = self._next[index]
+                if self._heads[slot] < 0:
+                    self._tails[slot] = -1
+                self._pending -= 1
+                self._popped[index] = 1
+                return DynEvent(
+                    tick=self._ticks[index],
+                    kind=EVENT_KINDS[self._kinds[index]],
+                    u=self._u[index],
+                    v=self._v[index],
+                    weight=self._weights[index],
+                )
+            self._cursor += 1
+            scanned += 1
+        raise RuntimeError("event calendar ring is inconsistent")
+
+    def drain(self):
+        """Yield every pending event in (tick, schedule-order) order."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event

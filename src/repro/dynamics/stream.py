@@ -1,0 +1,300 @@
+"""Dynamic event streams: seeded edge/node churn over a live topology.
+
+The seed-era :mod:`repro.dynamics.churn` workloads are edge-only and
+connectivity-preserving by construction (the paper's fig. 8 setting).  The
+event-driven engine additionally handles reweights, node leave/join, and
+partitions, so this module generates richer streams while staying exactly
+as reproducible: one :func:`make_rng` stream per (seed, tag), candidates
+drawn from sorted containers only.
+
+A :class:`DynEvent` is a point event on a tick timeline.  Node events name
+only the node: the *engine* captures a leaving node's incident edges and
+restores them on join (edges whose far endpoint is itself dead at join time
+migrate to that endpoint's captured set), and the generator mirrors that
+bookkeeping so its feasibility checks see the same topology the engine
+will.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.dynamics.churn import ChurnEvent
+from repro.graphs.topology import Topology
+from repro.utils.randomness import make_rng
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "EVENT_KINDS",
+    "DynEvent",
+    "events_from_workload",
+    "generate_event_stream",
+]
+
+#: All event kinds, in their canonical (encoding) order.
+EVENT_KINDS = (
+    "edge-down",
+    "edge-up",
+    "edge-reweight",
+    "node-leave",
+    "node-join",
+)
+
+_REWEIGHT_FACTORS = (0.5, 0.75, 1.25, 1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class DynEvent:
+    """One timestamped topology event.
+
+    Attributes
+    ----------
+    tick:
+        Integer timestamp; events within one tick apply in stream order.
+    kind:
+        One of :data:`EVENT_KINDS`.
+    u, v:
+        Edge endpoints for edge events (``u < v``); for node events ``u``
+        is the node and ``v`` is ``-1``.
+    weight:
+        New/restored weight for ``edge-up`` / ``edge-reweight``; the failed
+        weight (for symmetry with :class:`ChurnEvent`) on ``edge-down``;
+        ``0.0`` for node events.
+    """
+
+    tick: int
+    kind: str
+    u: int
+    v: int = -1
+    weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+    @property
+    def edge(self) -> tuple[int, int]:
+        """The affected edge for edge events."""
+        if self.v < 0:
+            raise ValueError(f"{self.kind} event has no edge")
+        return (self.u, self.v)
+
+
+def events_from_workload(
+    events: Iterable[ChurnEvent], *, events_per_tick: int = 1
+) -> list[DynEvent]:
+    """Lift seed-era :class:`ChurnEvent` sequences onto the tick timeline."""
+    require_positive("events_per_tick", events_per_tick)
+    out: list[DynEvent] = []
+    for index, event in enumerate(events):
+        u, v = event.edge
+        out.append(
+            DynEvent(
+                tick=index // events_per_tick,
+                kind=event.kind,
+                u=u,
+                v=v,
+                weight=event.weight,
+            )
+        )
+    return out
+
+
+def _live_connected(
+    topology: Topology,
+    dead: set[int],
+    *,
+    skip_node: int | None = None,
+    skip_edge: tuple[int, int] | None = None,
+) -> bool:
+    """True when the live nodes (minus optional exclusions) are connected."""
+    excluded = set(dead)
+    if skip_node is not None:
+        excluded.add(skip_node)
+    live = [node for node in range(topology.num_nodes) if node not in excluded]
+    if len(live) <= 1:
+        return True
+    banned = None
+    if skip_edge is not None:
+        a, b = skip_edge
+        banned = (a, b) if a < b else (b, a)
+    seen = {live[0]}
+    frontier = [live[0]]
+    while frontier:
+        node = frontier.pop()
+        for neighbor, _ in topology.adjacency[node]:
+            if neighbor in excluded or neighbor in seen:
+                continue
+            if banned is not None:
+                key = (node, neighbor) if node < neighbor else (neighbor, node)
+                if key == banned:
+                    continue
+            seen.add(neighbor)
+            frontier.append(neighbor)
+    return len(seen) == len(live)
+
+
+def generate_event_stream(
+    topology: Topology,
+    *,
+    num_events: int,
+    seed: int = 0,
+    kinds: Sequence[str] = EVENT_KINDS,
+    events_per_tick: int = 1,
+    preserve_connectivity: bool = True,
+) -> list[DynEvent]:
+    """Generate a reproducible stream of ``num_events`` dynamic events.
+
+    Parameters
+    ----------
+    topology:
+        Connected base topology; never mutated.
+    num_events:
+        Stream length.
+    seed:
+        Deterministic RNG seed (stream = pure function of all arguments).
+    kinds:
+        Allowed event kinds (subset of :data:`EVENT_KINDS`).  Edge-only
+        subsets produce streams on which the graph stays fully connected,
+        which is what the converged-state differential tests need.
+    events_per_tick:
+        How many consecutive events share one tick (``> 1`` exercises the
+        duplicate-events-per-tick calendar path).
+    preserve_connectivity:
+        When true (default), every event keeps the *live* portion of the
+        graph connected: failures avoid bridges/articulation points and
+        joins require a live neighbor.  ``False`` permits partitions
+        (including streams that isolate every landmark).
+    """
+    require_positive("num_events", num_events)
+    require_positive("events_per_tick", events_per_tick)
+    for kind in kinds:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+    if not topology.is_connected():
+        raise ValueError("event streams require a connected base topology")
+    rng = make_rng(seed, "dynamics-stream")
+    current = topology.copy()
+    down_edges: dict[tuple[int, int], float] = {}
+    captured: dict[int, list[tuple[int, int, float]]] = {}
+    dead: set[int] = set()
+    events: list[DynEvent] = []
+    attempts = 0
+    max_attempts = 80 * num_events + 200
+
+    def live_edges() -> list[tuple[int, int]]:
+        return sorted(
+            (u, v)
+            for u, v, _ in current.edges()
+            if u not in dead and v not in dead
+        )
+
+    def pick(candidates: list) -> object | None:
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+    while len(events) < num_events and attempts < max_attempts:
+        attempts += 1
+        kind = kinds[rng.randrange(len(kinds))]
+        tick = len(events) // events_per_tick
+        if kind == "edge-down":
+            candidates = live_edges()
+            if preserve_connectivity:
+                candidates = [
+                    edge
+                    for edge in candidates
+                    if _live_connected(current, dead, skip_edge=edge)
+                ]
+            edge = pick(candidates)
+            if edge is None:
+                continue
+            u, v = edge
+            weight = current.remove_edge(u, v)
+            down_edges[(u, v)] = weight
+            events.append(
+                DynEvent(tick=tick, kind="edge-down", u=u, v=v, weight=weight)
+            )
+        elif kind == "edge-up":
+            candidates = sorted(
+                edge
+                for edge in down_edges
+                if edge[0] not in dead and edge[1] not in dead
+            )
+            edge = pick(candidates)
+            if edge is None:
+                continue
+            u, v = edge
+            weight = down_edges.pop((u, v))
+            current.add_edge(u, v, weight)
+            events.append(
+                DynEvent(tick=tick, kind="edge-up", u=u, v=v, weight=weight)
+            )
+        elif kind == "edge-reweight":
+            edge = pick(live_edges())
+            if edge is None:
+                continue
+            u, v = edge
+            factor = _REWEIGHT_FACTORS[rng.randrange(len(_REWEIGHT_FACTORS))]
+            new_weight = current.edge_weight(u, v) * factor
+            current.set_edge_weight(u, v, new_weight)
+            events.append(
+                DynEvent(
+                    tick=tick, kind="edge-reweight", u=u, v=v, weight=new_weight
+                )
+            )
+        elif kind == "node-leave":
+            live = [
+                node for node in range(current.num_nodes) if node not in dead
+            ]
+            candidates = [
+                node
+                for node in live
+                if len(live) > 2
+                and (
+                    not preserve_connectivity
+                    or _live_connected(current, dead, skip_node=node)
+                )
+            ]
+            node = pick(candidates)
+            if node is None:
+                continue
+            incident = sorted(
+                (node, neighbor, weight)
+                for neighbor, weight in current.adjacency[node]
+            )
+            for _, neighbor, _ in incident:
+                current.remove_edge(node, neighbor)
+            captured[node] = incident
+            dead.add(node)
+            events.append(DynEvent(tick=tick, kind="node-leave", u=node))
+        else:  # node-join
+            candidates = sorted(
+                node
+                for node in dead
+                if not preserve_connectivity
+                or any(
+                    neighbor not in dead
+                    for _, neighbor, _ in captured.get(node, ())
+                )
+            )
+            node = pick(candidates)
+            if node is None:
+                continue
+            dead.discard(node)
+            for _, neighbor, weight in captured.pop(node, []):
+                if neighbor in dead:
+                    captured.setdefault(neighbor, []).append(
+                        (neighbor, node, weight)
+                    )
+                    captured[neighbor].sort()
+                else:
+                    current.add_edge(node, neighbor, weight)
+            events.append(DynEvent(tick=tick, kind="node-join", u=node))
+    if len(events) < num_events:
+        raise ValueError(
+            "could not generate the requested number of events "
+            f"(got {len(events)} of {num_events}) for kinds {tuple(kinds)!r}"
+        )
+    return events

@@ -9,6 +9,24 @@ topology and, for each event, charges the incremental updates Disco needs
 landmark route repairs), comparing the per-event cost against the cost of
 reconverging from scratch.
 
+Two engines produce those per-event bills, selected by ``REPRO_DYNAMICS``:
+
+* ``event`` (default) -- the event-driven :class:`ChurnEngine`, which
+  maintains the converged substrate incrementally and charges the bill
+  without ever diffing full states.
+* ``replay`` -- the seed-era oracle: rebuild a fully reconverged
+  :class:`NDDiscoRouting` per event and diff
+  (:func:`~repro.dynamics.maintenance.maintenance_cost`).
+
+Both modes produce byte-identical scenario JSON (the differential tests
+pin this), so the fast engine is safe by construction.
+
+The scenario shards by churn *trial* and by *event-stream segment* within
+a trial: each segment shard reconstructs its boundary topology by applying
+the trial's event prefix and converges fresh state there (the state
+handoff), so ``repro run churn-cost --workers N`` covers the former
+serial-by-design scenario byte-identically for any worker count.
+
 The quantity of interest: the mean per-event incremental cost should be a
 small fraction of full reconvergence, which is what makes the protocol
 practical under dynamics.
@@ -16,11 +34,15 @@ practical under dynamics.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
+from repro.core.landmarks import select_landmarks
 from repro.core.nddisco import NDDiscoRouting
 from repro.dynamics.churn import apply_event, generate_churn_workload
+from repro.dynamics.engine import ChurnEngine
 from repro.dynamics.maintenance import MaintenanceCost, maintenance_cost
+from repro.dynamics.stream import events_from_workload
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header
 from repro.experiments.workloads import sweep_gnm
@@ -28,7 +50,22 @@ from repro.sim.convergence import simulate_nddisco_convergence
 from repro.scenarios.spec import scenario
 from repro.utils.formatting import format_table
 
-__all__ = ["ChurnCostResult", "run", "format_report"]
+__all__ = ["ChurnCostResult", "run", "format_report", "dynamics_mode"]
+
+#: Default workload shape: trials x events, segments per trial for sharding.
+DEFAULT_NUM_EVENTS = 6
+DEFAULT_NUM_TRIALS = 1
+SEGMENTS_PER_TRIAL = 2
+
+
+def dynamics_mode() -> str:
+    """The churn engine selection: ``event`` (default) or ``replay``."""
+    mode = os.environ.get("REPRO_DYNAMICS", "event")
+    if mode not in ("event", "replay"):
+        raise ValueError(
+            f"REPRO_DYNAMICS must be 'event' or 'replay', got {mode!r}"
+        )
+    return mode
 
 
 @dataclass(frozen=True)
@@ -40,6 +77,7 @@ class ChurnCostResult:
     per_event: tuple[MaintenanceCost, ...]
     full_reconvergence_entries: float
     scale_label: str
+    trials: int = 1
 
     @property
     def mean_incremental_entries(self) -> float:
@@ -65,6 +103,116 @@ class ChurnCostResult:
         return self.mean_incremental_entries / self.full_reconvergence_entries
 
 
+def _scenario_nodes(scale: ExperimentScale) -> int:
+    # The churn experiment converges full states (baseline and, in replay
+    # mode, one per event), so it runs on a moderately sized topology
+    # regardless of the global scale.
+    return min(scale.comparison_nodes, 256)
+
+
+def _trial_seed(scale: ExperimentScale, trial: int) -> int:
+    # Trial 0 keeps the seed-era workload seed (scale.seed + 17) exactly.
+    return scale.seed + 17 + 101 * trial
+
+
+def _segment_bounds(num_events: int, segment: int, segments: int) -> tuple[int, int]:
+    """Event range [lo, hi) of one segment (near-even contiguous split)."""
+    base = num_events // segments
+    extra = num_events % segments
+    lo = segment * base + min(segment, extra)
+    hi = lo + base + (1 if segment < extra else 0)
+    return lo, hi
+
+
+def _segment_costs(
+    scale: ExperimentScale,
+    trial: int,
+    segment: int,
+    *,
+    num_events: int,
+    segments: int,
+) -> list[MaintenanceCost]:
+    """One segment's per-event bills, with state handoff at the boundary.
+
+    The boundary topology is the trial prefix applied to the base topology;
+    converged state there is a pure function of (topology, seed, landmark
+    set), so a segment shard reconstructs exactly the state the previous
+    segment left behind -- byte-identical for any sharding.
+    """
+    num_nodes = _scenario_nodes(scale)
+    topology = sweep_gnm(num_nodes, scale.seed)
+    workload = generate_churn_workload(
+        topology, num_events=num_events, seed=_trial_seed(scale, trial)
+    )
+    lo, hi = _segment_bounds(num_events, segment, segments)
+    boundary = topology
+    for event in workload.events[:lo]:
+        boundary = apply_event(boundary, event)
+    # NDDiscoRouting defaults its landmark set to select_landmarks(n, seed),
+    # a pure function of (n, seed) -- every shard derives the same set
+    # without shipping state.
+    landmarks = select_landmarks(num_nodes, seed=scale.seed)
+    segment_events = workload.events[lo:hi]
+    if dynamics_mode() == "replay":
+        state = NDDiscoRouting(boundary, seed=scale.seed, landmarks=landmarks)
+        costs = []
+        current = boundary
+        for event in segment_events:
+            current = apply_event(current, event)
+            next_state = NDDiscoRouting(
+                current, seed=scale.seed, landmarks=landmarks
+            )
+            costs.append(maintenance_cost(state, next_state))
+            state = next_state
+        return costs
+    engine = ChurnEngine(boundary, seed=scale.seed, landmarks=landmarks)
+    reports = engine.run(events_from_workload(segment_events))
+    return [report.cost for report in reports]
+
+
+def _shard_keys(scale: ExperimentScale) -> tuple[str, ...]:
+    return ("full",) + tuple(
+        f"t{trial}s{segment}"
+        for trial in range(DEFAULT_NUM_TRIALS)
+        for segment in range(SEGMENTS_PER_TRIAL)
+    )
+
+
+def _run_shard(scale: ExperimentScale, key: str):
+    if key == "full":
+        num_nodes = _scenario_nodes(scale)
+        topology = sweep_gnm(num_nodes, scale.seed)
+        landmarks = select_landmarks(num_nodes, seed=scale.seed)
+        full = simulate_nddisco_convergence(
+            topology, seed=scale.seed, landmarks=landmarks
+        )
+        return {"full_entries": full.total_entries}
+    trial_part, segment_part = key[1:].split("s")
+    costs = _segment_costs(
+        scale,
+        int(trial_part),
+        int(segment_part),
+        num_events=DEFAULT_NUM_EVENTS,
+        segments=SEGMENTS_PER_TRIAL,
+    )
+    return {"costs": costs}
+
+
+def _merge_shards(scale: ExperimentScale, parts: dict) -> ChurnCostResult:
+    per_event: list[MaintenanceCost] = []
+    for trial in range(DEFAULT_NUM_TRIALS):
+        for segment in range(SEGMENTS_PER_TRIAL):
+            per_event.extend(parts[f"t{trial}s{segment}"]["costs"])
+    return ChurnCostResult(
+        num_nodes=_scenario_nodes(scale),
+        events=len(per_event),
+        per_event=tuple(per_event),
+        full_reconvergence_entries=parts["full"]["full_entries"],
+        scale_label=scale.label,
+        trials=DEFAULT_NUM_TRIALS,
+    )
+
+
 @scenario(
     "churn-cost",
     title="Extension: incremental maintenance cost under link churn",
@@ -74,42 +222,58 @@ class ChurnCostResult:
     workload="connectivity-preserving edge failures/recoveries",
     aliases=("churn",),
     tags=("study", "quick"),
+    shards=_shard_keys,
+    shard_runner=_run_shard,
+    shard_merge=_merge_shards,
 )
 def run(
-    scale: ExperimentScale | None = None, *, num_events: int = 6
+    scale: ExperimentScale | None = None,
+    *,
+    num_events: int = DEFAULT_NUM_EVENTS,
+    num_trials: int = DEFAULT_NUM_TRIALS,
 ) -> ChurnCostResult:
-    """Apply ``num_events`` link events and measure the incremental cost of each."""
+    """Apply churn trials and measure the incremental cost of each event."""
     scale = scale or default_scale()
-    # The churn experiment diffs full converged states per event, so it runs
-    # on a moderately sized topology regardless of the global scale.
-    num_nodes = min(scale.comparison_nodes, 256)
+    if num_events == DEFAULT_NUM_EVENTS and num_trials == DEFAULT_NUM_TRIALS:
+        # The default-parameter run IS the shard merge, so serial execution
+        # and `repro run --workers N` are byte-identical by construction.
+        return _merge_shards(
+            scale, {key: _run_shard(scale, key) for key in _shard_keys(scale)}
+        )
+    num_nodes = _scenario_nodes(scale)
     topology = sweep_gnm(num_nodes, scale.seed)
-    workload = generate_churn_workload(
-        topology, num_events=num_events, seed=scale.seed + 17
-    )
-
-    baseline = NDDiscoRouting(topology, seed=scale.seed)
-    landmarks = baseline.landmarks
+    landmarks = select_landmarks(num_nodes, seed=scale.seed)
+    per_event: list[MaintenanceCost] = []
+    for trial in range(num_trials):
+        workload = generate_churn_workload(
+            topology, num_events=num_events, seed=_trial_seed(scale, trial)
+        )
+        if dynamics_mode() == "replay":
+            current = topology
+            state = NDDiscoRouting(current, seed=scale.seed, landmarks=landmarks)
+            for event in workload:
+                current = apply_event(current, event)
+                next_state = NDDiscoRouting(
+                    current, seed=scale.seed, landmarks=landmarks
+                )
+                per_event.append(maintenance_cost(state, next_state))
+                state = next_state
+        else:
+            engine = ChurnEngine(topology, seed=scale.seed, landmarks=landmarks)
+            per_event.extend(
+                report.cost
+                for report in engine.run(events_from_workload(workload.events))
+            )
     full = simulate_nddisco_convergence(
         topology, seed=scale.seed, landmarks=landmarks
     )
-
-    costs = []
-    current_topology = topology
-    current_state = baseline
-    for event in workload:
-        next_topology = apply_event(current_topology, event)
-        next_state = NDDiscoRouting(next_topology, seed=scale.seed, landmarks=landmarks)
-        costs.append(maintenance_cost(current_state, next_state))
-        current_topology = next_topology
-        current_state = next_state
-
     return ChurnCostResult(
         num_nodes=num_nodes,
-        events=len(costs),
-        per_event=tuple(costs),
+        events=len(per_event),
+        per_event=tuple(per_event),
         full_reconvergence_entries=full.total_entries,
         scale_label=scale.label,
+        trials=num_trials,
     )
 
 

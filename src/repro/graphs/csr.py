@@ -211,6 +211,32 @@ def profile_weights(weights: Iterable[float]) -> WeightProfile:
     return WeightProfile(unit, min_weight, max_weight, None, None)
 
 
+def profile_with_weight(
+    profile: WeightProfile, weight: float
+) -> WeightProfile:
+    """Profile of the weight multiset ``old + [weight]``, without a rescan.
+
+    Exact for additions: every field of :class:`WeightProfile` is an
+    order-free reduction (``unit`` and the bounds are associative min/max
+    folds, the quantum is a running minimum of per-weight power-of-two
+    divisors, and Dial eligibility is monotone -- the ``max/quantum`` ratio
+    only ever grows as weights are added, so an ineligible profile can
+    never become eligible).  Used by the incremental CSR patches so a
+    single-edge mutation does not pay an O(E) weight rescan.
+    """
+    unit = profile.unit and weight == 1.0
+    min_weight = min(profile.min_weight, weight)
+    max_weight = max(profile.max_weight, weight)
+    if profile.quantum is None or not math.isfinite(weight):
+        return WeightProfile(unit, min_weight, max_weight, None, None)
+    quantum = min(profile.quantum, _pow2_divisor(weight))
+    if max_weight / quantum <= DIAL_MAX_QUANTA:
+        return WeightProfile(
+            unit, min_weight, max_weight, quantum, int(max_weight / quantum)
+        )
+    return WeightProfile(unit, min_weight, max_weight, None, None)
+
+
 class CSRGraph:
     """Compressed-sparse-row graph with a reusable search arena.
 
@@ -425,6 +451,120 @@ class CSRGraph:
     def num_edges(self) -> int:
         """Number of undirected edges in the snapshot."""
         return len(self.neighbors) // 2
+
+    # -- incremental single-edge patches ------------------------------------
+    #
+    # Each patch assembles a NEW snapshot from this one's slabs with
+    # C-level array slicing instead of the O(E) per-arc Python loop of
+    # ``from_topology`` -- the discrete-event churn engine applies one
+    # topology mutation per event, and rebuilding the snapshot from
+    # scratch would dominate its per-event budget.  This snapshot is left
+    # untouched (snapshots stay immutable; other holders keep their view),
+    # and untouched slabs are shared between the two snapshots.  Patches
+    # require array-backed slabs (``Topology.csr`` snapshots always are);
+    # shared-memory views raise ``TypeError`` on the slice-assign below.
+
+    def _arc_position(self, u: int, v: int) -> int:
+        """Index of the arc ``u -> v`` in the neighbor/weight slabs."""
+        neighbors = self.neighbors
+        for position in range(self.offsets[u], self.offsets[u + 1]):
+            if neighbors[position] == v:
+                return position
+        raise KeyError(f"no arc {u}->{v} in CSR snapshot")
+
+    def _shifted_offsets(self, u: int, v: int, delta: int) -> array:
+        """Offsets after adding ``delta`` arcs to each of rows u and v."""
+        offsets = self.offsets[:]
+        lo, hi = (u, v) if u < v else (v, u)
+        for node in range(lo + 1, hi + 1):
+            offsets[node] += delta
+        twice = delta + delta
+        for node in range(hi + 1, self.num_nodes + 1):
+            offsets[node] += twice
+        return offsets
+
+    def with_weight(self, u: int, v: int, weight: float) -> "CSRGraph":
+        """Snapshot with the existing edge ``{u, v}`` reweighted."""
+        weight = float(weight)
+        weights = self.weights[:]
+        weights[self._arc_position(u, v)] = weight
+        weights[self._arc_position(v, u)] = weight
+        return CSRGraph(
+            self.num_nodes,
+            self.offsets,
+            self.neighbors,
+            weights,
+            profile=profile_with_weight(self.profile, weight),
+        )
+
+    def without_edge(self, u: int, v: int) -> "CSRGraph":
+        """Snapshot with the edge ``{u, v}`` removed (arc order preserved).
+
+        The profile is inherited unchanged: removing a weight keeps every
+        profile invariant valid (remaining weights stay within the bounds
+        and divisible by the quantum, and a unit graph stays unit).  It may
+        no longer be *minimal* -- e.g. removing the only non-unit weight
+        will not rediscover the BFS fast path -- which affects kernel
+        choice only, never results (the kernels are bit-identical).
+        """
+        first = self._arc_position(u, v)
+        second = self._arc_position(v, u)
+        if first > second:
+            first, second = second, first
+        neighbors = (
+            self.neighbors[:first]
+            + self.neighbors[first + 1 : second]
+            + self.neighbors[second + 1 :]
+        )
+        weights = (
+            self.weights[:first]
+            + self.weights[first + 1 : second]
+            + self.weights[second + 1 :]
+        )
+        return CSRGraph(
+            self.num_nodes,
+            self._shifted_offsets(u, v, -1),
+            neighbors,
+            weights,
+            profile=self.profile,
+        )
+
+    def with_edge(self, u: int, v: int, weight: float) -> "CSRGraph":
+        """Snapshot with the new edge ``{u, v}`` appended to both rows.
+
+        Matches ``from_topology`` of a topology whose ``add_edge`` appended
+        the arc at the end of each endpoint's adjacency row.
+        """
+        weight = float(weight)
+        lo, hi = (u, v) if u < v else (v, u)
+        plo = self.offsets[lo + 1]
+        phi = self.offsets[hi + 1]
+        neighbors = (
+            self.neighbors[:plo]
+            + array("q", (hi,))
+            + self.neighbors[plo:phi]
+            + array("q", (lo,))
+            + self.neighbors[phi:]
+        )
+        weights = (
+            self.weights[:plo]
+            + array("d", (weight,))
+            + self.weights[plo:phi]
+            + array("d", (weight,))
+            + self.weights[phi:]
+        )
+        profile = (
+            profile_with_weight(self.profile, weight)
+            if len(self.weights)
+            else profile_weights((weight, weight))
+        )
+        return CSRGraph(
+            self.num_nodes,
+            self._shifted_offsets(u, v, 1),
+            neighbors,
+            weights,
+            profile=profile,
+        )
 
     # -- lazy slabs and arenas ----------------------------------------------
 

@@ -10,7 +10,8 @@ inside the Dijkstra variants.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator
+from array import array
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graphs.csr import CSRGraph, WeightProfile
@@ -80,12 +81,14 @@ class Topology:
                 self._edge_weights[key] = float(weight)
                 self._replace_adjacency_weight(u, v, float(weight))
                 self._replace_adjacency_weight(v, u, float(weight))
-                self._invalidate_caches()
+                self._refresh_caches(
+                    lambda csr: csr.with_weight(u, v, weight)
+                )
             return
         self._edge_weights[key] = float(weight)
         self._adjacency[u].append((v, float(weight)))
         self._adjacency[v].append((u, float(weight)))
-        self._invalidate_caches()
+        self._refresh_caches(lambda csr: csr.with_edge(u, v, weight))
 
     def _invalidate_caches(self) -> None:
         """Drop every derived snapshot after a mutation.
@@ -98,6 +101,86 @@ class Topology:
         self._csr = None
         self._weight_profile = None
         self._content_key = None
+
+    def _refresh_caches(
+        self, patch: "Callable[[CSRGraph], CSRGraph]"
+    ) -> None:
+        """Advance the derived snapshots across a single-edge mutation.
+
+        The content key is always dropped (recomputed on demand).  When a
+        CSR snapshot is live and array-backed, it is *patched* into a fresh
+        snapshot via C-level slab splicing instead of being rebuilt from
+        scratch on the next :meth:`csr` call -- the discrete-event churn
+        engine mutates one edge per event, and the O(E) per-arc rebuild
+        (plus the O(E) weight rescan) would otherwise dominate its
+        per-event budget.  With no live snapshot (the common construction
+        path) this is exactly :meth:`_invalidate_caches`.
+        """
+        self._content_key = None
+        csr = self._csr
+        self._csr = None
+        self._weight_profile = None
+        if csr is not None and isinstance(csr.offsets, array):
+            patched = patch(csr)
+            self._csr = patched
+            self._weight_profile = patched.profile
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Remove the undirected edge ``{u, v}``; return its weight.
+
+        The inverse of :meth:`add_edge`, used by the dynamics engine to
+        apply link-failure events in place.  Removing then re-adding an
+        edge yields a topology that compares ``==`` (and shares a
+        ``content_key``) with the original: equality is defined over the
+        edge-weight table, not adjacency insertion order, and every
+        derived snapshot (CSR, weight profile, content key) is
+        invalidated by the mutation.
+
+        Raises
+        ------
+        KeyError
+            If the edge does not exist.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        key = (u, v) if u < v else (v, u)
+        weight = self._edge_weights.pop(key)  # KeyError if absent
+        self._adjacency[u] = [
+            pair for pair in self._adjacency[u] if pair[0] != v
+        ]
+        self._adjacency[v] = [
+            pair for pair in self._adjacency[v] if pair[0] != u
+        ]
+        self._refresh_caches(lambda csr: csr.without_edge(u, v))
+        return weight
+
+    def set_edge_weight(self, u: int, v: int, weight: float) -> float:
+        """Set the weight of the existing edge ``{u, v}``; return the old one.
+
+        Unlike :meth:`add_edge` (which only ever *lowers* the stored weight
+        of a duplicate edge), this models a link-cost change event and may
+        raise or lower the weight.
+
+        Raises
+        ------
+        KeyError
+            If the edge does not exist.
+        ValueError
+            If the weight is not strictly positive.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if weight <= 0:
+            raise ValueError(f"edge weight must be > 0, got {weight}")
+        key = (u, v) if u < v else (v, u)
+        old = self._edge_weights[key]  # KeyError if absent
+        if float(weight) == old:
+            return old
+        self._edge_weights[key] = float(weight)
+        self._replace_adjacency_weight(u, v, float(weight))
+        self._replace_adjacency_weight(v, u, float(weight))
+        self._refresh_caches(lambda csr: csr.with_weight(u, v, weight))
+        return old
 
     def add_edges_from(
         self, edges: Iterable[tuple[int, int] | tuple[int, int, float]]

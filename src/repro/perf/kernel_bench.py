@@ -340,6 +340,7 @@ def bench_kernels(
         )
         _substrate_build_case(results, quick=quick, workers=workers)
         _measurement_batch_case(results, quick=quick, repeats=repeats)
+        _churn_case(results, quick=quick, repeats=2)
         _scenario_suite_case(
             results, quick=quick, workers=workers, repeats=1 if quick else 2
         )
@@ -599,6 +600,143 @@ def _measurement_batch_case(
         after,
         repeats=repeats,
         results=results,
+    )
+
+
+def _churn_case(results: dict[str, dict], *, quick: bool, repeats: int) -> None:
+    """Event-driven churn maintenance vs the per-event replay oracle.
+
+    The workload is the churn-cost scenario's core loop at Fig. 8 scale:
+    a connectivity-preserving edge-churn stream on the comparison G(n,m)
+    topology, with a per-event maintenance bill for each event:
+
+    * **before** -- the replay oracle: rebuild a fully reconverged
+      :class:`NDDiscoRouting` after every event and diff the two states
+      (:func:`~repro.dynamics.maintenance.maintenance_cost`), exactly what
+      the seed-era serial scenario did;
+    * **after** -- the event-driven :class:`~repro.dynamics.engine.ChurnEngine`:
+      converge once, then repair landmark SPT rows, vicinities, closest
+      folds and addresses incrementally per event (timer includes the
+      one-time convergence, so the ratio is end-to-end honest).
+
+    Both sides produce bit-identical per-event bills (pinned by the
+    differential tests in ``tests/test_dynamics_incremental.py``), so the
+    ratio is a pure performance number.  Two event counts form the
+    event-rate scaling curve: the replay side scales linearly with events
+    while the engine amortizes its single convergence, so the speedup
+    grows with the event rate.
+    """
+    from repro.core.landmarks import select_landmarks
+    from repro.core.nddisco import NDDiscoRouting
+    from repro.dynamics import (
+        ChurnEngine,
+        events_from_workload,
+        generate_churn_workload,
+        maintenance_cost,
+    )
+    from repro.dynamics.churn import apply_event
+
+    n = 96 if quick else 256
+    event_counts = (4, 8) if quick else (8, 32)
+    seed = 3
+    topology = gnm_random_graph(n, seed=seed, average_degree=8.0)
+    landmarks = select_landmarks(n, seed=seed)
+
+    for num_events in event_counts:
+        workload = generate_churn_workload(
+            topology, num_events=num_events, seed=seed + 17
+        )
+        events = events_from_workload(workload.events)
+
+        def before(workload=workload) -> None:
+            current = topology
+            state = NDDiscoRouting(current, seed=seed, landmarks=landmarks)
+            for event in workload.events:
+                current = apply_event(current, event)
+                next_state = NDDiscoRouting(
+                    current, seed=seed, landmarks=landmarks
+                )
+                maintenance_cost(state, next_state)
+                state = next_state
+
+        def after(events=events) -> None:
+            engine = ChurnEngine(topology, seed=seed, landmarks=landmarks)
+            engine.run(events)
+
+        _entry(
+            f"churn/gnm-{n}-events-{num_events}",
+            {
+                "family": "gnm",
+                "n": n,
+                "events": num_events,
+                "landmarks": len(landmarks),
+                "comparison": "per-event full reconvergence + state diff "
+                "(replay oracle) vs event-driven incremental engine "
+                "(including its one-time convergence)",
+            },
+            before,
+            after,
+            repeats=repeats,
+            results=results,
+        )
+
+    # -- steady-state throughput -------------------------------------------
+    # Both sides start from a converged state built OUTSIDE the timer (the
+    # replay oracle reuses one prebuilt NDDiscoRouting; the engine side
+    # draws from a pool of prebuilt engines, one per timed call, since a
+    # run mutates its engine).  What remains inside the timer is exactly
+    # the sustained per-event maintenance work, so before_s/after_s are
+    # the steady-state costs of absorbing the same event stream and the
+    # derived events_per_s_* params are the throughput numbers the
+    # engine's >= 10x acceptance is judged on.
+    num_events = event_counts[-1]
+    workload = generate_churn_workload(
+        topology, num_events=num_events, seed=seed + 17
+    )
+    events = events_from_workload(workload.events)
+    base_state = NDDiscoRouting(topology, seed=seed, landmarks=landmarks)
+    pool = [
+        ChurnEngine(topology, seed=seed, landmarks=landmarks)
+        for _ in range(repeats)
+    ]
+
+    def steady_before() -> None:
+        current = topology
+        state = base_state
+        for event in workload.events:
+            current = apply_event(current, event)
+            next_state = NDDiscoRouting(
+                current, seed=seed, landmarks=landmarks
+            )
+            maintenance_cost(state, next_state)
+            state = next_state
+
+    def steady_after() -> None:
+        pool.pop().run(events)
+
+    name = f"churn/gnm-{n}-steady-{num_events}"
+    _entry(
+        name,
+        {
+            "family": "gnm",
+            "n": n,
+            "events": num_events,
+            "landmarks": len(landmarks),
+            "comparison": "sustained per-event maintenance from a prebuilt "
+            "converged state: replay oracle (rebuild + diff per event) vs "
+            "event-driven incremental engine",
+        },
+        steady_before,
+        steady_after,
+        repeats=repeats,
+        results=results,
+    )
+    entry = results[name]
+    entry["params"]["events_per_s_before"] = round(
+        num_events / entry["before_s"], 1
+    )
+    entry["params"]["events_per_s_after"] = round(
+        num_events / entry["after_s"], 1
     )
 
 

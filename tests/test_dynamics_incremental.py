@@ -1,0 +1,356 @@
+"""Differential tests for the event-driven churn engine.
+
+The engine's contract is *bit-identity*: after any event stream, its
+incrementally maintained state (landmark SPT distances and parents,
+closest-landmark folds, vicinities, addresses) must equal what full
+reconvergence on the mutated topology produces.  These tests pin that
+contract three ways:
+
+* property-based seeded event streams (edge up/down/reweight, node
+  leave/join, including landmark failure) across the gnm / geometric /
+  router-level topology families, checked after *every* event against a
+  from-scratch engine on the same topology;
+* full :class:`NDDiscoRouting` state parity and per-event
+  :func:`maintenance_cost` bill parity against the replay oracle on
+  connectivity-preserving streams;
+* :func:`apply_maintenance` slab patches byte-identical to rebuilding
+  :class:`SubstrateTables` from scratch.
+
+Plus the maintenance edge cases (events at dead nodes, duplicate events
+in one tick, partitions isolating every landmark, healing after a full
+partition) and the flat-array :class:`EventCalendar` semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.addressing.labels import LabelCodec
+from repro.core.landmarks import select_landmarks
+from repro.core.nddisco import NDDiscoRouting
+from repro.core.substrate_build import apply_maintenance, build_substrate_tables
+from repro.core.tables import _TABLE_SLOTS, _VICINITY_SLOTS
+from repro.dynamics import (
+    ChurnEngine,
+    DynEvent,
+    EventCalendar,
+    events_from_workload,
+    generate_churn_workload,
+    generate_event_stream,
+    maintenance_cost,
+)
+from repro.dynamics.churn import apply_event
+from repro.graphs.generators import (
+    geometric_random_graph,
+    gnm_random_graph,
+    internet_router_level,
+)
+from repro.graphs.incremental import (
+    repair_after_decrease,
+    repair_after_increase,
+    spt_dense,
+)
+from repro.graphs.topology import Topology
+
+_SETTINGS = settings(
+    deadline=None,
+    max_examples=6,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _make_topology(family: str, seed: int) -> Topology:
+    if family == "gnm":
+        return gnm_random_graph(40, seed=seed, average_degree=5.0)
+    if family == "geometric":
+        return geometric_random_graph(40, seed=seed, average_degree=5.0)
+    return internet_router_level(48, seed=seed)
+
+
+def _oracle(engine: ChurnEngine) -> ChurnEngine:
+    """Full reconvergence on the engine's current (mutated) topology."""
+    oracle = ChurnEngine(
+        engine.topology, seed=0, landmarks=sorted(engine.landmarks)
+    )
+    oracle._dead = set(engine.dead_nodes)
+    return oracle
+
+
+class TestEventCalendar:
+    def test_drains_in_tick_order_fifo_within_tick(self):
+        calendar = EventCalendar(horizon=4)
+        events = [
+            DynEvent(2, "edge-down", 0, 1),
+            DynEvent(0, "edge-down", 2, 3),
+            DynEvent(2, "edge-up", 4, 5, 1.0),
+            DynEvent(1, "node-leave", 6),
+            DynEvent(2, "edge-down", 7, 8),
+        ]
+        calendar.extend(events)
+        drained = list(calendar.drain())
+        assert [e.tick for e in drained] == [0, 1, 2, 2, 2]
+        # FIFO among same-tick events: schedule order preserved.
+        assert drained[2:] == [events[0], events[2], events[4]]
+
+    def test_grows_past_horizon(self):
+        calendar = EventCalendar(horizon=2)
+        events = [DynEvent(t, "edge-down", t, t + 1) for t in (0, 7, 3, 7)]
+        calendar.extend(events)
+        assert [e.tick for e in calendar.drain()] == [0, 3, 7, 7]
+
+    def test_rejects_past_ticks(self):
+        calendar = EventCalendar()
+        calendar.schedule(DynEvent(5, "edge-down", 0, 1))
+        assert calendar.pop().tick == 5
+        with pytest.raises(ValueError):
+            calendar.schedule(DynEvent(4, "edge-down", 0, 1))
+
+    def test_pop_on_empty_returns_none(self):
+        calendar = EventCalendar()
+        assert calendar.pop() is None
+        calendar.schedule(DynEvent(1, "edge-down", 0, 1))
+        assert calendar.pop() is not None
+        assert calendar.pop() is None
+
+
+class TestIncrementalSPTRepair:
+    """The repair primitives against a from-scratch canonical Dijkstra."""
+
+    @given(
+        family=st.sampled_from(["gnm", "geometric"]),
+        seed=st.integers(0, 30),
+        pick=st.integers(0, 10**6),
+    )
+    @_SETTINGS
+    def test_edge_removal_repair_matches_recompute(self, family, seed, pick):
+        topology = _make_topology(family, seed)
+        edges = list(topology.edges())
+        u, v, _ = edges[pick % len(edges)]
+        root = pick % topology.num_nodes
+        dist, parent = spt_dense(topology, root)
+        topology.remove_edge(u, v)
+        repair_after_increase(topology, dist, parent, root, u, v)
+        fresh_dist, fresh_parent = spt_dense(topology, root)
+        assert dist == fresh_dist
+        assert parent == fresh_parent
+
+    @given(
+        family=st.sampled_from(["gnm", "geometric"]),
+        seed=st.integers(0, 30),
+        pick=st.integers(0, 10**6),
+    )
+    @_SETTINGS
+    def test_edge_insert_repair_matches_recompute(self, family, seed, pick):
+        topology = _make_topology(family, seed)
+        n = topology.num_nodes
+        u, v = pick % n, (pick // n) % n
+        if u == v or topology.has_edge(u, v):
+            return
+        root = pick % n
+        dist, parent = spt_dense(topology, root)
+        topology.add_edge(u, v, 1.0 + (pick % 3) * 0.25)
+        repair_after_decrease(topology, dist, parent, root, u, v)
+        fresh_dist, fresh_parent = spt_dense(topology, root)
+        assert dist == fresh_dist
+        assert parent == fresh_parent
+
+
+class TestEngineDifferential:
+    """Incremental maintenance is bit-identical to full reconvergence."""
+
+    @given(
+        family=st.sampled_from(["gnm", "geometric", "router"]),
+        stream_seed=st.integers(0, 40),
+    )
+    @_SETTINGS
+    def test_mixed_streams_match_full_reconvergence(self, family, stream_seed):
+        topology = _make_topology(family, stream_seed)
+        events = generate_event_stream(
+            topology, num_events=10, seed=stream_seed
+        )
+        engine = ChurnEngine(topology, seed=0)
+        for event in events:
+            engine.apply(event)
+            assert (
+                engine.state_signature() == _oracle(engine).state_signature()
+            ), event
+
+    def test_landmark_failure_and_rejoin(self):
+        topology = gnm_random_graph(48, seed=6, average_degree=6.0)
+        engine = ChurnEngine(topology, seed=1)
+        landmark = min(engine.landmarks)
+        engine.apply(DynEvent(0, "node-leave", landmark))
+        assert landmark in engine.dead_nodes
+        # The dead landmark's row folds to unreachable for everyone else,
+        # and every survivor refolds onto a live landmark.
+        dist_row, _ = engine.landmark_row(landmark)
+        assert dist_row[landmark] == 0.0
+        assert all(
+            d == math.inf
+            for node, d in enumerate(dist_row)
+            if node != landmark
+        )
+        closest, _ = engine.closest_landmark_rows
+        assert all(
+            closest[node] != landmark
+            for node in range(engine.num_nodes)
+            if node != landmark
+        )
+        assert engine.state_signature() == _oracle(engine).state_signature()
+        engine.apply(DynEvent(1, "node-join", landmark))
+        assert engine.state_signature() == _oracle(engine).state_signature()
+        # Fully healed: identical to a converged engine on the original
+        # topology (node-join restores the exact captured edges).
+        pristine = ChurnEngine(
+            topology, seed=1, landmarks=sorted(engine.landmarks)
+        )
+        assert engine.state_signature() == pristine.state_signature()
+
+    def test_matches_nddisco_state_after_connected_stream(self):
+        topology = gnm_random_graph(48, seed=3, average_degree=6.0)
+        landmarks = select_landmarks(48, seed=3)
+        workload = generate_churn_workload(topology, num_events=8, seed=11)
+        engine = ChurnEngine(topology, seed=3, landmarks=landmarks)
+        engine.run(events_from_workload(workload.events))
+        current = topology
+        for event in workload.events:
+            current = apply_event(current, event)
+        routing = NDDiscoRouting(current, seed=3, landmarks=landmarks)
+        assert (
+            engine.state_signature()
+            == ChurnEngine.from_routing(routing).state_signature()
+        )
+
+    def test_per_event_bills_match_replay_oracle(self):
+        topology = gnm_random_graph(48, seed=4, average_degree=6.0)
+        landmarks = select_landmarks(48, seed=4)
+        workload = generate_churn_workload(topology, num_events=8, seed=21)
+        engine = ChurnEngine(topology, seed=4, landmarks=landmarks)
+        reports = engine.run(events_from_workload(workload.events))
+        current = topology
+        state = NDDiscoRouting(current, seed=4, landmarks=landmarks)
+        for report, event in zip(reports, workload.events):
+            current = apply_event(current, event)
+            next_state = NDDiscoRouting(current, seed=4, landmarks=landmarks)
+            assert report.applied
+            assert report.cost == maintenance_cost(state, next_state)
+            state = next_state
+
+    def test_from_routing_equals_direct_convergence(self):
+        topology = geometric_random_graph(40, seed=7, average_degree=5.0)
+        routing = NDDiscoRouting(topology, seed=7)
+        adopted = ChurnEngine.from_routing(routing)
+        direct = ChurnEngine(
+            topology, seed=7, landmarks=sorted(routing.landmarks)
+        )
+        assert adopted.state_signature() == direct.state_signature()
+
+
+def _two_cliques(bridge_weight: float = 1.0) -> Topology:
+    """Two 4-cliques joined by the single bridge edge (3, 4)."""
+    topology = Topology(8)
+    for base in (0, 4):
+        for i in range(base, base + 4):
+            for j in range(i + 1, base + 4):
+                topology.add_edge(i, j, 1.0)
+    topology.add_edge(3, 4, bridge_weight)
+    return topology
+
+
+class TestMaintenanceEdgeCases:
+    def test_event_at_dead_node_is_noop(self):
+        topology = gnm_random_graph(32, seed=2, average_degree=5.0)
+        engine = ChurnEngine(topology, seed=0)
+        engine.apply(DynEvent(0, "node-leave", 5))
+        before = engine.state_signature()
+        for event in (
+            DynEvent(1, "edge-down", 5, 6),
+            DynEvent(1, "edge-up", 5, 7, 1.0),
+            DynEvent(1, "edge-reweight", 5, 6, 2.0),
+            DynEvent(1, "node-leave", 5),
+        ):
+            report = engine.apply(event)
+            assert not report.applied
+            assert report.cost.total_incremental_entries == 0
+        assert engine.state_signature() == before
+
+    def test_duplicate_events_in_one_tick(self):
+        topology = gnm_random_graph(32, seed=2, average_degree=5.0)
+        u, v, _ = next(iter(sorted(topology.edges())))
+        engine = ChurnEngine(topology, seed=0)
+        first, second = engine.run(
+            [
+                DynEvent(0, "edge-down", u, v),
+                DynEvent(0, "edge-down", u, v),
+            ]
+        )
+        assert first.applied and not second.applied
+        assert engine.state_signature() == _oracle(engine).state_signature()
+
+    def test_partition_isolating_every_landmark(self):
+        topology = _two_cliques()
+        engine = ChurnEngine(topology, seed=0, landmarks=[0, 1])
+        engine.apply(DynEvent(0, "edge-down", 3, 4))
+        # Every node in the far clique has no reachable landmark: no
+        # closest fold, no address -- and the engine still matches full
+        # reconvergence on the partitioned topology.
+        closest, closest_dist = engine.closest_landmark_rows
+        for node in range(4, 8):
+            assert closest[node] == -1
+            assert closest_dist[node] == math.inf
+            assert engine.addresses[node] is None
+        for node in range(4):
+            assert closest[node] in (0, 1)
+            assert engine.addresses[node] is not None
+        assert engine.state_signature() == _oracle(engine).state_signature()
+
+    def test_heal_after_full_partition(self):
+        topology = _two_cliques()
+        engine = ChurnEngine(topology, seed=0, landmarks=[0, 1])
+        engine.apply(DynEvent(0, "edge-down", 3, 4))
+        engine.apply(DynEvent(1, "edge-up", 3, 4, 1.0))
+        pristine = ChurnEngine(topology, seed=0, landmarks=[0, 1])
+        assert engine.state_signature() == pristine.state_signature()
+        # And addresses exist again for the formerly isolated side.
+        assert all(
+            engine.addresses[node] is not None for node in range(8)
+        )
+
+
+class TestSubstrateMaintenance:
+    def test_patched_slabs_match_scratch_rebuild(self):
+        """apply_maintenance produces byte-identical SubstrateTables."""
+        topology = gnm_random_graph(48, seed=5, average_degree=6.0)
+        landmarks = select_landmarks(48, seed=5)
+        codec = LabelCodec(topology)
+        tables = build_substrate_tables(topology, landmarks, codec=codec)
+        engine = ChurnEngine(topology, seed=5, landmarks=landmarks)
+        workload = generate_churn_workload(topology, num_events=6, seed=13)
+        for event in events_from_workload(workload.events):
+            engine.apply(event)
+            codec = LabelCodec(engine.topology)
+            apply_maintenance(tables, engine, codec=codec)
+            fresh = build_substrate_tables(
+                engine.topology, landmarks, codec=codec
+            )
+            for slot, _ in _TABLE_SLOTS:
+                assert list(getattr(tables, slot)) == list(
+                    getattr(fresh, slot)
+                ), slot
+            for slot, _ in _VICINITY_SLOTS:
+                assert list(getattr(tables.vicinity, slot)) == list(
+                    getattr(fresh.vicinity, slot)
+                ), slot
+
+    def test_take_dirty_drains_accumulated_state(self):
+        topology = gnm_random_graph(32, seed=2, average_degree=5.0)
+        u, v, _ = next(iter(sorted(topology.edges())))
+        engine = ChurnEngine(topology, seed=0)
+        assert not engine.take_dirty()
+        engine.apply(DynEvent(0, "edge-down", u, v))
+        dirty = engine.take_dirty()
+        assert dirty
+        assert not engine.take_dirty()
