@@ -1,4 +1,4 @@
-"""Memory canaries: scenario-suite warm footprint, substrate build peak.
+"""Memory canaries: suite warm footprint, build peak, ingestion peak.
 
 PR 4 closed the warm-vs-cold *object graph* gap (scheme shells rewire onto
 one shared substrate on load) but left warm retained memory at cold parity
@@ -106,4 +106,96 @@ def test_substrate_build_peak_memory_stays_slab_bound(benchmark, run_once):
         f"substrate build peaked at {peak_bytes / 1024**2:.0f} MiB for "
         f"{slab_bytes / 1024**2:.0f} MiB of slabs "
         f"(> {BUILD_PEAK_SLAB_RATIO}x): dict intermediates are back?"
+    )
+
+
+#: Ingestion peak ceiling as a multiple of the finished CSRTopology slab
+#: payload (the ISSUE acceptance bound).  Streaming ingestion holds the
+#: canonical edge arrays, O(n) dedup scratch, and the CSR slabs -- no
+#: per-edge Python objects -- measured ~1.33x on a 2^20-edge G(n,m) edge
+#: list.  The dict-mediated path it replaced allocated per-node adjacency
+#: dicts plus boxed floats for every arc (many times the payload); a
+#: return of per-edge objects trips this immediately.
+INGEST_PEAK_SLAB_RATIO = 2.0
+
+
+def test_ingestion_peak_memory_stays_slab_bound(
+    benchmark, run_once, tmp_path
+):
+    """Peak traced memory of streaming a >=10^6-edge edge list into a
+    CSRTopology stays under twice the finished slab payload."""
+    import gc
+    import tracemalloc
+
+    from repro.graphs.generators import gnm_random_graph
+    from repro.graphs.ingest import ingest_file
+    from repro.graphs.io import write_edge_list
+
+    n = 262144  # average degree 8 -> ~2^20 edges
+
+    def measure() -> tuple[int, int, int]:
+        path = tmp_path / "big.edges"
+        topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+        edges = topology.num_edges
+        write_edge_list(topology, path)
+        del topology
+        gc.collect()
+        tracemalloc.start()
+        try:
+            ingested = ingest_file(path, backend="csr")
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert ingested.num_edges == edges
+        return edges, ingested.slab_bytes(), peak
+
+    edges, slab_bytes, peak_bytes = run_once(measure)
+    assert edges >= 10**6
+    benchmark.extra_info["edges"] = edges
+    benchmark.extra_info["slab_mb"] = round(slab_bytes / 1024**2, 1)
+    benchmark.extra_info["ingest_peak_mb"] = round(peak_bytes / 1024**2, 1)
+    assert peak_bytes < slab_bytes * INGEST_PEAK_SLAB_RATIO, (
+        f"ingestion peaked at {peak_bytes / 1024**2:.0f} MiB for "
+        f"{slab_bytes / 1024**2:.0f} MiB of CSR slabs "
+        f"(> {INGEST_PEAK_SLAB_RATIO}x): per-edge objects are back?"
+    )
+
+
+#: Kernel memory curve: peak traced bytes per node for one full SPT on
+#: the auto-selected kernel, and the growth factor between successive
+#: curve points.  The CSR slabs plus the search arena are all O(n + m),
+#: so quadrupling n must not grow the peak by more than ~5x; a dense
+#: matrix or per-pair cache creeping into the kernels trips the growth
+#: assert long before it exhausts memory.
+KERNEL_PEAK_GROWTH_LIMIT = 5.5
+
+
+def test_kernel_memory_curve_stays_linear(benchmark, run_once):
+    import gc
+    import tracemalloc
+
+    from repro.graphs.generators import gnm_random_graph
+
+    def peak_for(n: int) -> int:
+        topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+        gc.collect()
+        tracemalloc.start()
+        try:
+            csr = topology.csr()
+            csr.dijkstra(0)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    def measure() -> tuple[int, int]:
+        return peak_for(4096), peak_for(16384)
+
+    small_peak, large_peak = run_once(measure)
+    benchmark.extra_info["peak_kb_4096"] = round(small_peak / 1024.0, 1)
+    benchmark.extra_info["peak_kb_16384"] = round(large_peak / 1024.0, 1)
+    growth = large_peak / small_peak
+    assert growth < KERNEL_PEAK_GROWTH_LIMIT, (
+        f"kernel peak grew {growth:.1f}x for 4x the nodes -- "
+        "superlinear kernel memory?"
     )

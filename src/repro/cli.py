@@ -9,6 +9,8 @@ can reproduce the paper or study their own topology without writing code::
     python -m repro run --all --workers 4             # everything, in parallel
     python -m repro run fig02 fig03 --json-dir out/   # structured JSON results
     python -m repro generate gnm 1024 --out net.edges # write a topology
+    python -m repro ingest isp.cch --format rocketfuel # stream a real map
+    python -m repro run fig02 --topology-file isp.cch --topology-format rocketfuel
     python -m repro profile net.edges                 # structural profile
     python -m repro compare net.edges --protocols disco s4 vrr
     python -m repro bench --out BENCH_kernels.json    # perf-regression harness
@@ -102,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable artifact caching (every prerequisite is rebuilt)",
     )
+    run_parser.add_argument(
+        "--topology-file",
+        default=None,
+        metavar="PATH",
+        help="ingest this real-topology dataset and add a 'real' "
+        "panel/column to the figure scenarios that accept one "
+        "(fig02, fig03, fig10)",
+    )
+    run_parser.add_argument(
+        "--topology-format",
+        default="edge-list",
+        metavar="FORMAT",
+        help="registered ingest format for --topology-file "
+        "(see 'repro ingest --list-formats'; default: edge-list)",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache",
@@ -174,6 +191,71 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics, shards, aliases)"
     )
 
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="stream a real-topology dataset into an array-backed "
+        "CSRTopology (and the artifact cache) without building dict "
+        "adjacency; prints a structural summary",
+    )
+    ingest_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="dataset path (omit with --list-formats)",
+    )
+    ingest_parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="edge-list",
+        metavar="FORMAT",
+        help="registered format name (default: edge-list)",
+    )
+    ingest_parser.add_argument(
+        "--list-formats",
+        action="store_true",
+        help="list the registered ingest formats and exit",
+    )
+    ingest_parser.add_argument(
+        "--name", default=None, help="override the topology name"
+    )
+    ingest_parser.add_argument(
+        "--largest-component",
+        action="store_true",
+        help="keep only the largest connected component (what the "
+        "figure scenarios do; real maps are routinely disconnected)",
+    )
+    ingest_parser.add_argument(
+        "--delay",
+        type=float,
+        default=None,
+        help="per-link delay for formats with a single delay knob "
+        "(caida-aslinks)",
+    )
+    ingest_parser.add_argument(
+        "--internal-delay",
+        type=float,
+        default=None,
+        help="intra-ISP link delay (rocketfuel; default 2.0)",
+    )
+    ingest_parser.add_argument(
+        "--external-delay",
+        type=float,
+        default=None,
+        help="external link delay (rocketfuel; default 34.0)",
+    )
+    ingest_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist the parsed topology as a content-addressed artifact "
+        "under this cache root (default: $REPRO_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    ingest_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse only; do not touch the artifact cache",
+    )
+
     generate_parser = subparsers.add_parser(
         "generate", help="generate a topology and write it as an edge list"
     )
@@ -222,12 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--kernel",
-        choices=["heap", "bucket"],
+        choices=["heap", "bucket", "bfs"],
         default=None,
-        help="force a weighted kernel on the CSR side wherever the weight "
-        "profile allows it (A/B the indexed 4-ary heap against the Dial "
-        "bucket queue); skips the end-to-end staticsim cases, which always "
-        "auto-select; default: auto-select per topology",
+        help="force a kernel on the CSR side wherever the weight profile "
+        "allows it (A/B the indexed 4-ary heap, the Dial bucket queue, "
+        "and the unit-weight BFS); skips the end-to-end staticsim cases, "
+        "which always auto-select; default: auto-select per topology",
     )
     bench_parser.add_argument(
         "--history-dir",
@@ -393,12 +475,36 @@ def _command_run(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else _cache_root(args)
     from repro.scenarios.engine import run_scenarios
 
+    scale = default_scale()
+    if args.topology_file is not None:
+        import dataclasses
+
+        from repro.graphs.ingest import available_formats
+
+        if args.topology_format not in available_formats():
+            print(
+                f"unknown --topology-format {args.topology_format!r} "
+                f"(registered: {', '.join(available_formats())})",
+                file=sys.stderr,
+            )
+            return 2
+        if not os.path.isfile(args.topology_file):
+            print(
+                f"--topology-file {args.topology_file}: no such file",
+                file=sys.stderr,
+            )
+            return 2
+        scale = dataclasses.replace(
+            scale,
+            topology_file=args.topology_file,
+            topology_format=args.topology_format,
+        )
     try:
         # run_scenarios resolves ids/aliases itself (planning happens
         # before any execution, so an unknown id fails fast).
         runs = run_scenarios(
             selected,
-            scale=default_scale(),
+            scale=scale,
             workers=args.workers,
             json_dir=args.json_dir,
             cache=cache,
@@ -568,6 +674,73 @@ def _command_scenarios(args: argparse.Namespace) -> int:
         return 0
     print(f"unknown scenarios command {args.scenarios_command!r}", file=sys.stderr)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.graphs import ingest
+
+    if args.list_formats:
+        rows = [
+            [fmt.name, fmt.description]
+            for fmt in sorted(ingest._FORMATS.values())
+        ]
+        print(format_table(["format", "description"], rows))
+        return 0
+    if args.path is None:
+        print("ingest: dataset path required (or --list-formats)", file=sys.stderr)
+        return 2
+    if args.fmt not in ingest.available_formats():
+        print(
+            f"unknown format {args.fmt!r} "
+            f"(registered: {', '.join(ingest.available_formats())})",
+            file=sys.stderr,
+        )
+        return 2
+    params = {}
+    if args.delay is not None:
+        params["delay"] = args.delay
+    if args.internal_delay is not None:
+        params["internal_delay"] = args.internal_delay
+    if args.external_delay is not None:
+        params["external_delay"] = args.external_delay
+
+    from repro.scenarios.cache import ArtifactCache, activated
+
+    cache = None if args.no_cache else ArtifactCache(_cache_root(args))
+    try:
+        with activated(cache):
+            topology = ingest.ingest_topology(
+                args.path,
+                fmt=args.fmt,
+                name=args.name,
+                largest_component=args.largest_component,
+                **params,
+            )
+    except OSError as error:
+        print(f"cannot read {args.path}: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as error:
+        print(f"ingest failed: {error}", file=sys.stderr)
+        return 2
+    digest = ingest.file_digest(args.path)
+    profile = topology.weight_profile()
+    csr = topology.csr()
+    print(
+        f"{topology.name}: {topology.num_nodes} nodes / "
+        f"{topology.num_edges} edges  (format={args.fmt}, "
+        f"sha256={digest[:16]})"
+    )
+    weights = "unit" if profile.unit else (
+        f"quantized (quantum {profile.quantum:g})" if profile.bucket_ok
+        else "general"
+    )
+    print(f"weights: {weights}; kernel: {csr.kernel} ({csr.tier} tier)")
+    if args.largest_component:
+        print("largest connected component kept")
+    if cache is not None:
+        verb = "attached from" if cache.hits else "stored in"
+        print(f"artifact {verb} cache ({cache.root})")
+    return 0
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -1012,6 +1185,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_cache(args)
     if args.command == "scenarios":
         return _command_scenarios(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "profile":

@@ -40,6 +40,12 @@ class ExperimentScale:
         Node counts for the Fig. 9 scaling sweep.
     seed:
         Root seed shared by all experiments.
+    topology_file, topology_format:
+        Optional real-topology dataset: a path ingested through
+        :mod:`repro.graphs.ingest` with the named registered format.
+        When set, the figure scenarios that accept it grow a "real
+        topology" panel/column next to their synthetic ones (and the
+        ``repro run --topology-file`` CLI populates it).
     """
 
     comparison_nodes: int = 1024
@@ -52,6 +58,8 @@ class ExperimentScale:
     scaling_sweep: tuple[int, ...] = (256, 512, 768, 1024)
     seed: int = 2010
     label: str = field(default="default")
+    topology_file: str | None = None
+    topology_format: str = "edge-list"
 
     def scaled(self, factor: float) -> "ExperimentScale":
         """Return a copy with all node counts multiplied by ``factor``."""
@@ -72,6 +80,8 @@ class ExperimentScale:
             scaling_sweep=tuple(scale_int(v) for v in self.scaling_sweep),
             seed=self.seed,
             label=f"{self.label}×{factor:g}",
+            topology_file=self.topology_file,
+            topology_format=self.topology_format,
         )
 
 

@@ -22,6 +22,7 @@ from repro.experiments.reporting import header, render_state_reports
 from repro.experiments.workloads import (
     as_level_topology,
     large_geometric,
+    real_topology,
     router_level_topology,
 )
 from repro.metrics.state import StateReport
@@ -36,25 +37,42 @@ _PANELS = {
     "geometric": large_geometric,
     "as_level": as_level_topology,
     "router_level": router_level_topology,
+    # "real" joins dynamically when the scale names an ingested dataset.
+    "real": real_topology,
 }
+
+_SYNTHETIC = ("geometric", "as_level", "router_level")
+
+
+def _shard_keys(scale: ExperimentScale) -> tuple[str, ...]:
+    """The three synthetic panels, plus "real" when a dataset is named."""
+    if scale.topology_file is not None:
+        return _SYNTHETIC + ("real",)
+    return _SYNTHETIC
 
 
 @dataclass(frozen=True)
 class StateCdfResult:
-    """State reports per protocol for each of the three topologies."""
+    """State reports per protocol for each topology panel."""
 
     geometric: dict[str, StateReport]
     as_level: dict[str, StateReport]
     router_level: dict[str, StateReport]
     scale_label: str
+    #: Present only when the run ingested a real dataset
+    #: (``--topology-file``); None keeps older result pickles loadable.
+    real: dict[str, StateReport] | None = None
 
     def panels(self) -> dict[str, dict[str, StateReport]]:
-        """The three panels keyed by topology label."""
-        return {
+        """The panels keyed by topology label."""
+        panels = {
             "geometric": self.geometric,
             "as-level": self.as_level,
             "router-level": self.router_level,
         }
+        if self.real is not None:
+            panels["real"] = self.real
+        return panels
 
     def imbalance(self, panel: str, protocol: str) -> float:
         """max/mean state ratio -- the quantity that exposes S4's imbalance."""
@@ -83,6 +101,7 @@ def _merge_panels(
         as_level=panels["as_level"],
         router_level=panels["router_level"],
         scale_label=scale.label,
+        real=panels.get("real"),
     )
 
 
@@ -95,7 +114,7 @@ def _merge_panels(
     workload="converged-state CDF per topology panel",
     aliases=("fig02",),
     tags=("figure", "quick"),
-    shards=tuple(_PANELS),
+    shards=_shard_keys,
     shard_runner=_run_panel,
     shard_merge=_merge_panels,
 )
@@ -103,7 +122,8 @@ def run(scale: ExperimentScale | None = None) -> StateCdfResult:
     """Measure per-node state for Disco, NDDisco and S4 on the three topologies."""
     scale = scale or default_scale()
     return _merge_panels(
-        scale, {label: _run_panel(scale, label) for label in _PANELS}
+        scale,
+        {label: _run_panel(scale, label) for label in _shard_keys(scale)},
     )
 
 

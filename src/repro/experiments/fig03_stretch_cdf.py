@@ -22,6 +22,7 @@ from repro.experiments.reporting import header, render_stretch_reports
 from repro.experiments.workloads import (
     as_level_topology,
     large_geometric,
+    real_topology,
     router_level_topology,
 )
 from repro.metrics.stretch import StretchReport
@@ -36,25 +37,42 @@ _PANELS = {
     "geometric": large_geometric,
     "as_level": as_level_topology,
     "router_level": router_level_topology,
+    # "real" joins dynamically when the scale names an ingested dataset.
+    "real": real_topology,
 }
+
+_SYNTHETIC = ("geometric", "as_level", "router_level")
+
+
+def _shard_keys(scale: ExperimentScale) -> tuple[str, ...]:
+    """The three synthetic panels, plus "real" when a dataset is named."""
+    if scale.topology_file is not None:
+        return _SYNTHETIC + ("real",)
+    return _SYNTHETIC
 
 
 @dataclass(frozen=True)
 class StretchCdfResult:
-    """Stretch reports per protocol for each of the three topologies."""
+    """Stretch reports per protocol for each topology panel."""
 
     geometric: dict[str, StretchReport]
     as_level: dict[str, StretchReport]
     router_level: dict[str, StretchReport]
     scale_label: str
+    #: Present only when the run ingested a real dataset
+    #: (``--topology-file``); None keeps older result pickles loadable.
+    real: dict[str, StretchReport] | None = None
 
     def panels(self) -> dict[str, dict[str, StretchReport]]:
-        """The three panels keyed by topology label."""
-        return {
+        """The panels keyed by topology label."""
+        panels = {
             "geometric": self.geometric,
             "as-level": self.as_level,
             "router-level": self.router_level,
         }
+        if self.real is not None:
+            panels["real"] = self.real
+        return panels
 
 
 def _run_panel(scale: ExperimentScale, label: str) -> dict[str, StretchReport]:
@@ -77,6 +95,7 @@ def _merge_panels(
         as_level=panels["as_level"],
         router_level=panels["router_level"],
         scale_label=scale.label,
+        real=panels.get("real"),
     )
 
 
@@ -89,7 +108,7 @@ def _merge_panels(
     workload="sampled source-destination pairs per topology panel",
     aliases=("fig03",),
     tags=("figure", "quick"),
-    shards=tuple(_PANELS),
+    shards=_shard_keys,
     shard_runner=_run_panel,
     shard_merge=_merge_panels,
 )
@@ -97,7 +116,8 @@ def run(scale: ExperimentScale | None = None) -> StretchCdfResult:
     """Measure first/later stretch for Disco and S4 on the three topologies."""
     scale = scale or default_scale()
     return _merge_panels(
-        scale, {label: _run_panel(scale, label) for label in _PANELS}
+        scale,
+        {label: _run_panel(scale, label) for label in _shard_keys(scale)},
     )
 
 

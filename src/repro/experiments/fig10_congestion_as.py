@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import header, render_congestion_reports
-from repro.experiments.workloads import as_level_topology
+from repro.experiments.workloads import as_level_topology, real_topology
 from repro.metrics.congestion import CongestionReport
 from repro.scenarios.spec import scenario
 from repro.staticsim.simulation import StaticSimulation
@@ -33,6 +33,17 @@ class CongestionTailResult:
     reports: dict[str, CongestionReport]
     topology_label: str
     scale_label: str
+    #: Present only when the run ingested a real dataset
+    #: (``--topology-file``); None keeps older result pickles loadable.
+    real_reports: dict[str, CongestionReport] | None = None
+    real_topology_label: str | None = None
+
+    def columns(self) -> dict[str, dict[str, CongestionReport]]:
+        """The congestion columns keyed by topology label."""
+        columns = {self.topology_label: self.reports}
+        if self.real_reports is not None:
+            columns[self.real_topology_label or "real"] = self.real_reports
+        return columns
 
     def tail_excess_fraction(self, protocol: str, baseline: str = "Path-Vector") -> float:
         """Fraction of edges where ``protocol`` exceeds the baseline's maximum."""
@@ -64,10 +75,23 @@ def run(scale: ExperimentScale | None = None) -> CongestionTailResult:
         measure_stretch_flag=False,
         measure_congestion_flag=True,
     )
+    real_reports = None
+    real_label = None
+    if scale.topology_file is not None:
+        real = real_topology(scale)
+        real_results = StaticSimulation(real, _PROTOCOLS, seed=scale.seed).run(
+            measure_state_flag=False,
+            measure_stretch_flag=False,
+            measure_congestion_flag=True,
+        )
+        real_reports = real_results.congestion
+        real_label = real.name
     return CongestionTailResult(
         reports=results.congestion,
         topology_label=topology.name,
         scale_label=scale.label,
+        real_reports=real_reports,
+        real_topology_label=real_label,
     )
 
 
@@ -88,4 +112,9 @@ def format_report(result: CongestionTailResult) -> str:
             f"{protocol}: {fraction * 100.0:.3f}% of edges exceed the "
             "shortest-path maximum load"
         )
+    if result.real_reports is not None:
+        parts.append(
+            f"\n--- real topology ({result.real_topology_label}) ---"
+        )
+        parts.append(render_congestion_reports(result.real_reports))
     return "\n".join(parts)

@@ -34,6 +34,7 @@ __all__ = [
     "large_geometric",
     "as_level_topology",
     "router_level_topology",
+    "real_topology",
     "sweep_gnm",
     "sweep_geometric",
 ]
@@ -84,6 +85,28 @@ def router_level_topology(scale: ExperimentScale) -> Topology:
     return cached_topology(
         ("router-level", n, seed),
         lambda: internet_router_level(n, seed=seed),
+    )
+
+
+def real_topology(scale: ExperimentScale) -> Topology:
+    """The ingested real-world dataset named by ``scale.topology_file``.
+
+    Streams the dataset through :func:`repro.graphs.ingest.ingest_topology`
+    (array-backed ``CSRTopology``, content-addressed by file digest +
+    format, largest connected component kept -- real maps are routinely
+    disconnected).  Raises ``ValueError`` when the scale names no file.
+    """
+    if scale.topology_file is None:
+        raise ValueError(
+            "scale.topology_file is not set; pass --topology-file (CLI) "
+            "or ExperimentScale(topology_file=...)"
+        )
+    from repro.graphs.ingest import ingest_topology
+
+    return ingest_topology(
+        scale.topology_file,
+        fmt=scale.topology_format,
+        largest_component=True,
     )
 
 

@@ -1,7 +1,8 @@
 """On-demand compiler/loader for the C shortest-path kernels.
 
 ``_kernels.c`` (shipped next to this module) implements the indexed 4-ary
-heap and the Dial bucket queue at C speed.  This module compiles it with the
+heap, the Dial bucket queue, and the unit-weight level-ordered BFS at C
+speed.  This module compiles it with the
 system C compiler the first time it is needed and memoizes the loaded
 ``ctypes`` library; everything degrades gracefully:
 
@@ -66,6 +67,18 @@ _DIAL_ARGTYPES = [
     _I64,
     ctypes.c_double, _I64,
     _PI64, _I64, _PU8,
+]
+
+_BFS_ARGTYPES = [
+    _I64,                    # n
+    _PI64, _PI64,            # offsets, neighbors (no weights: unit graphs)
+    _I64,                    # source
+    _PDBL, _PI64, _PI64, _I64,  # dist, pred, seen, generation
+    _PI64,                   # order
+    _PI64, _PI64,            # frontier, next_frontier
+    _I64,                    # k
+    ctypes.c_double, _I64,   # radius, radius_mode
+    _PI64, _I64, _PU8,       # targets, num_targets, tflag
 ]
 
 
@@ -159,6 +172,8 @@ def load_kernels() -> ctypes.CDLL | None:
         lib.spt_heap4.argtypes = _HEAP4_ARGTYPES
         lib.spt_dial.restype = _I64
         lib.spt_dial.argtypes = _DIAL_ARGTYPES
+        lib.spt_bfs.restype = _I64
+        lib.spt_bfs.argtypes = _BFS_ARGTYPES
         lib.gather_f64.restype = None
         lib.gather_f64.argtypes = [_PI64, _PDBL, _PDBL, _I64]
         lib.gather_i64.restype = None
@@ -167,6 +182,12 @@ def load_kernels() -> ctypes.CDLL | None:
         lib.closest_update.argtypes = [_I64, _PDBL, _I64, _PDBL, _PI64]
         lib.bincount_i64.restype = None
         lib.bincount_i64.argtypes = [_PI64, _I64, _PI64]
+        lib.csr_fill.restype = None
+        lib.csr_fill.argtypes = [_I64, _PI64, _PI64, _PDBL, _PI64, _PI64, _PDBL]
+        lib.dedup_edges.restype = _I64
+        lib.dedup_edges.argtypes = [
+            _I64, _I64, _PI64, _PI64, _PDBL, _PI64, _PI64, _PI64, _PI64,
+        ]
         _lib = lib
     except OSError as error:  # pragma: no cover - load failure is env-specific
         _build_error = f"load failed: {error}"

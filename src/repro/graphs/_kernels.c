@@ -16,7 +16,7 @@
  *     touches O(settled + scanned) state, never O(n), which keeps truncated
  *     searches (k-nearest, radius) cheap inside large batches.
  *
- * Two kernels:
+ * Three kernels:
  *
  *   spt_heap4 -- Dijkstra over an indexed 4-ary heap with position-tracked
  *     decrease-key.  Each node is stored at most once (pos[] tracks its
@@ -32,6 +32,14 @@
  *     dropped when its slot is swept (dist[node] no longer matches the
  *     slot's level).  Each directed edge relaxes at most once, so the entry
  *     pool is bounded by 2m + 1 slots.
+ *
+ *   spt_bfs -- level-ordered BFS for unit-weight graphs (hop-count
+ *     topologies: G(n,m), the Internet-like maps, real AS-links datasets).
+ *     Each frontier is sorted by node id before settling, which reproduces
+ *     the (distance, id) settle order at truncation boundaries and makes
+ *     the first discoverer of a node its min-id parent -- the heap kernel's
+ *     tie-break with no per-edge comparison.  Distances are written at
+ *     settlement, not discovery, exactly like the Python BFS kernel.
  */
 
 #include <stdint.h>
@@ -315,6 +323,85 @@ i64 spt_dial(
     return settled;
 }
 
+/* -------------------------------------------------------------------- bfs */
+
+i64 spt_bfs(
+    i64 n,
+    const i64 *offsets, const i64 *neighbors,
+    i64 source,
+    double *dist, i64 *pred, i64 *seen, i64 generation,
+    i64 *order,
+    i64 *frontier, i64 *next_frontier,  /* n slots each */
+    i64 k,                              /* <= 0: unbounded */
+    double radius, i64 radius_mode,
+    const i64 *targets, i64 num_targets, unsigned char *tflag)
+{
+    i64 settled = 0, remaining = 0;
+    i64 fsize = 1;
+    double level = 0.0;
+
+    if (num_targets > 0)
+        remaining = setup_targets(n, targets, num_targets, tflag);
+
+    seen[source] = generation;
+    pred[source] = -1;
+    frontier[0] = source;
+
+    while (fsize) {
+        if (radius_mode == RADIUS_INCLUSIVE) {
+            if (level > radius)
+                break;
+        } else if (radius_mode == RADIUS_STRICT) {
+            if (level >= radius && level > 0.0)
+                break;
+        }
+        if (fsize > 1)
+            qsort(frontier, (size_t)fsize, sizeof(i64), cmp_i64);
+        if (k > 0) {
+            i64 room = k - settled;
+            if (fsize >= room) {
+                /* The truncated level is settled without scanning its
+                 * edges: anything it would discover can never settle. */
+                for (i64 i = 0; i < room; i++) {
+                    i64 node = frontier[i];
+                    dist[node] = level;
+                    order[settled++] = node;
+                }
+                break;
+            }
+        }
+        i64 nsize = 0, stop = 0;
+        for (i64 i = 0; i < fsize; i++) {
+            i64 node = frontier[i];
+            dist[node] = level;
+            order[settled++] = node;
+            if (remaining > 0 && tflag[node]) {
+                tflag[node] = 0;
+                if (--remaining == 0) {
+                    stop = 1;
+                    break;
+                }
+            }
+            for (i64 e = offsets[node]; e < offsets[node + 1]; e++) {
+                i64 nb = neighbors[e];
+                if (seen[nb] != generation) {
+                    seen[nb] = generation;
+                    pred[nb] = node;
+                    next_frontier[nsize++] = nb;
+                }
+            }
+        }
+        if (stop)
+            break;
+        i64 *swap = frontier;
+        frontier = next_frontier;
+        next_frontier = swap;
+        fsize = nsize;
+        level += 1.0;
+    }
+    return settled;
+}
+
 /* ------------------------------------------------------------ slab helpers
  *
  * Small flat-array passes used by the slab-direct substrate build: they move
@@ -358,4 +445,88 @@ void bincount_i64(const i64 *src, i64 count, i64 *counts)
 {
     for (i64 i = 0; i < count; i++)
         counts[src[i]]++;
+}
+
+/* ------------------------------------------------------- ingestion helpers
+ *
+ * Used by the streaming topology ingestion (repro.graphs.ingest) to turn
+ * flat canonical edge arrays into CSR slabs without materializing a Python
+ * object per edge.  Pure-Python fallbacks live next to the callers.
+ */
+
+/* Scatter canonical undirected edges into CSR arc slabs.  Edge j places its
+ * two directed arcs at cursor[eu[j]]++ and cursor[ev[j]]++, reproducing the
+ * arc order of CSRGraph.from_topology over a dict Topology whose add_edge
+ * calls arrived in the same edge order (each new edge appends one arc to
+ * both endpoint rows).  cursor must start as a copy of offsets[0..n-1]. */
+void csr_fill(i64 num_edges,
+              const i64 *eu, const i64 *ev, const double *ew,
+              i64 *cursor, i64 *nbrs, double *wts)
+{
+    for (i64 j = 0; j < num_edges; j++) {
+        i64 u = eu[j], v = ev[j];
+        double w = ew[j];
+        i64 p = cursor[u]++;
+        nbrs[p] = v;
+        wts[p] = w;
+        p = cursor[v]++;
+        nbrs[p] = u;
+        wts[p] = w;
+    }
+}
+
+/* Collapse duplicate canonical edges in arrival order, keeping the first
+ * occurrence with the minimum weight over all occurrences -- exactly
+ * Topology.add_edge's duplicate policy.  eu/ev hold canonical endpoints
+ * (eu[j] < ev[j]); the three arrays are compacted in place and the deduped
+ * edge count is returned.  Scratch: group (n + 1 slots), eorder (m slots),
+ * stamp and firstj (n slots each); all are overwritten.
+ *
+ * The pass groups edges by their lo endpoint with a stable counting sort,
+ * so one n-slot stamp array distinguishes (lo, hi) pairs: within lo's
+ * group, stamp[hi] == lo + 1 marks an already-seen pair and firstj[hi]
+ * remembers its first (arrival-order) edge index. */
+i64 dedup_edges(i64 m, i64 n,
+                i64 *eu, i64 *ev, double *ew,
+                i64 *group, i64 *eorder, i64 *stamp, i64 *firstj)
+{
+    if (m <= 0)
+        return m;
+    memset(group, 0, sizeof(i64) * (size_t)(n + 1));
+    for (i64 j = 0; j < m; j++)
+        group[eu[j] + 1]++;
+    for (i64 u = 0; u < n; u++)
+        group[u + 1] += group[u];
+    for (i64 j = 0; j < m; j++)
+        eorder[group[eu[j]]++] = j;
+    memset(stamp, 0, sizeof(i64) * (size_t)n);
+    i64 dropped = 0;
+    for (i64 p = 0; p < m; p++) {
+        i64 j = eorder[p];
+        i64 lo = eu[j], hi = ev[j];
+        if (stamp[hi] == lo + 1) {
+            i64 f = firstj[hi];
+            if (ew[j] < ew[f])
+                ew[f] = ew[j];
+            eu[j] = -1; /* dropped; compacted out below */
+            dropped++;
+        } else {
+            stamp[hi] = lo + 1;
+            firstj[hi] = j;
+        }
+    }
+    if (!dropped)
+        return m;
+    i64 w = 0;
+    for (i64 j = 0; j < m; j++) {
+        if (eu[j] >= 0) {
+            if (w != j) {
+                eu[w] = eu[j];
+                ev[w] = ev[j];
+                ew[w] = ew[j];
+            }
+            w++;
+        }
+    }
+    return w;
 }

@@ -29,17 +29,17 @@ kernel     eligible when                               implementation
 ``bucket`` every weight is an exact integer multiple   Dial-style bucket
            of one power-of-two quantum, with           queue (lazy deletion,
            ``max_weight / quantum <= 1024``            per-level id sort)
-``bfs``    all weights are exactly 1.0 (pure-Python    level-ordered BFS
-           tier only; the C tier's bucket queue
-           covers unit weights)
+``bfs``    all weights are exactly 1.0 (both tiers;    level-ordered BFS
+           preferred over ``bucket`` on unit
+           graphs — no heap, no bucket pool)
 ``heap``   anything else (irregular float weights,     indexed 4-ary heap
            e.g. geometric latencies)                   with decrease-key (C)
                                                        / lazy ``heapq`` (py)
 =========  ==========================================  =====================
 
 When a C compiler is available, :mod:`repro.graphs._ckernels` compiles the
-``heap`` and ``bucket`` kernels to native code (``_kernels.c``) and the
-searches run there; otherwise the pure-Python implementations in this module
+``heap``, ``bucket``, and ``bfs`` kernels to native code (``_kernels.c``) and
+the searches run there; otherwise the pure-Python implementations in this module
 run.  The tie-break contract is identical everywhere: nodes settle in
 ``(distance, node id)`` order and equal-distance predecessor ties resolve
 toward the smaller predecessor id, so engines and tiers can be differential-
@@ -325,10 +325,7 @@ class CSRGraph:
         else:
             self._clib = None
         self.kernel = self._select_kernel(kernel)
-        self.tier = (
-            "c" if self._clib is not None and self.kernel != "bfs" else
-            "python"
-        )
+        self.tier = "c" if self._clib is not None else "python"
         # Hot-loop slabs and scratch arenas are built lazily per tier (the C
         # tier never needs the Python tuple slabs, and vice versa).
         self._adj: list[list[int]] | None = None
@@ -357,6 +354,8 @@ class CSRGraph:
                 )
             return forced
         if self._clib is not None:
+            if profile.unit:
+                return "bfs"
             return "bucket" if profile.bucket_ok else "heap"
         if profile.unit:
             return "bfs"
@@ -609,7 +608,8 @@ class CSRGraph:
 
         Only the buffers the selected kernel reads are allocated: the heap
         kernel needs ``heap``/``pos`` (n slots each), the dial kernel needs
-        the entry pool (2m + 1 slots), the bucket ring, and a sort batch.
+        the entry pool (2m + 1 slots), the bucket ring, and a sort batch,
+        and the BFS kernel needs the two frontier arrays (n slots each).
         """
         if self._c is None:
             n = self.num_nodes
@@ -657,6 +657,16 @@ class CSRGraph:
                     }
                 )
                 buffers += [batch, pool_node, pool_next, head]
+            elif self.kernel == "bfs":
+                frontier = array("q", bytes(8 * n))
+                next_frontier = array("q", bytes(8 * n))
+                self._c.update(
+                    {
+                        "p_frontier": ptr_q(frontier),
+                        "p_next_frontier": ptr_q(next_frontier),
+                    }
+                )
+                buffers += [frontier, next_frontier]
             else:
                 heap_arr = array("q", bytes(8 * n))
                 pos = array("q", bytes(8 * n))
@@ -769,7 +779,14 @@ class CSRGraph:
             num_targets,
             arena["p_tflag"],
         )
-        if self.kernel == "bucket":
+        if self.kernel == "bfs":
+            # Unit-weight level BFS never reads the weights slab.
+            count = self._clib.spt_bfs(
+                common[0], common[1], common[2], *common[4:],
+                arena["p_frontier"], arena["p_next_frontier"],
+                *tail,
+            )
+        elif self.kernel == "bucket":
             count = self._clib.spt_dial(
                 *common,
                 self.profile.quantum,
@@ -825,6 +842,12 @@ class CSRGraph:
             arena["p_order"],
         )
         tail = (k or 0, radius_val, radius_mode, None, 0, arena["p_tflag"])
+        if self.kernel == "bfs":
+            return self._clib.spt_bfs(
+                common[0], common[1], common[2], *common[4:],
+                arena["p_frontier"], arena["p_next_frontier"],
+                *tail,
+            )
         if self.kernel == "bucket":
             return self._clib.spt_dial(
                 *common,

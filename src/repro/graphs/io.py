@@ -48,49 +48,11 @@ def read_edge_list(
         On malformed lines (wrong field count, non-numeric fields, negative
         node ids, or node ids exceeding a declared node count).
     """
-    declared_nodes: int | None = None
-    declared_name: str | None = None
-    edges: list[tuple[int, int, float]] = []
-    max_node = -1
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_number, raw_line in enumerate(handle, start=1):
-            line = raw_line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if len(parts) == 2 and parts[0] == "nodes":
-                    declared_nodes = int(parts[1])
-                elif len(parts) >= 2 and parts[0] == "name":
-                    declared_name = " ".join(parts[1:])
-                continue
-            fields = line.split()
-            if len(fields) not in (2, 3):
-                raise ValueError(
-                    f"{path}:{line_number}: expected 'u v [weight]', got {line!r}"
-                )
-            try:
-                u = int(fields[0])
-                v = int(fields[1])
-                weight = float(fields[2]) if len(fields) == 3 else 1.0
-            except ValueError as exc:
-                raise ValueError(
-                    f"{path}:{line_number}: non-numeric field in {line!r}"
-                ) from exc
-            if u < 0 or v < 0:
-                raise ValueError(
-                    f"{path}:{line_number}: negative node id in {line!r}"
-                )
-            edges.append((u, v, weight))
-            max_node = max(max_node, u, v)
+    # One code path: the streaming parser in repro.graphs.ingest owns the
+    # format (and its documented error semantics); the dict backend replays
+    # the parsed edges through add_edge, exactly as this function always
+    # did.  Pass backend="csr" via ingest_file directly for the array-backed
+    # fast path.
+    from repro.graphs.ingest import ingest_file
 
-    num_nodes = declared_nodes if declared_nodes is not None else max_node + 1
-    if max_node >= num_nodes:
-        raise ValueError(
-            f"{path}: edge references node {max_node} but header declares "
-            f"only {num_nodes} nodes"
-        )
-    topology_name = name or declared_name or os.path.basename(str(path))
-    topology = Topology(num_nodes, name=topology_name)
-    topology.add_edges_from(edges)
-    return topology
+    return ingest_file(path, fmt="edge-list", name=name, backend="dict")

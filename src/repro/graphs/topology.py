@@ -6,6 +6,15 @@ with arbitrary structure and link distances (i.e., link latencies or costs)"
 ``0 .. n-1``, edges carry a positive float weight, and the adjacency structure
 is stored as per-node lists of ``(neighbor, weight)`` pairs for fast iteration
 inside the Dijkstra variants.
+
+:class:`CSRTopology` is the dict-free fast path: an immutable subclass whose
+edge set lives in flat typed slabs (the CSR arc slabs plus the canonical
+kept-edge arrays) instead of per-node Python lists and a tuple-keyed dict.
+The streaming ingestion pipeline (:mod:`repro.graphs.ingest`) builds it
+directly from a text dataset without ever materializing Python edge objects,
+and every ``Topology`` read API answers straight off the slabs -- the dict
+structures are materialized lazily only if legacy dict-path code touches
+them, which keeps the dict backend available as the differential oracle.
 """
 
 from __future__ import annotations
@@ -16,7 +25,12 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graphs.csr import CSRGraph, WeightProfile
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "CSRTopology", "TOPOLOGY_SLAB_SCHEMA"]
+
+#: On-disk raw-slab layout version for :meth:`CSRTopology.save_slabs` /
+#: :meth:`CSRTopology.from_slab_dir`: a directory holding ``manifest.json``
+#: plus one little-endian 8-byte-item ``<slab name>.bin`` file per slab.
+TOPOLOGY_SLAB_SCHEMA = "repro-topology-slabs/v1"
 
 
 class Topology:
@@ -491,3 +505,547 @@ class Topology:
                 f"node {node} out of range for topology with "
                 f"{self._num_nodes} nodes"
             )
+
+
+def _as_typed_array(typecode: str, slab) -> array:
+    """Copy ``slab`` (array or typed memoryview) into a fresh ``array``."""
+    if isinstance(slab, array) and slab.typecode == typecode:
+        return array(typecode, slab)
+    result = array(typecode)
+    view = memoryview(slab)
+    if view.nbytes:
+        result.frombytes(view.cast("B"))
+    return result
+
+
+def _mmap_topology_slab(path: str, typecode: str, count: int):
+    """Writable private (copy-on-write) typed view over one slab file.
+
+    Unlike the substrate tables' read-only attach, the CSR kernel arena
+    takes ``ctypes`` pointers into the graph slabs via ``from_buffer``,
+    which requires a writable buffer.  ``ACCESS_COPY`` satisfies that
+    while staying zero-copy in practice: the kernels never write the
+    graph slabs, so no page is ever privatized and reads come straight
+    from the shared page cache.
+    """
+    import mmap as _mmap
+    import os
+
+    if count == 0:
+        return array(typecode)
+    expected = 8 * count
+    size = os.path.getsize(path)
+    if size != expected:
+        raise ValueError(
+            f"slab file {path} holds {size} bytes, manifest expects {expected}"
+        )
+    with open(path, "rb") as handle:
+        mapped = _mmap.mmap(handle.fileno(), expected, access=_mmap.ACCESS_COPY)
+    # The cast memoryview keeps the mapping alive via the buffer protocol;
+    # dropping the last view unmaps it.
+    return memoryview(mapped).cast(typecode)
+
+
+class CSRTopology(Topology):
+    """An immutable, array-backed :class:`Topology`.
+
+    The edge set lives in six flat slabs:
+
+    * ``offsets`` / ``neighbors`` / ``weights`` -- the CSR arc slabs, laid
+      out exactly as :meth:`CSRGraph.from_topology` would build them from
+      the equivalent dict topology (arc order == edge arrival order), so
+      :meth:`csr` wraps them zero-copy;
+    * ``edges_u`` / ``edges_v`` / ``edges_w`` -- the deduplicated canonical
+      edges ``(u < v)`` in arrival order, mirroring the dict path's
+      ``_edge_weights`` insertion order.
+
+    All ``Topology`` read APIs answer straight off the slabs.  The parent's
+    dict/list structures (``_adjacency`` / ``_edge_weights``) are exposed as
+    lazily materializing properties so inherited code paths -- equality,
+    the dict-based reference engines -- keep working bit-identically; the
+    materialized copies are cached but never consulted by the overrides.
+    Mutation raises ``TypeError`` (convert with :meth:`to_dict_topology`
+    first); ``copy()`` therefore shares the slabs.
+
+    Instances are built by :mod:`repro.graphs.ingest` (streaming parse),
+    :meth:`from_edge_arrays`, or :meth:`from_slab_dir` (mmap attach of a
+    :data:`TOPOLOGY_SLAB_SCHEMA` directory).
+    """
+
+    __slots__ = (
+        "_offsets",
+        "_nbrs",
+        "_wts",
+        "_eu",
+        "_ev",
+        "_ew",
+        "_adj_cache",
+        "_ew_cache",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        offsets,
+        neighbors,
+        weights,
+        edges_u,
+        edges_v,
+        edges_w,
+        *,
+        name: str = "topology",
+        profile: "WeightProfile | None" = None,
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._offsets = offsets
+        self._nbrs = neighbors
+        self._wts = weights
+        self._eu = edges_u
+        self._ev = edges_v
+        self._ew = edges_w
+        self._adj_cache = None
+        self._ew_cache = None
+        self._csr = None
+        self._weight_profile = profile
+        self._content_key = None
+        self.name = name
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        num_nodes: int,
+        edges_u,
+        edges_v,
+        edges_w,
+        *,
+        name: str = "topology",
+        profile: "WeightProfile | None" = None,
+    ) -> "CSRTopology":
+        """Build from deduplicated canonical edge arrays (``u < v``).
+
+        The arrays must already be validated (no self-loops, ids in range,
+        positive weights, no duplicate pairs); the CSR arc slabs are
+        assembled in one counting pass (C-accelerated when available).
+        """
+        from repro.graphs.ingest import assemble_csr_slabs
+
+        offsets, neighbors, weights = assemble_csr_slabs(
+            num_nodes, edges_u, edges_v, edges_w
+        )
+        return cls(
+            num_nodes,
+            offsets,
+            neighbors,
+            weights,
+            edges_u,
+            edges_v,
+            edges_w,
+            name=name,
+            profile=profile,
+        )
+
+    # -- lazily materialized dict-backend views ---------------------------
+    # These properties shadow the parent's slot descriptors: inherited
+    # methods that read self._adjacency / self._edge_weights see dict
+    # structures materialized on first touch, in the exact order the dict
+    # construction path would have produced.
+
+    @property
+    def _adjacency(self) -> list[list[tuple[int, float]]]:
+        adjacency = self._adj_cache
+        if adjacency is None:
+            offsets, neighbors, weights = self._offsets, self._nbrs, self._wts
+            adjacency = [
+                [
+                    (neighbors[arc], weights[arc])
+                    for arc in range(offsets[node], offsets[node + 1])
+                ]
+                for node in range(self._num_nodes)
+            ]
+            self._adj_cache = adjacency
+        return adjacency
+
+    @property
+    def _edge_weights(self) -> dict[tuple[int, int], float]:
+        edge_weights = self._ew_cache
+        if edge_weights is None:
+            eu, ev, ew = self._eu, self._ev, self._ew
+            edge_weights = {
+                (eu[j], ev[j]): ew[j] for j in range(len(ew))
+            }
+            self._ew_cache = edge_weights
+        return edge_weights
+
+    # -- immutability ------------------------------------------------------
+
+    def _immutable(self) -> "TypeError":
+        return TypeError(
+            "CSRTopology is immutable; use to_dict_topology() for a "
+            "mutable dict-backed copy"
+        )
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        raise self._immutable()
+
+    def remove_edge(self, u: int, v: int) -> float:
+        raise self._immutable()
+
+    def set_edge_weight(self, u: int, v: int, weight: float) -> float:
+        raise self._immutable()
+
+    # -- slab-direct read API ---------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._ew)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        eu, ev, ew = self._eu, self._ev, self._ew
+        for j in range(len(ew)):
+            yield eu[j], ev[j], ew[j]
+
+    def neighbors(self, node: int) -> list[int]:
+        self._check_node(node)
+        neighbors = self._nbrs
+        return [
+            neighbors[arc]
+            for arc in range(self._offsets[node], self._offsets[node + 1])
+        ]
+
+    def neighbor_weights(self, node: int) -> list[tuple[int, float]]:
+        self._check_node(node)
+        neighbors, weights = self._nbrs, self._wts
+        return [
+            (neighbors[arc], weights[arc])
+            for arc in range(self._offsets[node], self._offsets[node + 1])
+        ]
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return self._offsets[node + 1] - self._offsets[node]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self.get_edge_weight(u, v) is not None
+
+    def edge_weight(self, u: int, v: int) -> float:
+        weight = self.get_edge_weight(u, v)
+        if weight is None:
+            raise KeyError((u, v) if u < v else (v, u))
+        return weight
+
+    def get_edge_weight(
+        self, u: int, v: int, default: float | None = None
+    ) -> float | None:
+        if not 0 <= u < self._num_nodes or not 0 <= v < self._num_nodes:
+            return default
+        neighbors, weights = self._nbrs, self._wts
+        for arc in range(self._offsets[u], self._offsets[u + 1]):
+            if neighbors[arc] == v:
+                return weights[arc]
+        return default
+
+    def total_weight(self) -> float:
+        return sum(self._ew)
+
+    def max_degree(self) -> int:
+        offsets = self._offsets
+        if self._num_nodes == 0:
+            return 0
+        return max(
+            offsets[node + 1] - offsets[node]
+            for node in range(self._num_nodes)
+        )
+
+    def degree_sequence(self) -> list[int]:
+        offsets = self._offsets
+        return [
+            offsets[node + 1] - offsets[node]
+            for node in range(self._num_nodes)
+        ]
+
+    def connected_components(self) -> list[list[int]]:
+        # Same DFS as the parent, reading the arc slabs directly; arc order
+        # equals adjacency insertion order, so the traversal (and therefore
+        # the component/member ordering) is bit-identical to the dict path.
+        offsets, neighbors = self._offsets, self._nbrs
+        seen = bytearray(self._num_nodes)
+        components: list[list[int]] = []
+        for start in range(self._num_nodes):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = 1
+            component: list[int] = []
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for arc in range(offsets[node], offsets[node + 1]):
+                    neighbor = neighbors[arc]
+                    if not seen[neighbor]:
+                        seen[neighbor] = 1
+                        stack.append(neighbor)
+            components.append(component)
+        return components
+
+    def largest_component_subgraph(
+        self,
+    ) -> tuple["CSRTopology", dict[int, int]]:
+        components = self.connected_components()
+        if not components:
+            return (
+                CSRTopology.from_edge_arrays(
+                    0, array("q"), array("q"), array("d"), name=self.name
+                ),
+                {},
+            )
+        largest = max(components, key=len)
+        if len(largest) == self._num_nodes:
+            return self.copy(), {node: node for node in range(self._num_nodes)}
+        largest.sort()
+        remap = array("q", [-1]) * self._num_nodes
+        for new, old in enumerate(largest):
+            remap[old] = new
+        eu, ev, ew = self._eu, self._ev, self._ew
+        sub_u, sub_v, sub_w = array("q"), array("q"), array("d")
+        for j in range(len(ew)):
+            new_u = remap[eu[j]]
+            if new_u < 0:
+                continue
+            new_v = remap[ev[j]]
+            if new_v < 0:
+                continue
+            # The mapping is monotone, so new_u < new_v stays canonical
+            # and arrival order is preserved.
+            sub_u.append(new_u)
+            sub_v.append(new_v)
+            sub_w.append(ew[j])
+        sub = CSRTopology.from_edge_arrays(
+            len(largest), sub_u, sub_v, sub_w, name=self.name
+        )
+        return sub, {old: new for new, old in enumerate(largest)}
+
+    # -- conversions -------------------------------------------------------
+
+    def to_dict_topology(self) -> Topology:
+        """Return the equivalent mutable dict-backed :class:`Topology`.
+
+        O(E) direct construction; adjacency rows and the edge-weight table
+        come out in the same order the dict construction path would have
+        produced, so the result is indistinguishable from one built by
+        replaying ``add_edge`` over :meth:`edges`.
+        """
+        duplicate = Topology(self._num_nodes, name=self.name)
+        offsets, neighbors, weights = self._offsets, self._nbrs, self._wts
+        duplicate._adjacency = [
+            [
+                (neighbors[arc], weights[arc])
+                for arc in range(offsets[node], offsets[node + 1])
+            ]
+            for node in range(self._num_nodes)
+        ]
+        eu, ev, ew = self._eu, self._ev, self._ew
+        duplicate._edge_weights = {
+            (eu[j], ev[j]): ew[j] for j in range(len(ew))
+        }
+        return duplicate
+
+    def copy(self) -> "CSRTopology":
+        """Return a copy sharing the (immutable) slabs."""
+        duplicate = CSRTopology(
+            self._num_nodes,
+            self._offsets,
+            self._nbrs,
+            self._wts,
+            self._eu,
+            self._ev,
+            self._ew,
+            name=self.name,
+            profile=self._weight_profile,
+        )
+        duplicate._content_key = self._content_key
+        return duplicate
+
+    # -- derived snapshots -------------------------------------------------
+
+    def csr(self) -> "CSRGraph":
+        if self._csr is None:
+            from repro.graphs.csr import CSRGraph
+
+            self._csr = CSRGraph(
+                self._num_nodes,
+                self._offsets,
+                self._nbrs,
+                self._wts,
+                profile=self.weight_profile(),
+            )
+        return self._csr
+
+    def weight_profile(self) -> "WeightProfile":
+        if self._weight_profile is None:
+            from repro.graphs.csr import profile_weights
+
+            self._weight_profile = profile_weights(self._ew)
+        return self._weight_profile
+
+    def content_key(self) -> str:
+        if self._content_key is None:
+            import hashlib
+            import struct
+
+            eu, ev, ew = self._eu, self._ev, self._ew
+            digest = hashlib.sha256()
+            digest.update(b"topology/v1")
+            digest.update(struct.pack("<q", self._num_nodes))
+            record = struct.Struct("<qqd")
+            if self._edges_sorted():
+                # Ingested topologies keep their edge slabs in (u, v)
+                # order already: hash the records in one C-level pass
+                # (identical byte stream to the sorted-index loop below).
+                digest.update(b"".join(map(record.pack, eu, ev, ew)))
+            else:
+                pack = record.pack
+                for j in sorted(
+                    range(len(ew)), key=lambda idx: (eu[idx], ev[idx])
+                ):
+                    digest.update(pack(eu[j], ev[j], ew[j]))
+            self._content_key = digest.hexdigest()
+        return self._content_key
+
+    def _edges_sorted(self) -> bool:
+        """True when the edge slabs are already in (u, v) order."""
+        eu, ev = self._eu, self._ev
+        previous_u, previous_v = -1, -1
+        for j in range(len(eu)):
+            u, v = eu[j], ev[j]
+            if u < previous_u or (u == previous_u and v <= previous_v):
+                return False
+            previous_u, previous_v = u, v
+        return True
+
+    # -- raw slab persistence (mmap-attachable artifact format) -----------
+
+    def slab_items(self) -> tuple[tuple[str, str, object], ...]:
+        """``(name, typecode, slab)`` triples in manifest order."""
+        return (
+            ("offsets", "q", self._offsets),
+            ("neighbors", "q", self._nbrs),
+            ("weights", "d", self._wts),
+            ("edges_u", "q", self._eu),
+            ("edges_v", "q", self._ev),
+            ("edges_w", "d", self._ew),
+        )
+
+    def slab_bytes(self) -> int:
+        """Total raw slab payload in bytes (every item is 8 bytes)."""
+        return sum(8 * len(slab) for _, _, slab in self.slab_items())
+
+    def save_slabs(self, path) -> str:
+        """Write as a raw slab directory (see :data:`TOPOLOGY_SLAB_SCHEMA`).
+
+        The directory is mmap-attachable with :meth:`from_slab_dir` -- the
+        format the artifact cache stores big ingested topologies in.
+        Returns the directory path.
+        """
+        import json
+        import os
+
+        path = os.fspath(path)
+        os.makedirs(path, exist_ok=True)
+        slabs = self.slab_items()
+        for name, _typecode, slab in slabs:
+            target = os.path.join(path, f"{name}.bin")
+            scratch = target + ".tmp"
+            with open(scratch, "wb") as handle:
+                handle.write(memoryview(slab))
+            os.replace(scratch, target)
+        manifest = {
+            "schema": TOPOLOGY_SLAB_SCHEMA,
+            "num_nodes": self._num_nodes,
+            "name": self.name,
+            "content_key": self.content_key(),
+            "slots": [
+                [name, typecode, len(slab)] for name, typecode, slab in slabs
+            ],
+        }
+        manifest_path = os.path.join(path, "manifest.json")
+        scratch = manifest_path + ".tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+        os.replace(scratch, manifest_path)
+        return path
+
+    @classmethod
+    def from_slab_dir(cls, path) -> "CSRTopology":
+        """Attach to a raw slab directory written by :meth:`save_slabs`.
+
+        Every slab becomes a typed ``memoryview`` over a private
+        copy-on-write file mapping, so repeated attaches share the OS page
+        cache instead of materializing private copies.
+        """
+        import json
+        import os
+
+        path = os.fspath(path)
+        with open(os.path.join(path, "manifest.json"), encoding="utf-8") as f:
+            manifest = json.load(f)
+        if manifest.get("schema") != TOPOLOGY_SLAB_SCHEMA:
+            raise ValueError(
+                f"unsupported slab schema {manifest.get('schema')!r} in "
+                f"{path} (expected {TOPOLOGY_SLAB_SCHEMA})"
+            )
+        views: dict[str, object] = {}
+        for name, typecode, count in manifest["slots"]:
+            views[name] = _mmap_topology_slab(
+                os.path.join(path, f"{name}.bin"), typecode, count
+            )
+        attached = cls(
+            manifest["num_nodes"],
+            views["offsets"],
+            views["neighbors"],
+            views["weights"],
+            views["edges_u"],
+            views["edges_v"],
+            views["edges_w"],
+            name=manifest.get("name", "topology"),
+        )
+        attached._content_key = manifest.get("content_key")
+        return attached
+
+    # -- pickling ----------------------------------------------------------
+    # Memoryview slabs (mmap attaches) are not picklable; copy every slab
+    # into a plain array for transport.  Derived snapshots rebuild lazily.
+
+    def __getstate__(self) -> dict:
+        return {
+            "num_nodes": self._num_nodes,
+            "name": self.name,
+            "offsets": _as_typed_array("q", self._offsets),
+            "neighbors": _as_typed_array("q", self._nbrs),
+            "weights": _as_typed_array("d", self._wts),
+            "edges_u": _as_typed_array("q", self._eu),
+            "edges_v": _as_typed_array("q", self._ev),
+            "edges_w": _as_typed_array("d", self._ew),
+            "content_key": self._content_key,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        CSRTopology.__init__(
+            self,
+            state["num_nodes"],
+            state["offsets"],
+            state["neighbors"],
+            state["weights"],
+            state["edges_u"],
+            state["edges_v"],
+            state["edges_w"],
+            name=state["name"],
+        )
+        self._content_key = state.get("content_key")
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRTopology(name={self.name!r}, nodes={self._num_nodes}, "
+            f"edges={self.num_edges})"
+        )

@@ -21,10 +21,14 @@ are best-of-N wall clock; graphs use the experiments' canonical
 The kernel microbenchmarks cover the paper's topology matrix -- G(n,m),
 geometric (irregular float latencies), quantized geometric (bucket-queue
 eligible), and the synthetic router-level / AS-level Internet maps -- so a
-regression in any kernel shows up in the family that exercises it.  Passing
-``kernel=`` ("heap" or "bucket") forces that kernel on the CSR side wherever
-the weight profile allows it, which is how ``repro bench --kernel`` A/Bs the
-two weighted kernels on the same workload.
+regression in any kernel shows up in the family that exercises it.  The
+``kernel_scaling/*`` family adds per-kernel n-curves (Python tier vs C
+tier at n = 2^10 .. 2^17) and the ``ingest/*`` family times streaming
+file-to-CSR ingestion against the dict-mediated read path and a warm
+content-addressed artifact attach.  Passing ``kernel=`` ("heap",
+"bucket", or "bfs") forces that kernel on the CSR side wherever the
+weight profile allows it, which is how ``repro bench --kernel`` A/Bs
+the kernels on the same workload.
 
 ``repro bench`` runs :func:`bench_kernels` and writes
 ``BENCH_kernels.json``; see the "Performance architecture" section of
@@ -158,8 +162,8 @@ def bench_kernels(
         If given and > 1, adds parallel variants of the end-to-end build
         using the multiprocessing fan-out.
     kernel:
-        Force ``"heap"`` or ``"bucket"`` on the CSR side wherever the
-        weight profile permits (A/B harness for the weighted kernels);
+        Force ``"heap"``, ``"bucket"``, or ``"bfs"`` on the CSR side
+        wherever the weight profile permits (A/B harness for the kernels);
         default auto-selects per family.  The override applies to the
         kernel microbenchmarks only: the end-to-end ``staticsim/*`` cases
         build their snapshots inside ``StaticSimulation`` via
@@ -274,6 +278,31 @@ def bench_kernels(
         results=results,
     )
 
+    # -- unit-weight BFS vs the Dial bucket queue ------------------------
+    # Both kernels are exact on unit weights and bit-identical (pinned by
+    # tests/test_graphs_ingest.py); auto-selection prefers BFS, and this
+    # entry records what that preference is worth on the same workload.
+    if kernel is None:
+        bucket_csr = CSRGraph.from_topology(gnm, kernel="bucket")
+        bfs_csr = CSRGraph.from_topology(gnm, kernel="bfs")
+        _entry(
+            f"kernel_bfs/gnm-{n_full}",
+            {
+                "family": "gnm",
+                "n": n_full,
+                "sources": len(sources),
+                "tier": bfs_csr.tier,
+                "comparison": "Dial bucket queue vs level-ordered BFS "
+                "on the same unit-weight graph (full SPTs)",
+            },
+            lambda: [bucket_csr.dijkstra(s) for s in sources],
+            lambda: [bfs_csr.dijkstra(s) for s in sources],
+            repeats=repeats,
+            results=results,
+        )
+
+    _kernel_scaling_case(results, quick=quick, kernel=kernel)
+
     # -- end-to-end converged-state construction ------------------------
     # "before" = reference engine + no substrate sharing: exactly the work
     # the seed implementation performed.  "after" = the library's default
@@ -338,6 +367,7 @@ def bench_kernels(
             ),
             repeats=2,
         )
+        _ingest_case(results, quick=quick)
         _substrate_build_case(results, quick=quick, workers=workers)
         _measurement_batch_case(results, quick=quick, repeats=repeats)
         _churn_case(results, quick=quick, repeats=2)
@@ -415,6 +445,157 @@ def traced_suite_run(root: str, *, n: int = 384, quick: bool = False) -> tuple[i
     finally:
         tracemalloc.stop()
         del cache
+
+
+def _kernel_scaling_case(
+    results: dict[str, dict], *, quick: bool, kernel: str | None
+) -> None:
+    """Per-kernel scaling curves: Python tier vs C tier across sizes.
+
+    One curve per kernel, each on the family whose weight profile selects
+    it -- ``dijkstra_full`` on geometric (indexed 4-ary heap),
+    ``k_nearest`` on G(n,m) (unit-weight BFS), ``radius`` on quantized
+    geometric (Dial bucket queue) -- at n = 2^10 .. 2^17 (full mode; the
+    quick run truncates the curve).  Both sides run the same kernel
+    algorithm, so each entry isolates what the C tier is worth at that
+    size; without a C compiler both sides coincide and the curve is a
+    pure canary.  Source counts shrink with n to keep the Python tier's
+    wall clock bounded; the per-size ``sources`` param records them.
+    """
+    sizes = [1024, 4096] if quick else [2**p for p in range(10, 18, 2)] + [2**17]
+    for n in sizes:
+        topo_heap = geometric_random_graph(n, seed=3, average_degree=8.0)
+        topo_bfs = gnm_random_graph(n, seed=3, average_degree=8.0)
+        topo_bucket = geometric_random_graph(
+            n, seed=3, average_degree=8.0,
+            latency_quantum=BENCH_LATENCY_QUANTUM,
+        )
+        full_sources = list(range(0, n, max(1, n // 2 if n >= 65536 else n // 4)))
+        trunc_sources = range(16 if quick else 64)
+        k = vicinity_size(n)
+        cases = (
+            ("dijkstra_full", topo_heap,
+             lambda csr, sources=full_sources: [
+                 csr.dijkstra(s) for s in sources
+             ],
+             {"sources": len(full_sources)}),
+            ("k_nearest", topo_bfs,
+             lambda csr, k=k, sources=trunc_sources: csr.batched_k_nearest(
+                 k, sources
+             ),
+             {"k": k, "sources": len(trunc_sources)}),
+            ("radius", topo_bucket,
+             lambda csr, sources=trunc_sources: csr.batched_radius(
+                 [30.0] * len(sources), sources
+             ),
+             {"radius": 30.0, "sources": len(trunc_sources)}),
+        )
+        for op, topo, workload, extra in cases:
+            csr_c = _csr_for(topo, kernel)
+            try:
+                csr_py = CSRGraph.from_topology(
+                    topo, kernel=csr_c.kernel, use_c=False
+                )
+            except ValueError:  # pragma: no cover - kernels match profile
+                csr_py = CSRGraph.from_topology(topo, use_c=False)
+            _entry(
+                f"kernel_scaling/{op}-{n}",
+                {
+                    "family": topo.name,
+                    "n": n,
+                    "kernel": csr_c.kernel,
+                    "tier_before": csr_py.tier,
+                    "tier_after": csr_c.tier,
+                    "comparison": "same kernel, Python tier vs C tier",
+                    **extra,
+                },
+                lambda csr=csr_py, workload=workload: workload(csr),
+                lambda csr=csr_c, workload=workload: workload(csr),
+                repeats=1 if n >= 16384 else (2 if quick else 3),
+                results=results,
+            )
+
+
+def _ingest_case(results: dict[str, dict], *, quick: bool) -> None:
+    """Streaming file-to-CSR ingestion vs the dict-mediated read path.
+
+    The workload is an on-disk edge list brought up to a ready-to-search
+    CSR snapshot:
+
+    * **before** -- ``read_edge_list``: parse into a dict-backed
+      :class:`Topology` (per-node adjacency dicts, per-edge weight dict),
+      then ``.csr()`` re-walks the dicts into slabs;
+    * **after** -- :func:`repro.graphs.ingest.ingest_file` with the CSR
+      backend: the same lines streamed straight into flat edge arrays,
+      deduplicated and scattered into CSR slabs by the C kernels, with no
+      per-edge Python objects; ``.csr()`` on the result is a zero-copy
+      view of the slabs.
+
+    Both sides produce byte-identical topologies (pinned by
+    ``tests/test_graphs_ingest.py``), so the ratio is a pure performance
+    number.  The ``artifact-warm`` entry re-ingests the largest tier
+    against a populated on-disk artifact cache (fresh memory cache each
+    call), timing the content-addressed attach path that ``repro run
+    --topology-file`` hits on every run after the first.
+    """
+    import shutil
+    import tempfile
+
+    from repro.graphs.ingest import ingest_file, ingest_topology
+    from repro.graphs.io import read_edge_list, write_edge_list
+    from repro.scenarios.cache import ArtifactCache, activated
+
+    sizes = [1024] if quick else [4096, 32768, 131072]
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-ingest-")
+    try:
+        largest = sizes[-1]
+        largest_path = None
+        for n in sizes:
+            topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+            path = os.path.join(tmpdir, f"gnm-{n}.edges")
+            write_edge_list(topology, path)
+            if n == largest:
+                largest_path = path
+            _entry(
+                f"ingest/edge-list-{n}",
+                {
+                    "family": "gnm",
+                    "n": n,
+                    "edges": topology.num_edges,
+                    "comparison": "read_edge_list into dict Topology + "
+                    "dict->CSR snapshot vs streaming ingest_file straight "
+                    "to CSRTopology slabs",
+                },
+                lambda path=path: read_edge_list(path).csr(),
+                lambda path=path: ingest_file(path, backend="csr").csr(),
+                repeats=1 if n >= 32768 else (2 if quick else 3),
+                results=results,
+            )
+
+        root = os.path.join(tmpdir, "cache")
+        with activated(ArtifactCache(root)):
+            ingest_topology(largest_path)  # populate, outside the timers
+
+        def warm() -> None:
+            with activated(ArtifactCache(root)):
+                ingest_topology(largest_path)
+
+        _entry(
+            f"ingest/artifact-warm-{largest}",
+            {
+                "family": "gnm",
+                "n": largest,
+                "comparison": "cold streaming parse vs warm "
+                "content-addressed artifact attach (fresh memory cache "
+                "per call, keyed by file digest + format + params)",
+            },
+            lambda: ingest_file(largest_path, backend="csr"),
+            warm,
+            repeats=2,
+            results=results,
+        )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
 
 
 def _substrate_build_case(

@@ -340,7 +340,12 @@ class ArtifactCache:
                 # the shell pickler replaces the tables object with a
                 # reference and the slabs persist exactly once.
                 self._store_tables(key, artifact)
-            self._store_disk(kind, key, artifact)
+            if kind == "topology" and self._store_topology_slabs(
+                key, artifact
+            ):
+                pass  # the slab directory is the single on-disk copy
+            else:
+                self._store_disk(kind, key, artifact)
         else:
             self.hits += 1
             self._register(kind, key, artifact)
@@ -369,21 +374,46 @@ class ArtifactCache:
         else:
             self._store_disk("tables", derived, tables)
 
-    def _slab_dir_path(self, key: str) -> str | None:
+    def _store_topology_slabs(self, key: str, topology: object) -> bool:
+        """Persist a big slab-backed topology as a raw slab directory.
+
+        Ingested :class:`~repro.graphs.topology.CSRTopology` artifacts at
+        or above :data:`SLAB_ARTIFACT_THRESHOLD` skip the pickle layer
+        entirely: the slab directory is the single on-disk copy and later
+        loads mmap-attach it.  Returns True when the slab directory is
+        (or already was) in place; False sends the artifact down the
+        ordinary pickle path.
+        """
+        save = getattr(topology, "save_slabs", None)
+        if save is None or self.root is None:
+            return False
+        try:
+            big = topology.slab_bytes() >= SLAB_ARTIFACT_THRESHOLD
+        except Exception:
+            return False
+        if not big:
+            return False
+        self._store_slab_dir(key, topology, kind="topology")
+        target = self._slab_dir_path(key, "topology")
+        return target is not None and os.path.isdir(target)
+
+    def _slab_dir_path(self, key: str, kind: str = "tables") -> str | None:
         if self.root is None:
             return None
-        return os.path.join(self.root, "tables", f"{key}.slabs")
+        return os.path.join(self.root, kind, f"{key}.slabs")
 
-    def _store_slab_dir(self, key: str, tables: object) -> None:
-        """Write one tables artifact as an atomic raw slab directory."""
-        target = self._slab_dir_path(key)
+    def _store_slab_dir(
+        self, key: str, artifact: object, *, kind: str = "tables"
+    ) -> None:
+        """Write one slab-backed artifact as an atomic raw slab directory."""
+        target = self._slab_dir_path(key, kind)
         if target is None or os.path.isdir(target):
             return
         directory = os.path.dirname(target)
         os.makedirs(directory, exist_ok=True)
         scratch = tempfile.mkdtemp(dir=directory, suffix=".tmp")
         try:
-            tables.save_slabs(scratch)
+            artifact.save_slabs(scratch)
             # Directory rename is atomic; a concurrent writer that won the
             # race leaves the target in place and we discard our copy.
             os.replace(scratch, target)
@@ -393,14 +423,14 @@ class ArtifactCache:
             shutil.rmtree(scratch, ignore_errors=True)
             if not os.path.isdir(target):
                 return
-        size = tables.slab_bytes()
+        size = artifact.slab_bytes()
         now = round(time.time(), 3)
         self._write_meta(
             target,
             {
                 "schema": ARTIFACT_SCHEMA,
                 "format": "slabs",
-                "kind": "tables",
+                "kind": kind,
                 "key": key,
                 "bytes": size,
                 "raw_bytes": size,
@@ -520,13 +550,20 @@ class ArtifactCache:
         return os.path.join(self.root, kind, f"{key}.pkl")
 
     def _load_disk(self, kind: str, key: str) -> object | None:
-        if kind == "tables":
-            slab_dir = self._slab_dir_path(key)
+        if kind in ("tables", "topology"):
+            slab_dir = self._slab_dir_path(key, kind)
             if slab_dir is not None and os.path.isdir(slab_dir):
                 try:
-                    from repro.core.tables import SubstrateTables
+                    if kind == "tables":
+                        from repro.core.tables import SubstrateTables
 
-                    artifact: object = SubstrateTables.from_mmap(slab_dir)
+                        artifact: object = SubstrateTables.from_mmap(
+                            slab_dir
+                        )
+                    else:
+                        from repro.graphs.topology import CSRTopology
+
+                        artifact = CSRTopology.from_slab_dir(slab_dir)
                 except Exception:
                     pass  # incomplete/corrupt directory: try the pickle
                 else:
