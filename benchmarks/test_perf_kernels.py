@@ -32,6 +32,10 @@ def test_perf_kernels_quick(benchmark, run_once):
         "staticsim/gnm-256",
         "staticsim/geometric-256",
         "measurement_batch/gnm-256",
+        "measurement_scaling/gnm-1024",
+        "measurement_scaling/gnm-4096",
+        "resolution_scaling/gnm-1024",
+        "resolution_scaling/gnm-4096",
     }
     assert expected <= set(entries)
 
@@ -53,3 +57,11 @@ def test_perf_kernels_quick(benchmark, run_once):
     # per-pair loop even at the shrunken quick scale (the committed
     # full-scale entry runs >= 2x; see BENCH_kernels.json).
     assert entries["measurement_batch/gnm-256"]["speedup"] > 1.2
+    # Scaling families: the batched engine and the bisect ring must stay
+    # ahead of their brute-force oracles at every curve point.  The ring
+    # runs ~2 orders of magnitude ahead of the full-scan oracle at full
+    # scale, so 1.2 is a generous floor.
+    assert entries["measurement_scaling/gnm-1024"]["speedup"] > 1.2
+    assert entries["measurement_scaling/gnm-4096"]["speedup"] > 1.2
+    assert entries["resolution_scaling/gnm-1024"]["speedup"] > 1.2
+    assert entries["resolution_scaling/gnm-4096"]["speedup"] > 1.2

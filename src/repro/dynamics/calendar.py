@@ -75,6 +75,12 @@ class EventCalendar:
                 f"cannot schedule event at tick {event.tick}: calendar "
                 f"already advanced to tick {self._cursor}"
             )
+        # Grow BEFORE appending: _grow re-threads every unconsumed entry,
+        # and threading the new entry both there and below would create a
+        # self-loop in the ``next`` chain (the bucket then replays one
+        # event until the pending count drains, losing every later event).
+        if event.tick - self._cursor >= len(self._heads):
+            self._grow(event.tick)
         index = len(self._ticks)
         self._kinds.append(_KIND_CODES[event.kind])
         self._u.append(event.u)
@@ -83,8 +89,6 @@ class EventCalendar:
         self._ticks.append(event.tick)
         self._next.append(-1)
         self._popped.append(0)
-        if event.tick - self._cursor >= len(self._heads):
-            self._grow(event.tick)
         slot = event.tick % len(self._heads)
         tail = self._tails[slot]
         if tail < 0:

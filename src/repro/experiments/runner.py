@@ -32,6 +32,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     fig10_congestion_as,
     finger_study,
     guarantees,
+    resolution_service,
     static_accuracy,
 )
 from repro.experiments.config import ExperimentScale, default_scale
@@ -57,6 +58,9 @@ _CANONICAL_ORDER = (
     "static-accuracy",
     "guarantees",
     "churn-cost",
+    "resolution-latency",
+    "resolution-staleness",
+    "resolution-balance",
     "ablations",
 )
 

@@ -23,7 +23,7 @@ from repro.naming.hashspace import (
     hash_prefix,
     in_clockwise_interval,
 )
-from repro.naming.consistent_hash import ConsistentHashRing
+from repro.naming.consistent_hash import ConsistentHashRing, ring_point
 
 __all__ = [
     "ConsistentHashRing",
@@ -36,4 +36,5 @@ __all__ = [
     "hash_prefix",
     "in_clockwise_interval",
     "name_for_node",
+    "ring_point",
 ]

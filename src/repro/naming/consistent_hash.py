@@ -21,13 +21,24 @@ from typing import Hashable, Iterable, Sequence
 
 from repro.naming.hashspace import HASH_BITS, clockwise_distance
 
-__all__ = ["ConsistentHashRing"]
+__all__ = ["ConsistentHashRing", "ring_point"]
 
 
-def _point_for(server: Hashable, replica: int) -> int:
+def ring_point(server: Hashable, replica: int) -> int:
+    """The ring position of ``server``'s ``replica``-th virtual node.
+
+    The construction (sha256 over ``f"{server!r}#{replica}"``, top
+    ``HASH_BITS`` bits) is shared with
+    :class:`repro.resolution.service.VNodeRing` so both rings place
+    records identically -- the service's placements are differentially
+    pinned against this module's :class:`ConsistentHashRing`.
+    """
     material = f"{server!r}#{replica}".encode("utf-8")
     digest = hashlib.sha256(material).digest()
     return int.from_bytes(digest[: HASH_BITS // 8], "big")
+
+
+_point_for = ring_point
 
 
 class ConsistentHashRing:

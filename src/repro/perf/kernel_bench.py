@@ -370,6 +370,8 @@ def bench_kernels(
         _ingest_case(results, quick=quick)
         _substrate_build_case(results, quick=quick, workers=workers)
         _measurement_batch_case(results, quick=quick, repeats=repeats)
+        _measurement_scaling_case(results, quick=quick)
+        _resolution_scaling_case(results, quick=quick)
         _churn_case(results, quick=quick, repeats=2)
         _scenario_suite_case(
             results, quick=quick, workers=workers, repeats=1 if quick else 2
@@ -782,6 +784,133 @@ def _measurement_batch_case(
         repeats=repeats,
         results=results,
     )
+
+
+def _measurement_scaling_case(results: dict[str, dict], *, quick: bool) -> None:
+    """Measurement-layer n-curve: per-pair stretch loop vs batched engine.
+
+    The ``measurement_batch`` entry pins the batched engine at one size;
+    this family extends it to an n-curve (n = 2^10 .. 2^15 in full mode)
+    so a complexity regression *above* the kernels -- per-pair distance
+    recomputation creeping back in, batch sharing lost -- shows up as a
+    bend in the curve rather than noise at a single point.  Same workload
+    shape as ``measurement_batch`` -- three converged schemes per size
+    (built outside the timers; both sides measure the same objects):
+
+    * **before** -- ``measure_stretch(batch=False)`` per scheme: every
+      sampled pair routed one at a time, the shared shortest-distance
+      table recomputed per scheme;
+    * **after** -- one shared sampled-distance table plus the batched
+      measurement engine for all three schemes.
+
+    Both sides produce byte-identical reports (pinned by
+    ``tests/test_metrics_batch.py``).  Pair counts shrink with n to bound
+    the per-pair side's wall clock; the ``pairs`` param records them.
+    """
+    from repro.graphs.shortest_paths import all_pairs_sampled_distances
+    from repro.metrics.stretch import measure_stretch
+
+    protocols = ("disco", "nd-disco", "s4")
+    sizes = [1024, 4096] if quick else [2**p for p in range(10, 16)]
+    for n in sizes:
+        topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+        simulation = StaticSimulation(topology, protocols, seed=1)
+        schemes = list(simulation.schemes.values())
+        pair_count = 192 if n <= 8192 else 96
+        pairs = sample_pairs(topology, pair_count, seed=11)
+        measured = [(s, t) for s, t in pairs if s != t]
+
+        def before(schemes=schemes, pairs=pairs) -> None:
+            for scheme in schemes:
+                measure_stretch(scheme, pairs=pairs, batch=False)
+
+        def after(
+            topology=topology, schemes=schemes, pairs=pairs, measured=measured
+        ) -> None:
+            distances = all_pairs_sampled_distances(topology, measured)
+            for scheme in schemes:
+                measure_stretch(
+                    scheme, pairs=pairs, distances=distances, batch=True
+                )
+
+        _entry(
+            f"measurement_scaling/gnm-{n}",
+            {
+                "family": "gnm",
+                "n": n,
+                "pairs": len(measured),
+                "protocols": list(protocols),
+                "comparison": "per-pair stretch loop vs batched measurement "
+                "engine (shared distance table), one size per entry",
+            },
+            before,
+            after,
+            repeats=1 if n >= 16384 else (2 if quick else 3),
+            results=results,
+        )
+
+
+def _resolution_scaling_case(results: dict[str, dict], *, quick: bool) -> None:
+    """Resolution-placement n-curve: full-scan oracle vs the service ring.
+
+    The workload is replica-set placement for every one of n flat names
+    on the landmark shard set Disco would use at that scale
+    (``select_landmarks``, so the shard count grows ~sqrt(n)), with 4
+    virtual nodes per shard and r=2:
+
+    * **before** -- :func:`repro.resolution.service.naive_successors` per
+      name: recompute and sort every ring point, walk clockwise -- the
+      brute-force oracle the differential suite pins the service against;
+    * **after** -- one immutable :class:`VNodeRing` build plus a bisect
+      ``successors`` call per name (the build is inside the timer, so the
+      entry is the end-to-end cost of serving the batch from scratch).
+
+    Both sides produce identical replica sets (pinned by
+    ``tests/test_resolution_service.py``).  Lookup counts shrink with n
+    to bound the quadratic oracle's wall clock; the ``lookups`` param
+    records them.  Name hashes are precomputed outside the timers --
+    both sides consume the same keys.
+    """
+    from repro.core.landmarks import select_landmarks
+    from repro.naming import name_for_node
+    from repro.resolution.service import VNodeRing, naive_successors
+
+    virtual_nodes = 4
+    replicas = 2
+    sizes = [1024, 4096] if quick else [2**p for p in range(10, 16)]
+    for n in sizes:
+        shards = sorted(select_landmarks(n, seed=3))
+        lookups = 2048 if n <= 8192 else (1024 if n == 16384 else 512)
+        keys = [name_for_node(node).hash_value for node in range(lookups)]
+
+        def before(shards=shards, keys=keys) -> None:
+            for key in keys:
+                naive_successors(
+                    shards, key, replicas, virtual_nodes=virtual_nodes
+                )
+
+        def after(shards=shards, keys=keys) -> None:
+            ring = VNodeRing(shards, virtual_nodes=virtual_nodes)
+            for key in keys:
+                ring.successors(key, replicas)
+
+        _entry(
+            f"resolution_scaling/gnm-{n}",
+            {
+                "family": "gnm",
+                "n": n,
+                "shards": len(shards),
+                "virtual_nodes": virtual_nodes,
+                "replicas": replicas,
+                "lookups": lookups,
+                "comparison": "per-lookup full-scan placement oracle vs "
+                "one VNodeRing build + bisect successors per lookup",
+            },
+            before,
+            after,
+            repeats=1 if n >= 16384 else (2 if quick else 3),
+            results=results,
+        )
 
 
 def _churn_case(results: dict[str, dict], *, quick: bool, repeats: int) -> None:

@@ -1,0 +1,118 @@
+"""The scheme-lifetime router cache, homed in the serving process.
+
+The perf harness measured (PR 5) that caching landmark-SPT path
+extractions for the lifetime of a converged scheme is worth ~1.6x on the
+routing-heavy scenarios, but deferred the cache because no long-lived
+process existed to own it.  The resolution service is that process: under
+Zipf-popular lookup traffic the same ``(serving shard, requester)`` path
+extractions repeat constantly, and the traffic engine bills every hop
+count through this cache.
+
+The cache is a byte-budgeted exact LRU, mirroring the artifact-lifecycle
+discipline of :mod:`repro.scenarios.lifecycle`: deterministic eviction
+(least recently used first), a hard byte budget, and observable stats.
+Determinism matters because cache *contents* never influence results --
+only hit/miss accounting -- and the traffic engine's serial-vs-sharded
+byte-identity includes the per-segment cache stats.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.utils.validation import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.nddisco import NDDiscoRouting
+
+__all__ = ["RouterCache"]
+
+#: Accounting cost of one cached path: list header + per-hop slot.  An
+#: estimate (CPython object overheads vary by build), but a *stable* one,
+#: so budgets and eviction points are reproducible everywhere.
+_ENTRY_BASE_BYTES = 56
+_PER_HOP_BYTES = 8
+
+
+class RouterCache:
+    """Byte-budgeted LRU over landmark-SPT path extractions.
+
+    Parameters
+    ----------
+    max_bytes:
+        Hard budget for cached path payloads (accounted with the stable
+        per-entry estimate above, not CPython ``sys.getsizeof``).  The
+        cache never exceeds it: inserting a path evicts least-recently
+        used entries first, and a path larger than the whole budget is
+        returned uncached.
+    """
+
+    def __init__(self, *, max_bytes: int = 1 << 20) -> None:
+        require_positive("max_bytes", max_bytes)
+        self._max_bytes = max_bytes
+        self._paths: OrderedDict[tuple[int, int], list[int]] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def max_bytes(self) -> int:
+        """The byte budget."""
+        return self._max_bytes
+
+    @property
+    def current_bytes(self) -> int:
+        """Accounted bytes currently cached."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def stats(self) -> dict[str, int]:
+        """Counters: hits, misses, evictions, entries, bytes, max_bytes."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "entries": len(self._paths),
+            "bytes": self._bytes,
+            "max_bytes": self._max_bytes,
+        }
+
+    # -- the cached operation ------------------------------------------------
+
+    def landmark_path(
+        self, routing: "NDDiscoRouting", landmark: int, node: int
+    ) -> list[int]:
+        """``routing.landmark_path(landmark, node)``, cached for this scheme.
+
+        The returned list is shared with the cache -- treat it as
+        immutable, exactly like the converged tables it is read from.
+        """
+        key = (landmark, node)
+        cached = self._paths.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._paths.move_to_end(key)
+            return cached
+        self._misses += 1
+        path = routing.landmark_path(landmark, node)
+        cost = _ENTRY_BASE_BYTES + _PER_HOP_BYTES * len(path)
+        if cost > self._max_bytes:
+            return path
+        while self._bytes + cost > self._max_bytes:
+            _, evicted = self._paths.popitem(last=False)
+            self._bytes -= _ENTRY_BASE_BYTES + _PER_HOP_BYTES * len(evicted)
+            self._evictions += 1
+        self._paths[key] = path
+        self._bytes += cost
+        return path
+
+    def clear(self) -> None:
+        """Drop every cached path (stats counters are kept)."""
+        self._paths.clear()
+        self._bytes = 0

@@ -1,0 +1,699 @@
+"""Sharded name-resolution service over the landmark set (§4.3 served live).
+
+The converged model (:class:`repro.core.resolution.LandmarkResolutionDatabase`)
+answers "which landmark stores which record" for a fixed landmark set.  A
+*serving* resolution layer additionally needs:
+
+* **replication** -- the paper stores each record at the landmark owning
+  the name's hash; a service replicates it on the next ``r`` distinct
+  successors clockwise so single-shard loss does not lose records until
+  the next soft-state refresh;
+* **membership churn** -- landmarks leave and join (driven here by
+  :class:`~repro.dynamics.engine.ChurnEngine` node events), and the ring
+  must rebalance *deterministically* and *incrementally*: only records in
+  the hash arcs whose successor sets actually change are rescanned;
+* **an immutable ring** -- lookups concurrent with a rebalance see either
+  the old or the new ring, never a half-updated one, so membership
+  updates build a new :class:`VNodeRing` rather than mutating in place.
+
+Every placement decision is differentially pinned: :class:`VNodeRing`
+places records bit-identically to :class:`repro.naming.ConsistentHashRing`
+(same :func:`~repro.naming.consistent_hash.ring_point` construction, same
+bisect-successor semantics, same collision nudge), and
+``tests/test_resolution_service.py`` checks service placements, replica
+sets, and rebalance outcomes against brute-force recomputation across
+randomized churn sequences.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.addressing.address import Address
+from repro.core.resolution import ResolutionRecord
+from repro.core.sloppy_groups import SloppyGrouping
+from repro.naming.consistent_hash import ring_point
+from repro.naming.hashspace import (
+    HASH_BITS,
+    HASH_SPACE,
+    common_prefix_length,
+    in_clockwise_interval,
+)
+from repro.naming.names import FlatName
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "GroupContactIndex",
+    "RebalanceReport",
+    "ShardedResolutionService",
+    "VNodeRing",
+    "naive_successors",
+]
+
+
+class VNodeRing:
+    """An immutable consistent-hash ring with virtual nodes.
+
+    Tokens live in one sorted flat list with a parallel owner list, so a
+    successor lookup is a single :func:`bisect.bisect_left` (the mutable
+    :class:`~repro.naming.ConsistentHashRing` keeps the same sorted-point
+    structure; this class adds immutability and incremental updates).
+    Construction inserts servers in sorted order with the same
+    deterministic collision nudge, so the token set -- and therefore every
+    placement -- is bit-identical to the oracle ring built over
+    ``sorted(servers)``.
+
+    Membership updates (:meth:`with_server` / :meth:`without_server`)
+    return a *new* ring sharing nothing mutable with the old one.  The
+    incremental merge path is taken only when no collision nudge is
+    involved on either side; any nudge falls back to a full from-scratch
+    build, so incremental and from-scratch construction always agree
+    (pinned by the differential suite).
+    """
+
+    __slots__ = ("_tokens", "_owners", "_server_tokens", "_virtual_nodes", "_nudged")
+
+    def __init__(self, servers: Iterable[int] = (), *, virtual_nodes: int = 1) -> None:
+        require_positive("virtual_nodes", virtual_nodes)
+        self._virtual_nodes = virtual_nodes
+        point_owner: dict[int, int] = {}
+        server_tokens: dict[int, tuple[int, ...]] = {}
+        nudged = False
+        for server in sorted(set(servers)):
+            points: list[int] = []
+            for replica in range(virtual_nodes):
+                point = ring_point(server, replica)
+                while point in point_owner:
+                    point = (point + 1) % HASH_SPACE
+                    nudged = True
+                point_owner[point] = server
+                points.append(point)
+            server_tokens[server] = tuple(points)
+        self._tokens: list[int] = sorted(point_owner)
+        self._owners: list[int] = [point_owner[token] for token in self._tokens]
+        self._server_tokens = server_tokens
+        self._nudged = nudged
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def servers(self) -> frozenset[int]:
+        """The ring membership."""
+        return frozenset(self._server_tokens)
+
+    @property
+    def virtual_nodes(self) -> int:
+        """Ring tokens per server."""
+        return self._virtual_nodes
+
+    @property
+    def tokens(self) -> tuple[int, ...]:
+        """All ring tokens in sorted order."""
+        return tuple(self._tokens)
+
+    def tokens_of(self, server: int) -> tuple[int, ...]:
+        """The tokens owned by ``server`` (in replica order, not sorted)."""
+        return self._server_tokens[server]
+
+    def __len__(self) -> int:
+        return len(self._server_tokens)
+
+    def __contains__(self, server: int) -> bool:
+        return server in self._server_tokens
+
+    # -- lookups -------------------------------------------------------------
+
+    def successor(self, key: int) -> int:
+        """The server owning ``key``: first token at or clockwise of it.
+
+        Raises
+        ------
+        LookupError
+            If the ring has no servers.
+        """
+        if not self._tokens:
+            raise LookupError("virtual-node ring has no servers")
+        index = bisect.bisect_left(self._tokens, key % HASH_SPACE)
+        if index == len(self._tokens):
+            index = 0
+        return self._owners[index]
+
+    def successors(self, key: int, count: int) -> tuple[int, ...]:
+        """Up to ``count`` distinct servers clockwise of ``key``, owner first."""
+        require_positive("count", count)
+        if not self._tokens:
+            raise LookupError("virtual-node ring has no servers")
+        owners = self._owners
+        total = len(owners)
+        index = bisect.bisect_left(self._tokens, key % HASH_SPACE)
+        result: list[int] = []
+        for offset in range(total):
+            server = owners[(index + offset) % total]
+            if server not in result:
+                result.append(server)
+                if len(result) == count:
+                    break
+        return tuple(result)
+
+    # -- immutable membership updates ---------------------------------------
+
+    def with_server(self, server: int) -> "VNodeRing":
+        """A new ring with ``server`` added (``self`` if already present)."""
+        if server in self._server_tokens:
+            return self
+        fresh_points: list[int] = []
+        for replica in range(self._virtual_nodes):
+            fresh_points.append(ring_point(server, replica))
+        collision = (
+            self._nudged
+            or len(set(fresh_points)) != len(fresh_points)
+            or any(self._token_exists(point) for point in fresh_points)
+        )
+        if collision:
+            return VNodeRing(
+                list(self._server_tokens) + [server],
+                virtual_nodes=self._virtual_nodes,
+            )
+        ring = VNodeRing.__new__(VNodeRing)
+        ring._virtual_nodes = self._virtual_nodes
+        ring._nudged = False
+        tokens = list(self._tokens)
+        owners = list(self._owners)
+        for point in sorted(fresh_points):
+            index = bisect.bisect_left(tokens, point)
+            tokens.insert(index, point)
+            owners.insert(index, server)
+        ring._tokens = tokens
+        ring._owners = owners
+        ring._server_tokens = {**self._server_tokens, server: tuple(fresh_points)}
+        return ring
+
+    def without_server(self, server: int) -> "VNodeRing":
+        """A new ring with ``server`` removed.
+
+        Raises
+        ------
+        KeyError
+            If the server is not on the ring.
+        """
+        if server not in self._server_tokens:
+            raise KeyError(server)
+        remaining = [s for s in self._server_tokens if s != server]
+        if self._nudged:
+            # A nudge anywhere means token positions depend on the build
+            # order; only a from-scratch rebuild is guaranteed to match one.
+            return VNodeRing(remaining, virtual_nodes=self._virtual_nodes)
+        ring = VNodeRing.__new__(VNodeRing)
+        ring._virtual_nodes = self._virtual_nodes
+        ring._nudged = False
+        dead = set(self._server_tokens[server])
+        ring._tokens = [t for t in self._tokens if t not in dead]
+        ring._owners = [o for o in self._owners if o != server]
+        ring._server_tokens = {
+            s: points for s, points in self._server_tokens.items() if s != server
+        }
+        return ring
+
+    def _token_exists(self, point: int) -> bool:
+        index = bisect.bisect_left(self._tokens, point)
+        return index < len(self._tokens) and self._tokens[index] == point
+
+    def affected_arcs(
+        self, server: int, replicas: int
+    ) -> list[tuple[int, int]] | None:
+        """Hash arcs whose ``replicas``-way successor set includes ``server``.
+
+        A key's replica set changes when ``server`` joins or leaves exactly
+        when ``server`` is among the key's first ``replicas`` distinct
+        clockwise owners *on the ring that contains the server* (the new
+        ring for a join, the old ring for a leave).  For each of the
+        server's tokens ``t`` this walks counter-clockwise until ``replicas``
+        distinct other owners (or another of the server's own tokens) have
+        been passed; keys in the clockwise arc ``(start, t]`` -- start
+        exclusive, matching bisect successor semantics -- are exactly the
+        affected ones.  Returns ``None`` when every key is affected (the
+        membership is no larger than the replication factor, or an arc
+        wraps the whole ring).
+
+        The rebalance scan filter is pinned exact (not just conservative)
+        by the differential suite: arc-filtered recomputation must equal
+        brute-force recomputation of every placement.
+        """
+        require_positive("replicas", replicas)
+        if server not in self._server_tokens:
+            raise KeyError(server)
+        others = len(self._server_tokens) - 1
+        if others < replicas:
+            return None
+        tokens, owners = self._tokens, self._owners
+        total = len(tokens)
+        arcs: list[tuple[int, int]] = []
+        for i, owner in enumerate(owners):
+            if owner != server:
+                continue
+            seen: set[int] = set()
+            j = (i - 1) % total
+            steps = 0
+            start = None
+            while steps < total:
+                other = owners[j]
+                if other == server:
+                    start = tokens[j]
+                    break
+                seen.add(other)
+                if len(seen) >= replicas:
+                    start = tokens[j]
+                    break
+                j = (j - 1) % total
+                steps += 1
+            if start is None:
+                return None
+            arcs.append((start, tokens[i]))
+        return arcs
+
+
+def _arcs_contain(arcs: list[tuple[int, int]] | None, key: int) -> bool:
+    """Whether ``key`` lies in any clockwise arc (``None`` = whole ring)."""
+    if arcs is None:
+        return True
+    return any(
+        in_clockwise_interval(key, start, end, inclusive_end=True)
+        for start, end in arcs
+    )
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one shard join/leave cost the service.
+
+    Attributes
+    ----------
+    shard:
+        The shard that joined or left.
+    kind:
+        ``"join"`` or ``"leave"``.
+    scanned:
+        Records whose hash fell in the affected arcs (candidates for a
+        placement change); the whole table when ``whole_ring`` is set.
+    moved_copies:
+        Record copies created on shards that did not previously hold them.
+    lost_records:
+        Records dropped entirely because their only copy lived on a shard
+        that left unannounced (``lost=True``); they return at the owner's
+        next soft-state refresh, which is the staleness window the
+        resolution scenarios measure.
+    arcs:
+        Number of affected hash arcs (one per token of the shard).
+    whole_ring:
+        True when the arc filter degenerated to a full scan.
+    """
+
+    shard: int
+    kind: str
+    scanned: int
+    moved_copies: int
+    lost_records: int
+    arcs: int
+    whole_ring: bool
+
+
+class ShardedResolutionService:
+    """r-way replicated name→address storage on the landmark shards.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard ids (the landmark set, in Disco's use).
+    virtual_nodes:
+        Ring tokens per shard (the §4.5 load-smoothing knob).
+    replicas:
+        Distinct successor shards holding each record.  ``1`` reproduces
+        the paper's single-home placement: the home shard of every name
+        then matches :meth:`LandmarkResolutionDatabase.home_landmark`
+        bit-for-bit.
+    refresh_interval:
+        Soft-state refresh period t; records time out after ``2t + 1``
+        exactly as in the converged model.
+    """
+
+    def __init__(
+        self,
+        shards: Iterable[int],
+        *,
+        virtual_nodes: int = 1,
+        replicas: int = 1,
+        refresh_interval: float = 10.0,
+    ) -> None:
+        shard_list = sorted(set(shards))
+        if not shard_list:
+            raise ValueError("resolution service requires at least one shard")
+        require_positive("replicas", replicas)
+        require_positive("refresh_interval", refresh_interval)
+        self._ring = VNodeRing(shard_list, virtual_nodes=virtual_nodes)
+        self._replicas = replicas
+        self._refresh_interval = float(refresh_interval)
+        self._records: dict[FlatName, ResolutionRecord] = {}
+        self._placements: dict[FlatName, tuple[int, ...]] = {}
+        self._shard_counts: dict[int, int] = {shard: 0 for shard in shard_list}
+
+    # -- configuration accessors --------------------------------------------
+
+    @property
+    def ring(self) -> VNodeRing:
+        """The current (immutable) placement ring."""
+        return self._ring
+
+    @property
+    def shards(self) -> list[int]:
+        """Current shard ids (sorted)."""
+        return sorted(self._shard_counts)
+
+    @property
+    def replicas(self) -> int:
+        """Distinct successor shards per record."""
+        return self._replicas
+
+    @property
+    def refresh_interval(self) -> float:
+        """The soft-state refresh period t."""
+        return self._refresh_interval
+
+    @property
+    def timeout(self) -> float:
+        """The soft-state timeout 2t + 1."""
+        return 2.0 * self._refresh_interval + 1.0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- placement -----------------------------------------------------------
+
+    def compute_placement(self, name: FlatName) -> tuple[int, ...]:
+        """The replica set the current ring assigns to ``name``, home first."""
+        return self._ring.successors(name.hash_value, self._replicas)
+
+    def placement_of(self, name: FlatName) -> tuple[int, ...]:
+        """The *stored* replica set of ``name`` (KeyError if absent)."""
+        return self._placements[name]
+
+    def home_shard(self, name: FlatName) -> int:
+        """The shard owning ``name``'s hash (the paper's home landmark)."""
+        return self._ring.successor(name.hash_value)
+
+    # -- storage -------------------------------------------------------------
+
+    def insert(
+        self, name: FlatName, address: Address, *, now: float = 0.0
+    ) -> tuple[int, ...]:
+        """Insert/refresh the record for ``name``; returns its replica set.
+
+        A refresh of a live record never reshuffles placement: the ring is
+        keyed by the name's hash only, so re-inserting recomputes the same
+        replica set unless the membership changed in between (the property
+        the soft-state tests pin).
+        """
+        placement = self.compute_placement(name)
+        self._set_placement(name, placement)
+        self._records[name] = ResolutionRecord(
+            name=name, address=address, inserted_at=now
+        )
+        return placement
+
+    def populate(
+        self,
+        names: Iterable[FlatName],
+        addresses: Iterable[Address],
+        *,
+        now: float = 0.0,
+    ) -> None:
+        """Bulk-insert (name, address) pairs (converged-state construction)."""
+        for name, address in zip(names, addresses):
+            self.insert(name, address, now=now)
+
+    def lookup(self, name: FlatName, *, now: float | None = None) -> Address | None:
+        """The stored address for ``name``, or None if absent or stale.
+
+        With ``now`` given, a record past its ``2t + 1`` window is *not
+        served* even if a lazy expiry sweep has not dropped it yet -- the
+        service never serves staler than the oracle database would store.
+        """
+        record = self.lookup_record(name, now=now)
+        return record.address if record is not None else None
+
+    def lookup_record(
+        self, name: FlatName, *, now: float | None = None
+    ) -> ResolutionRecord | None:
+        """The full stored record for ``name``, or None if absent or stale."""
+        record = self._records.get(name)
+        if record is None:
+            return None
+        if now is not None and record.inserted_at < now - self.timeout:
+            return None
+        return record
+
+    def expire_older_than(self, now: float) -> int:
+        """Drop records past the ``2t + 1`` timeout; returns count dropped."""
+        cutoff = now - self.timeout
+        stale = [
+            name
+            for name, record in self._records.items()
+            if record.inserted_at < cutoff
+        ]
+        for name in stale:
+            del self._records[name]
+            self._drop_placement(name)
+        return len(stale)
+
+    # -- membership churn ----------------------------------------------------
+
+    def add_shard(self, shard: int) -> RebalanceReport:
+        """Add ``shard`` and rebalance only the affected hash arcs."""
+        if shard in self._shard_counts:
+            return RebalanceReport(
+                shard=shard,
+                kind="join",
+                scanned=0,
+                moved_copies=0,
+                lost_records=0,
+                arcs=0,
+                whole_ring=False,
+            )
+        new_ring = self._ring.with_server(shard)
+        arcs = new_ring.affected_arcs(shard, self._replicas)
+        self._ring = new_ring
+        self._shard_counts[shard] = 0
+        scanned = moved = 0
+        for name in self._affected_names(arcs):
+            scanned += 1
+            old = self._placements[name]
+            new = self.compute_placement(name)
+            if new != old:
+                moved += len(set(new) - set(old))
+                self._set_placement(name, new)
+        return RebalanceReport(
+            shard=shard,
+            kind="join",
+            scanned=scanned,
+            moved_copies=moved,
+            lost_records=0,
+            arcs=0 if arcs is None else len(arcs),
+            whole_ring=arcs is None,
+        )
+
+    def remove_shard(self, shard: int, *, lost: bool = True) -> RebalanceReport:
+        """Remove ``shard``; rebalance the arcs it served.
+
+        With ``lost=True`` (a crash / unannounced leave) the copies the
+        shard held vanish: records with surviving replicas re-replicate
+        from the survivors, records whose *only* copy lived there are
+        dropped until their owner's next soft-state refresh re-inserts
+        them.  ``lost=False`` models a graceful drain where every copy is
+        handed off first.
+
+        Raises
+        ------
+        KeyError
+            If the shard is not a member.
+        ValueError
+            If it is the last shard.
+        """
+        if shard not in self._shard_counts:
+            raise KeyError(shard)
+        if len(self._shard_counts) == 1:
+            raise ValueError("cannot remove the last resolution shard")
+        arcs = self._ring.affected_arcs(shard, self._replicas)
+        self._ring = self._ring.without_server(shard)
+        scanned = moved = dropped = 0
+        for name in self._affected_names(arcs):
+            scanned += 1
+            old = self._placements[name]
+            survivors = set(old) - {shard}
+            if lost and not survivors:
+                del self._records[name]
+                self._drop_placement(name)
+                dropped += 1
+                continue
+            new = self.compute_placement(name)
+            moved += len(set(new) - survivors)
+            self._set_placement(name, new)
+        self._shard_counts.pop(shard)
+        return RebalanceReport(
+            shard=shard,
+            kind="leave",
+            scanned=scanned,
+            moved_copies=moved,
+            lost_records=dropped,
+            arcs=0 if arcs is None else len(arcs),
+            whole_ring=arcs is None,
+        )
+
+    # -- state accounting ----------------------------------------------------
+
+    def entries_at(self, shard: int) -> int:
+        """Record copies stored at ``shard`` (0 for non-members)."""
+        return self._shard_counts.get(shard, 0)
+
+    def load_distribution(self) -> dict[int, int]:
+        """Record copies per shard (the §4.5 load-imbalance view).
+
+        With ``replicas=1`` this matches
+        :meth:`LandmarkResolutionDatabase.load_distribution` exactly.
+        """
+        return dict(self._shard_counts)
+
+    # -- internals -----------------------------------------------------------
+
+    def _affected_names(
+        self, arcs: list[tuple[int, int]] | None
+    ) -> list[FlatName]:
+        """Stored names in the affected arcs, in deterministic ring order."""
+        return [
+            name
+            for name in sorted(self._records)
+            if _arcs_contain(arcs, name.hash_value)
+        ]
+
+    def _set_placement(self, name: FlatName, placement: tuple[int, ...]) -> None:
+        old = self._placements.get(name, ())
+        for shard in old:
+            self._shard_counts[shard] -= 1
+        for shard in placement:
+            self._shard_counts[shard] += 1
+        self._placements[name] = placement
+
+    def _drop_placement(self, name: FlatName) -> None:
+        for shard in self._placements.pop(name):
+            if shard in self._shard_counts:
+                self._shard_counts[shard] -= 1
+
+
+class GroupContactIndex:
+    """Bisect-backed sloppy-group contact selection (§4.4 served live).
+
+    :meth:`SloppyGrouping.best_group_contact` scans every vicinity member
+    per query; a serving process answers the same question with one bisect
+    into the member list sorted by hash.  The longest-prefix-match winners
+    form a contiguous run around the query hash's insertion point (they
+    share the maximal prefix interval), so the scan for the
+    ``(distance, node)`` tie-break touches only that run.  Results are
+    bit-identical to the oracle (pinned by the differential suite).
+
+    Candidate mappings are indexed lazily per source node and assumed
+    stable for the index lifetime (vicinities are converged state).
+    """
+
+    def __init__(self, grouping: SloppyGrouping) -> None:
+        self._grouping = grouping
+        self._tables: dict[
+            int, tuple[list[int], list[int], Mapping[int, float]]
+        ] = {}
+
+    @property
+    def grouping(self) -> SloppyGrouping:
+        """The converged grouping this index serves."""
+        return self._grouping
+
+    def best_contact(
+        self,
+        source: int,
+        target: int,
+        candidates: Mapping[int, float],
+    ) -> int | None:
+        """The vicinity member most likely to know ``target``'s address.
+
+        Same contract as :meth:`SloppyGrouping.best_group_contact`:
+        longest hash-prefix match with h(target), ties broken by smaller
+        distance then smaller node id; None for no candidates.
+        """
+        if not candidates:
+            return None
+        table = self._tables.get(source)
+        if table is None:
+            pairs = sorted(
+                (self._grouping.hash_of(node), node) for node in candidates
+            )
+            table = ([h for h, _ in pairs], [n for _, n in pairs], candidates)
+            self._tables[source] = table
+        hashes, nodes, distances = table
+        target_hash = self._grouping.hash_of(target)
+        position = bisect.bisect_left(hashes, target_hash)
+        best_match = -1
+        for neighbor in (position - 1, position):
+            if 0 <= neighbor < len(hashes):
+                best_match = max(
+                    best_match,
+                    common_prefix_length(hashes[neighbor], target_hash),
+                )
+        if best_match < 0:
+            return None
+        if best_match == 0:
+            lo, hi = 0, len(hashes)
+        else:
+            shift = HASH_BITS - best_match
+            low_value = (target_hash >> shift) << shift
+            lo = bisect.bisect_left(hashes, low_value)
+            hi = bisect.bisect_left(hashes, low_value + (1 << shift))
+        best: tuple[float, int] | None = None
+        for index in range(lo, hi):
+            node = nodes[index]
+            key = (distances[node], node)
+            if best is None or key < best:
+                best = key
+        return best[1] if best is not None else None
+
+
+def naive_successors(
+    servers: Sequence[int],
+    key: int,
+    count: int,
+    *,
+    virtual_nodes: int = 1,
+) -> tuple[int, ...]:
+    """Brute-force successor computation: the full-scan placement oracle.
+
+    Recomputes every ring point with :func:`ring_point`, sorts all of them
+    by clockwise distance from ``key``, and collects the first ``count``
+    distinct owners.  Quadratic and allocation-happy by design -- this is
+    the reference the service's bisect ring is differentially pinned
+    against (and the "before" side of the ``resolution_scaling`` bench
+    family).  Ignores the (astronomically unlikely) token-collision nudge,
+    which the differential suite separately forces and checks.
+    """
+    require_positive("count", count)
+    points: list[tuple[int, int]] = []
+    for server in sorted(set(servers)):
+        for replica in range(virtual_nodes):
+            points.append((ring_point(server, replica), server))
+    if not points:
+        raise LookupError("no servers")
+    key %= HASH_SPACE
+    points.sort(key=lambda pair: ((pair[0] - key) % HASH_SPACE, pair[0]))
+    result: list[int] = []
+    for _, server in points:
+        if server not in result:
+            result.append(server)
+            if len(result) == count:
+                break
+    return tuple(result)

@@ -101,6 +101,21 @@ class TestEventCalendar:
         calendar.extend(events)
         assert [e.tick for e in calendar.drain()] == [0, 3, 7, 7]
 
+    def test_growth_triggering_event_is_threaded_once(self):
+        # Regression: the event whose schedule() call grows the ring used
+        # to be appended before _grow re-threaded the arrays, so it was
+        # threaded twice -- a self-loop in the next chain that replayed
+        # one event until the pending count drained and dropped the rest.
+        # The loop was only visible when no later event landed in the
+        # same bucket to overwrite it.
+        calendar = EventCalendar(horizon=2)
+        ticks = [1, 100, 200, 300]
+        for tick in ticks:
+            calendar.schedule(DynEvent(tick, "node-leave", tick))
+        drained = list(calendar.drain())
+        assert [e.tick for e in drained] == ticks
+        assert [e.u for e in drained] == ticks
+
     def test_rejects_past_ticks(self):
         calendar = EventCalendar()
         calendar.schedule(DynEvent(5, "edge-down", 0, 1))

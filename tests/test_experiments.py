@@ -103,6 +103,9 @@ class TestRunner:
             "static-accuracy",
             "guarantees",
             "churn-cost",
+            "resolution-latency",
+            "resolution-staleness",
+            "resolution-balance",
             "ablations",
         }
         assert set(EXPERIMENTS) == expected

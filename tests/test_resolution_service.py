@@ -1,0 +1,583 @@
+"""Property-based differential suite for the sharded resolution service.
+
+The serving layer (:mod:`repro.resolution`) re-implements the converged
+§4.3/§4.4 structures with serving-grade data structures (bisect rings,
+prefix-range contact lookup, arc-scoped rebalance).  Every one of those
+re-implementations is pinned here against brute-force recomputation or
+the converged-state oracles:
+
+* :class:`VNodeRing` vs :func:`naive_successors` and
+  :class:`ConsistentHashRing` across randomized memberships, virtual-node
+  counts, and churn sequences -- including a forced token-collision run
+  that exercises the nudge fallback;
+* :class:`ShardedResolutionService` at r=1 vs
+  :class:`LandmarkResolutionDatabase` (home shards, load distribution,
+  lookups, expiry);
+* arc-filtered rebalance vs full placement recomputation under random
+  join/leave sequences;
+* :class:`SloppyGrouping` one-bit-disagreement core-group invariant under
+  factor-of-two estimate skew, and :class:`GroupContactIndex` vs the
+  oracle's full-scan contact selection;
+* soft-state 2t+1 expiry driven through the :class:`EventCalendar`
+  (no record served past its window; refreshes never reshuffle placement);
+* the traffic engine's determinism and tick-segment merge equality, and
+  the resolution scenarios' serial-vs-workers byte identity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.naming.consistent_hash as consistent_hash_module
+import repro.resolution.service as service_module
+from repro.addressing.address import Address
+from repro.addressing.explicit_route import ExplicitRoute
+from repro.core.nddisco import NDDiscoRouting
+from repro.core.resolution import LandmarkResolutionDatabase
+from repro.core.sloppy_groups import SloppyGrouping
+from repro.dynamics.calendar import EventCalendar
+from repro.dynamics.stream import DynEvent
+from repro.experiments.config import ExperimentScale
+from repro.graphs.generators import gnm_random_graph
+from repro.naming import HASH_SPACE, ConsistentHashRing, name_for_node
+from repro.naming.hashspace import common_prefix_length
+from repro.resolution import (
+    GroupContactIndex,
+    ShardedResolutionService,
+    TrafficReport,
+    VNodeRing,
+    generate_lookup_workload,
+    run_traffic,
+)
+from repro.resolution.service import naive_successors
+from repro.scenarios.engine import run_scenarios
+
+_SETTINGS = settings(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_servers = st.lists(
+    st.integers(min_value=0, max_value=10**6),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+_vnodes = st.integers(min_value=1, max_value=6)
+_keys = st.integers(min_value=0, max_value=HASH_SPACE - 1)
+
+
+def _address(node: int) -> Address:
+    """A minimal valid address (the node is its own landmark)."""
+    return Address(
+        node=node,
+        landmark=node,
+        route=ExplicitRoute(path=(node,), labels=(), bits=0),
+    )
+
+
+def _names(count: int):
+    return [name_for_node(node) for node in range(count)]
+
+
+class TestVNodeRingOracle:
+    @_SETTINGS
+    @given(servers=_servers, vnodes=_vnodes, key=_keys)
+    def test_successor_matches_oracle_ring_and_naive_scan(
+        self, servers, vnodes, key
+    ):
+        ring = VNodeRing(servers, virtual_nodes=vnodes)
+        oracle = ConsistentHashRing(sorted(servers), virtual_nodes=vnodes)
+        assert ring.successor(key) == oracle.owner(key)
+        assert ring.successor(key) == naive_successors(
+            servers, key, 1, virtual_nodes=vnodes
+        )[0]
+
+    @_SETTINGS
+    @given(
+        servers=_servers,
+        vnodes=_vnodes,
+        key=_keys,
+        count=st.integers(min_value=1, max_value=6),
+    )
+    def test_replica_sets_match_naive_scan(self, servers, vnodes, key, count):
+        ring = VNodeRing(servers, virtual_nodes=vnodes)
+        assert ring.successors(key, count) == naive_successors(
+            servers, key, count, virtual_nodes=vnodes
+        )
+
+    @_SETTINGS
+    @given(
+        initial=_servers,
+        vnodes=_vnodes,
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=40)),
+            max_size=12,
+        ),
+    )
+    def test_incremental_churn_matches_from_scratch(self, initial, vnodes, ops):
+        ring = VNodeRing(initial, virtual_nodes=vnodes)
+        members = set(initial)
+        for add, server in ops:
+            if add:
+                ring = ring.with_server(server)
+                members.add(server)
+            elif server in members and len(members) > 1:
+                ring = ring.without_server(server)
+                members.discard(server)
+            scratch = VNodeRing(sorted(members), virtual_nodes=vnodes)
+            assert ring.servers == scratch.servers
+            assert ring.tokens == scratch.tokens
+            for token in scratch.tokens:
+                assert ring.successor(token) == scratch.successor(token)
+                assert ring.successor(token + 1) == scratch.successor(token + 1)
+
+    def test_forced_collision_nudge_matches_oracle(self, monkeypatch):
+        # A degenerate point function that collides constantly forces the
+        # deterministic nudge on both sides; the incremental paths must
+        # detect it and fall back to from-scratch rebuilds.
+        def colliding_point(server, replica):
+            return (1000 * ((server % 4) + 1)) % HASH_SPACE
+
+        monkeypatch.setattr(service_module, "ring_point", colliding_point)
+        monkeypatch.setattr(consistent_hash_module, "_point_for", colliding_point)
+        members = [3, 7, 11, 19, 23]
+        ring = VNodeRing(members, virtual_nodes=3)
+        probes = list(range(0, 6000, 37)) + [HASH_SPACE - 1]
+        for churned in (5, 7, 42, 11):
+            if churned in ring:
+                ring = ring.without_server(churned)
+                members.remove(churned)
+            else:
+                ring = ring.with_server(churned)
+                members.append(churned)
+            oracle = ConsistentHashRing(sorted(members), virtual_nodes=3)
+            for key in probes:
+                assert ring.successor(key) == oracle.owner(key)
+
+
+class TestServiceVsOracleDatabase:
+    @_SETTINGS
+    @given(
+        landmarks=_servers,
+        vnodes=st.integers(min_value=1, max_value=4),
+        num_names=st.integers(min_value=1, max_value=48),
+    )
+    def test_single_home_placement_matches_oracle(
+        self, landmarks, vnodes, num_names
+    ):
+        service = ShardedResolutionService(
+            landmarks, virtual_nodes=vnodes, replicas=1
+        )
+        oracle = LandmarkResolutionDatabase(landmarks, virtual_nodes=vnodes)
+        names = _names(num_names)
+        addresses = [_address(node) for node in range(num_names)]
+        service.populate(names, addresses)
+        oracle.populate(names, addresses)
+        for name in names:
+            assert service.home_shard(name) == oracle.home_landmark(name)
+            assert service.placement_of(name) == (oracle.home_landmark(name),)
+            assert service.lookup(name) == oracle.lookup(name)
+        assert service.load_distribution() == oracle.load_distribution()
+
+    @_SETTINGS
+    @given(
+        landmarks=_servers,
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=32,
+        ),
+        now=st.floats(min_value=0.0, max_value=150.0),
+    )
+    def test_expiry_matches_oracle(self, landmarks, times, now):
+        service = ShardedResolutionService(landmarks, refresh_interval=10.0)
+        oracle = LandmarkResolutionDatabase(landmarks, refresh_interval=10.0)
+        names = _names(len(times))
+        for node, inserted_at in enumerate(times):
+            service.insert(names[node], _address(node), now=inserted_at)
+            oracle.insert(names[node], _address(node), now=inserted_at)
+        assert service.expire_older_than(now) == oracle.expire_older_than(now)
+        for name in names:
+            assert service.lookup(name) == oracle.lookup(name)
+        assert service.load_distribution() == oracle.load_distribution()
+
+
+class TestRebalanceDifferential:
+    @_SETTINGS
+    @given(
+        initial=st.lists(
+            st.integers(min_value=0, max_value=60),
+            min_size=1,
+            max_size=10,
+            unique=True,
+        ),
+        replicas=st.integers(min_value=1, max_value=3),
+        vnodes=st.integers(min_value=1, max_value=4),
+        num_names=st.integers(min_value=1, max_value=40),
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=60)),
+            max_size=10,
+        ),
+    )
+    def test_arc_scoped_rebalance_equals_bruteforce(
+        self, initial, replicas, vnodes, num_names, ops
+    ):
+        service = ShardedResolutionService(
+            initial, virtual_nodes=vnodes, replicas=replicas
+        )
+        names = _names(num_names)
+        service.populate(names, [_address(node) for node in range(num_names)])
+        members = set(initial)
+        for add, shard in ops:
+            if add and shard not in members:
+                service.add_shard(shard)
+                members.add(shard)
+            elif not add and shard in members and len(members) > 1:
+                # Graceful drain keeps every record, so placements stay
+                # comparable against the brute-force oracle.
+                service.remove_shard(shard, lost=False)
+                members.discard(shard)
+            counts = {shard: 0 for shard in members}
+            for name in names:
+                expected = naive_successors(
+                    sorted(members),
+                    name.hash_value,
+                    replicas,
+                    virtual_nodes=vnodes,
+                )
+                assert service.placement_of(name) == expected
+                assert service.compute_placement(name) == expected
+                for holder in expected:
+                    counts[holder] += 1
+            assert service.load_distribution() == counts
+
+    def test_lost_shard_drops_sole_copies_until_refresh(self):
+        landmarks = list(range(8))
+        names = _names(64)
+        addresses = [_address(node) for node in range(64)]
+        service = ShardedResolutionService(landmarks, replicas=1)
+        service.populate(names, addresses)
+        victim = service.home_shard(names[0])
+        homed = [name for name in names if service.home_shard(name) == victim]
+        report = service.remove_shard(victim, lost=True)
+        assert report.kind == "leave"
+        assert report.lost_records == len(homed)
+        for name in names:
+            if name in homed:
+                assert service.lookup(name) is None
+            else:
+                assert service.lookup(name) is not None
+        # The owner's next soft-state refresh restores the record.
+        service.insert(names[0], addresses[0], now=1.0)
+        assert service.lookup(names[0]) is not None
+
+    def test_replicated_records_survive_shard_loss(self):
+        landmarks = list(range(8))
+        names = _names(64)
+        service = ShardedResolutionService(landmarks, replicas=2)
+        service.populate(names, [_address(node) for node in range(64)])
+        victim = landmarks[3]
+        affected = [
+            name for name in names if victim in service.placement_of(name)
+        ]
+        report = service.remove_shard(victim, lost=True)
+        assert report.lost_records == 0
+        # Every affected record re-replicates exactly its lost copy.
+        assert report.moved_copies == len(affected)
+        for name in names:
+            assert service.lookup(name) is not None
+            assert victim not in service.placement_of(name)
+
+    def test_join_scan_is_arc_scoped(self):
+        service = ShardedResolutionService(range(16), replicas=1)
+        names = _names(256)
+        service.populate(names, [_address(node) for node in range(256)])
+        report = service.add_shard(99)
+        assert not report.whole_ring
+        assert report.scanned < len(names)
+        assert report.moved_copies == service.entries_at(99)
+
+
+class TestSloppyGroupingSkew:
+    @_SETTINGS
+    @given(
+        num_nodes=st.integers(min_value=16, max_value=96),
+        factors=st.lists(
+            st.floats(min_value=0.5, max_value=2.0),
+            min_size=96,
+            max_size=96,
+        ),
+    )
+    def test_core_groups_survive_factor_two_estimate_skew(
+        self, num_nodes, factors
+    ):
+        estimates = {
+            node: num_nodes * factors[node] for node in range(num_nodes)
+        }
+        grouping = SloppyGrouping(_names(num_nodes), estimates)
+        bits = [grouping.prefix_bits_of(node) for node in range(num_nodes)]
+        # Factor-of-two skew moves log2(sqrt(n)) by at most 1/2 either way,
+        # so any two nodes' prefix lengths disagree by at most one bit.
+        assert max(bits) - min(bits) <= 1
+        k_max = max(bits)
+        for u in range(num_nodes):
+            for v in range(u + 1, num_nodes):
+                if (
+                    common_prefix_length(
+                        grouping.hash_of(u), grouping.hash_of(v)
+                    )
+                    >= k_max
+                ):
+                    assert grouping.stores_address_of(u, v)
+                    assert grouping.stores_address_of(v, u)
+
+    @_SETTINGS
+    @given(
+        num_nodes=st.integers(min_value=8, max_value=64),
+        estimate=st.floats(min_value=4.0, max_value=2.0**24),
+        data=st.data(),
+    )
+    def test_contact_index_matches_full_scan_oracle(
+        self, num_nodes, estimate, data
+    ):
+        grouping = SloppyGrouping(_names(num_nodes), estimate)
+        index = GroupContactIndex(grouping)
+        source = data.draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        members = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_nodes - 1),
+                min_size=1,
+                max_size=num_nodes,
+                unique=True,
+            )
+        )
+        distances = {
+            node: data.draw(
+                st.floats(min_value=0.0, max_value=50.0), label=f"d{node}"
+            )
+            for node in members
+        }
+        for target in range(num_nodes):
+            expected = grouping.best_group_contact(target, distances)
+            assert index.best_contact(source, target, distances) == expected
+            # Cached-table path must answer identically.
+            assert index.best_contact(source, target, distances) == expected
+
+
+class TestSoftStateCalendar:
+    def test_expiry_through_event_calendar(self):
+        """Refresh events through the calendar: 2t+1 served-staleness cap."""
+        refresh_interval = 4.0
+        num_nodes = 24
+        names = _names(num_nodes)
+        service = ShardedResolutionService(
+            range(6), replicas=2, refresh_interval=refresh_interval
+        )
+        timeout = service.timeout
+        horizon = 64
+        calendar = EventCalendar()
+        last_insert = {}
+        # Node v refreshes every (3 + v % 9) ticks -- some inside, some
+        # far outside the 2t+1 = 9 tick window.
+        for node in range(num_nodes):
+            for tick in range(0, horizon, 3 + node % 9):
+                calendar.schedule(DynEvent(tick, "node-join", node))
+        pending = calendar.pop()
+        for tick in range(horizon):
+            while pending is not None and pending.tick == tick:
+                node = pending.u
+                before = (
+                    service.placement_of(names[node])
+                    if names[node] in {n for n in last_insert}
+                    else None
+                )
+                service.insert(names[node], _address(node), now=float(tick))
+                if before is not None:
+                    # Membership never changed, so a refresh never
+                    # reshuffles placement.
+                    assert service.placement_of(names[node]) == before
+                last_insert[names[node]] = float(tick)
+                pending = calendar.pop()
+            dropped = service.expire_older_than(float(tick))
+            expected_dropped = [
+                name
+                for name, inserted in last_insert.items()
+                if inserted < tick - timeout
+            ]
+            assert dropped == len(expected_dropped)
+            for name in expected_dropped:
+                del last_insert[name]
+            for node in range(num_nodes):
+                record = service.lookup_record(names[node], now=float(tick))
+                if record is not None:
+                    assert tick - record.inserted_at <= timeout
+                    assert record.inserted_at == last_insert[names[node]]
+
+    def test_stale_record_not_served_before_sweep(self):
+        service = ShardedResolutionService(range(4), refresh_interval=2.0)
+        name = name_for_node(0)
+        service.insert(name, _address(0), now=0.0)
+        assert service.lookup(name, now=service.timeout) is not None
+        # Past 2t+1 the record is dead even though no sweep dropped it yet.
+        assert service.lookup(name, now=service.timeout + 1.5) is None
+        assert len(service) == 1
+
+
+@pytest.fixture(scope="module")
+def small_routing():
+    topology = gnm_random_graph(64, seed=5, average_degree=6.0)
+    return NDDiscoRouting(topology, seed=5)
+
+
+class TestTrafficEngine:
+    def test_workload_is_deterministic_and_well_formed(self):
+        workload = generate_lookup_workload(
+            50,
+            num_lookups=600,
+            duration_ticks=40,
+            seed=9,
+            flash=(10, 18, 3.0),
+        )
+        again = generate_lookup_workload(
+            50,
+            num_lookups=600,
+            duration_ticks=40,
+            seed=9,
+            flash=(10, 18, 3.0),
+        )
+        assert workload == again
+        assert workload.num_lookups == 600
+        assert list(workload.ticks) == sorted(workload.ticks)
+        assert all(0 <= t < 40 for t in workload.ticks)
+        assert all(
+            requester != target
+            for requester, target in zip(workload.requesters, workload.targets)
+        )
+        per_tick = [0] * 40
+        for tick in workload.ticks:
+            per_tick[tick] += 1
+        flash_mean = sum(per_tick[10:18]) / 8
+        calm_mean = sum(per_tick[:10] + per_tick[18:]) / 32
+        assert flash_mean > 2 * calm_mean
+        other_seed = generate_lookup_workload(
+            50, num_lookups=600, duration_ticks=40, seed=10
+        )
+        assert other_seed != workload
+
+    def test_zipf_popularity_is_skewed(self):
+        workload = generate_lookup_workload(
+            64, num_lookups=4000, duration_ticks=8, seed=2, zipf_exponent=1.0
+        )
+        counts: dict[int, int] = {}
+        for target in workload.targets:
+            counts[target] = counts.get(target, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (4000 / 64)
+
+    def test_run_is_deterministic(self, small_routing):
+        workload = generate_lookup_workload(
+            64, num_lookups=800, duration_ticks=32, seed=4
+        )
+        kwargs = dict(replicas=2, virtual_nodes=4, refresh_interval=8)
+        assert run_traffic(small_routing, workload, **kwargs) == run_traffic(
+            small_routing, workload, **kwargs
+        )
+
+    def test_segment_merge_matches_serial(self, small_routing):
+        workload = generate_lookup_workload(
+            64, num_lookups=800, duration_ticks=32, seed=4, flash=(8, 12, 3.0)
+        )
+        landmarks = sorted(small_routing.landmarks)
+        events = [
+            DynEvent(6, "node-leave", landmarks[0]),
+            DynEvent(20, "node-join", landmarks[0]),
+        ]
+        kwargs = dict(
+            replicas=2,
+            virtual_nodes=4,
+            refresh_interval=8,
+            shard_events=events,
+        )
+        serial = run_traffic(small_routing, workload, **kwargs)
+        segments = [
+            run_traffic(small_routing, workload, bill_ticks=bounds, **kwargs)
+            for bounds in [(0, 7), (7, 19), (19, 32)]
+        ]
+        merged = TrafficReport.merge(segments)
+        # Everything except the cache stats is independent of how the
+        # timeline is split; the per-segment caches start cold, so their
+        # counters sum rather than reproduce the single warm cache.
+        assert merged.lookups == serial.lookups
+        assert merged.group_hits == serial.group_hits
+        assert merged.ring_hits == serial.ring_hits
+        assert merged.misses == serial.misses
+        assert merged.latencies == serial.latencies
+        assert merged.staleness == serial.staleness
+        assert merged.hops == serial.hops
+        assert merged.shard_loads == serial.shard_loads
+        assert merged.expired_records == serial.expired_records
+        assert merged.rebalances == serial.rebalances
+        assert merged.bill_ticks == serial.bill_ticks
+
+    def test_served_staleness_capped_by_timeout(self, small_routing):
+        workload = generate_lookup_workload(
+            64, num_lookups=800, duration_ticks=48, seed=6
+        )
+        landmarks = sorted(small_routing.landmarks)
+        events = [
+            DynEvent(5, "node-leave", landmarks[1]),
+            DynEvent(25, "node-join", landmarks[1]),
+        ]
+        report = run_traffic(
+            small_routing,
+            workload,
+            replicas=1,
+            refresh_interval=8,
+            shard_events=events,
+        )
+        timeout = 2 * 8 + 1
+        assert report.lookups == 800
+        assert all(age <= timeout for age in report.staleness)
+        assert all(math.isfinite(latency) for latency in report.latencies)
+
+
+class TestResolutionScenarios:
+    def test_scenarios_byte_identical_under_workers(self, tmp_path):
+        scale = ExperimentScale(
+            comparison_nodes=64,
+            large_nodes=64,
+            as_level_nodes=64,
+            router_level_nodes=72,
+            pair_sample=40,
+            messaging_sweep=(20, 24),
+            scaling_sweep=(40, 48),
+            seed=17,
+            label="tiny-resolution",
+        )
+        subset = [
+            "resolution-latency",
+            "resolution-staleness",
+            "resolution-balance",
+        ]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = run_scenarios(
+            subset, scale=scale, workers=1, json_dir=serial_dir, cache=None
+        )
+        parallel = run_scenarios(
+            subset,
+            scale=scale,
+            workers=2,
+            json_dir=parallel_dir,
+            cache=tmp_path / "cache",
+        )
+        for scenario_id in subset:
+            assert parallel[scenario_id].report == serial[scenario_id].report
+            assert (parallel_dir / f"{scenario_id}.json").read_bytes() == (
+                serial_dir / f"{scenario_id}.json"
+            ).read_bytes()

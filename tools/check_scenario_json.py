@@ -64,6 +64,93 @@ def check_scenario_document(path: Path) -> list[str]:
         errors.append(f"{path.name}: empty result")
     if "label" not in document["scale"]:
         errors.append(f"{path.name}: scale has no label")
+    if document["id"].startswith("resolution-"):
+        errors.extend(check_resolution_result(path.name, document))
+    return errors
+
+
+def _check_cdf(label: str, cdf: object) -> list[str]:
+    """A CDF is a list of [value, fraction] pairs, both monotone
+    non-decreasing, fractions in (0, 1] and ending at exactly 1.0
+    (empty lists are allowed: e.g. no ring lookups means no hop CDF)."""
+    if not isinstance(cdf, list):
+        return [f"{label} is not a list"]
+    errors: list[str] = []
+    previous_value = previous_fraction = float("-inf")
+    for index, point in enumerate(cdf):
+        if (
+            not isinstance(point, list)
+            or len(point) != 2
+            or not all(isinstance(part, (int, float)) for part in point)
+        ):
+            errors.append(f"{label}[{index}] is not a [value, fraction] pair")
+            return errors
+        value, fraction = point
+        if value < previous_value:
+            errors.append(f"{label}[{index}] value decreases")
+        if fraction <= previous_fraction:
+            errors.append(f"{label}[{index}] fraction does not increase")
+        if not 0.0 < fraction <= 1.0:
+            errors.append(f"{label}[{index}] fraction {fraction!r} outside (0, 1]")
+        previous_value, previous_fraction = value, fraction
+    if cdf and cdf[-1][1] != 1.0:
+        errors.append(f"{label} does not end at fraction 1.0")
+    return errors
+
+
+def _check_histogram(label: str, histogram: object) -> list[str]:
+    if not isinstance(histogram, dict):
+        return [f"{label} is not an object"]
+    errors: list[str] = []
+    for shard, count in histogram.items():
+        if not isinstance(count, int) or count < 0:
+            errors.append(f"{label}[{shard}] has bad count {count!r}")
+    return errors
+
+
+def check_resolution_result(name: str, document: dict) -> list[str]:
+    """Validate the ``resolution-*`` scenario payloads beyond the generic
+    schema: CDF arrays monotone and properly terminated, histograms
+    non-negative, and the lookup-outcome counts internally consistent --
+    the invariants the shard merge must preserve for ``--workers N`` to
+    stay byte-identical."""
+    result = document["result"]
+    if not isinstance(result, dict):
+        return [f"{name}: resolution result is not an object"]
+    errors: list[str] = []
+    scenario_id = document["id"]
+    if scenario_id == "resolution-latency":
+        for key in ("latency_cdf", "hop_cdf"):
+            errors.extend(_check_cdf(f"{name}: {key}", result.get(key)))
+        counts = [result.get(k) for k in ("group_hits", "ring_hits", "misses")]
+        if all(isinstance(c, int) and c >= 0 for c in counts):
+            if sum(counts) != result.get("lookups"):
+                errors.append(
+                    f"{name}: outcome counts do not sum to lookups"
+                )
+        else:
+            errors.append(f"{name}: bad lookup-outcome counts")
+        errors.extend(
+            _check_histogram(f"{name}: cache_stats", result.get("cache_stats"))
+        )
+    elif scenario_id == "resolution-staleness":
+        for index, row in enumerate(result.get("rows", []) or []):
+            label = f"{name}: rows[{index}]"
+            errors.extend(
+                _check_cdf(f"{label}.staleness_cdf", row.get("staleness_cdf"))
+            )
+            miss_rate = row.get("miss_rate")
+            if not isinstance(miss_rate, (int, float)) or not 0 <= miss_rate <= 1:
+                errors.append(f"{label} has bad miss_rate {miss_rate!r}")
+    elif scenario_id == "resolution-balance":
+        for index, row in enumerate(result.get("rows", []) or []):
+            label = f"{name}: rows[{index}]"
+            for key in ("storage_histogram", "served_histogram"):
+                errors.extend(_check_histogram(f"{label}.{key}", row.get(key)))
+            for key in ("storage_imbalance", "served_imbalance"):
+                value = row.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(f"{label} has bad {key} {value!r}")
     return errors
 
 
