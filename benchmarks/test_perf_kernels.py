@@ -36,6 +36,9 @@ def test_perf_kernels_quick(benchmark, run_once):
         "measurement_scaling/gnm-4096",
         "resolution_scaling/gnm-1024",
         "resolution_scaling/gnm-4096",
+        "substrate_build_threads/gnm-1024-threads-1",
+        "substrate_build_threads/gnm-1024-threads-2",
+        "churn_scaling/gnm-1024-events-4",
     }
     assert expected <= set(entries)
 
@@ -65,3 +68,17 @@ def test_perf_kernels_quick(benchmark, run_once):
     assert entries["measurement_scaling/gnm-4096"]["speedup"] > 1.2
     assert entries["resolution_scaling/gnm-1024"]["speedup"] > 1.2
     assert entries["resolution_scaling/gnm-4096"]["speedup"] > 1.2
+    # The churn engine must stay clearly ahead of the per-event replay
+    # oracle on the scaling curve (the committed full-scale entries run
+    # ~8-14x; see BENCH_kernels.json), and every in-kernel thread fan-out
+    # must reproduce the serial slabs byte for byte -- a determinism
+    # failure here means the batch layer's chunking drifted, which the
+    # differential tests would also catch but less cheaply.
+    assert entries["churn_scaling/gnm-1024-events-4"]["speedup"] > 1.2
+    for name, entry in entries.items():
+        if name.startswith("substrate_build_threads/"):
+            assert entry["params"]["byte_identical_to_serial"] is True
+
+    # The run's host block records the thread fan-out the batched entry
+    # points resolved to, so recorded numbers stay interpretable.
+    assert report["host"]["kernel_threads"] >= 1

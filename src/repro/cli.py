@@ -514,6 +514,15 @@ def build_parser() -> argparse.ArgumentParser:
         "processes (byte-identical output for any worker count)",
     )
     substrate_parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="in-kernel pthread fan-out for the batched C entry points "
+        "(default: REPRO_KERNEL_THREADS or the CPU count; 0 pins the "
+        "serial per-source loop; byte-identical output for any width; "
+        "ignored when --workers selects the process pool)",
+    )
+    substrate_parser.add_argument(
         "--storage",
         default=None,
         help='slab placement: "mmap" (anonymous mmap) or a directory path '
@@ -891,9 +900,16 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     if getattr(args, "bench_command", None) == "compare":
         return _command_bench_compare(args)
+    from repro.graphs import _ckernels
     from repro.perf import history
     from repro.perf.kernel_bench import bench_kernels, write_bench_json
 
+    # A bench run (and a forced --kernel in particular) wants the compiled
+    # tier; if the on-demand compile failed, say so once instead of silently
+    # timing the pure-Python fallback.
+    _ckernels.warn_if_unavailable(
+        f"bench --kernel {args.kernel}" if args.kernel else "bench run"
+    )
     # Validate the output path before spending minutes on the benchmarks,
     # without leaving an empty file behind if the run later fails.
     existed = os.path.exists(args.out)
@@ -956,6 +972,14 @@ def _command_bench_compare(args: argparse.Namespace) -> int:
         print(
             "note: one run is --quick -- workloads differ, compare the "
             "speedup columns only",
+            file=sys.stderr,
+        )
+    if delta.get("thread_mismatch"):
+        threads_a, threads_b = delta["thread_counts"]
+        print(
+            "note: runs used different kernel thread counts "
+            f"(A={threads_a}, B={threads_b}) -- the threaded families' "
+            "wall clocks are not like-for-like",
             file=sys.stderr,
         )
     rows = [
@@ -1057,6 +1081,7 @@ def _command_substrate(args: argparse.Namespace) -> int:
             topology,
             seed=args.seed,
             workers=args.workers,
+            threads=args.threads,
             storage=args.storage,
             vicinity_storage=args.vicinity_storage,
             persist_storage=persist,
@@ -1073,7 +1098,10 @@ def _command_substrate(args: argparse.Namespace) -> int:
         )
     if "s4" in protocols:
         s4_started = time.perf_counter()
-        options: dict[str, object] = {"workers": args.workers}
+        options: dict[str, object] = {
+            "workers": args.workers,
+            "threads": args.threads,
+        }
         if nddisco is not None:
             # Same landmark set and shared substrate, exactly as
             # StaticSimulation couples the two schemes.

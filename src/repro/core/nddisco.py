@@ -83,6 +83,11 @@ class NDDiscoRouting(RoutingScheme):
         the component-wise fallback it is forwarded to
         :func:`~repro.core.vicinity.compute_vicinities`.  Results are
         byte-identical for any worker count.
+    threads:
+        In-kernel thread fan-out for the same phases -- the default
+        parallel path when no worker pool is requested (``None`` resolves
+        via ``REPRO_KERNEL_THREADS`` / CPU count, ``0`` pins the serial
+        per-source loop).  Byte-identical for every width.
     storage / vicinity_storage / persist_storage:
         Slab placement for the slab-direct build -- ``None`` (RAM arrays),
         ``"mmap"`` (anonymous mmap), or a directory path (file-backed
@@ -113,6 +118,7 @@ class NDDiscoRouting(RoutingScheme):
         resolve_first_packet: bool = True,
         resolution_virtual_nodes: int = 1,
         workers: int | None = None,
+        threads: int | None = None,
         storage: "str | None" = None,
         vicinity_storage: "str | None" = None,
         persist_storage: bool = True,
@@ -168,6 +174,7 @@ class NDDiscoRouting(RoutingScheme):
                 codec=self._codec,
                 vicinity_scale=vicinity_scale,
                 workers=workers,
+                threads=threads,
                 storage=storage,
                 vicinity_storage=vicinity_storage,
                 persist=persist_storage,

@@ -55,6 +55,7 @@ from repro.graphs.csr import (
     _k_nearest_flat_chunk,
     _pool_args,
     _publish_csr,
+    kernel_threads,
 )
 from repro.graphs.topology import Topology
 
@@ -120,6 +121,7 @@ def build_substrate_tables(
     vicinity_scale: float = 1.0,
     include_vicinity: bool = True,
     workers: int | None = None,
+    threads: int | None = None,
     storage: "str | None" = None,
     vicinity_storage: "str | None" = None,
     persist: bool = True,
@@ -145,7 +147,17 @@ def build_substrate_tables(
         ``False`` builds landmark-only tables (S4's own substrate build).
     workers:
         Opt-in process fan-out for the SPT and vicinity phases; results
-        are byte-identical for any worker count.
+        are byte-identical for any worker count.  When given (> 1), it
+        takes precedence over ``threads`` -- the ``SharedCSR`` pool is
+        kept as the differential oracle for the deterministic merge.
+    threads:
+        In-kernel thread fan-out for the SPT and vicinity phases -- the
+        default parallel path on the C tier.  Each phase is one batched C
+        call (``spt_rows_batch`` / ``k_nearest_batch``) fanned over POSIX
+        threads with per-thread scratch arenas; ``None`` resolves via
+        :func:`repro.graphs.csr.kernel_threads` (``REPRO_KERNEL_THREADS``,
+        then the CPU count), ``0`` forces the historical per-source serial
+        loop.  Results are byte-identical for every width.
     storage / vicinity_storage:
         Slab placement (see :class:`~repro.core.tables.SlabArena`):
         ``None``/``"array"`` for RAM arrays, ``"mmap"`` for anonymous mmap,
@@ -173,6 +185,14 @@ def build_substrate_tables(
     worker_count = max(1, workers or 1)
     clib = _ckernels.load_kernels()
     csr = topology.csr()
+    # The in-kernel batch drivers are the default fan-out on the C tier;
+    # an explicit worker pool takes precedence (it is the differential
+    # oracle for the deterministic merge), and threads=0 pins the
+    # historical per-source serial loop.
+    batch_tier = csr.tier == "c" and threads != 0 and worker_count <= 1
+    _record(
+        stats, "kernel_threads", kernel_threads(threads) if batch_tier else 0
+    )
 
     arena = SlabArena(storage)
     vicinity_arena = (
@@ -195,7 +215,7 @@ def build_substrate_tables(
             (ctypes.c_double * n).from_buffer(closest_dist),
             (ctypes.c_int64 * n).from_buffer(closest),
         )
-        if clib is not None
+        if clib is not None and not batch_tier
         else (None, None)
     )
 
@@ -238,6 +258,18 @@ def build_substrate_tables(
         finally:
             if shared is not None:
                 shared.close()
+    elif batch_tier:
+        # One C call for the whole phase: the landmark loop, the fill
+        # repair, and the ascending closest fold all run in-kernel, fanned
+        # over the batch threads (byte-identical for every width).
+        csr.spt_rows_batch_into(
+            landmark_ids,
+            spt_dist,
+            spt_parent,
+            closest_dist=closest_dist,
+            closest_landmark=closest,
+            threads=threads,
+        )
     else:
         for index, landmark in enumerate(ordered):
             csr.spt_rows_into(
@@ -335,6 +367,15 @@ def build_substrate_tables(
             members_mv.release()
             dists_mv.release()
             parents_mv.release()
+        elif batch_tier:
+            # One C call for all n searches; source i provisionally owns
+            # slab range i * min(size, n) -- exactly this preallocated
+            # capacity -- and rows compact left after the thread join,
+            # reproducing the serial append layout byte for byte.
+            position = csr.k_nearest_batch_into(
+                size, range(n), members, dists, parents, offsets,
+                threads=threads,
+            )
         else:
             position = csr.k_nearest_into(
                 size, range(n), members, dists, parents, offsets
@@ -436,19 +477,29 @@ def build_ball_tables(
     radii: Sequence[float],
     *,
     workers: int | None = None,
+    threads: int | None = None,
 ) -> NodeSearchTables:
     """S4 reverse clusters ("balls") as one flat :class:`NodeSearchTables`.
 
     ``radii[v]`` bounds node ``v``'s search (strict boundary, the S4
     cluster definition); rows are gathered flat -- no per-node dicts, and
-    with ``workers > 1`` no dict pickling over the pool pipe.  Contents are
-    bit-identical to ``NodeSearchTables.from_searches(parallel_radius(...))``.
+    with ``workers > 1`` no dict pickling over the pool pipe.  Without a
+    worker pool the batch goes down in one ``radius_batch`` kernel call,
+    fanned over ``threads`` in-kernel threads (``0`` pins the serial
+    loop).  Contents are bit-identical to
+    ``NodeSearchTables.from_searches(parallel_radius(...))`` either way.
     """
     from repro.graphs.csr import parallel_radius_flat
 
-    offsets, members, dists, parents = parallel_radius_flat(
-        topology, radii, workers=max(1, workers or 1)
-    )
+    worker_count = max(1, workers or 1)
+    if worker_count > 1:
+        offsets, members, dists, parents = parallel_radius_flat(
+            topology, radii, workers=worker_count
+        )
+    else:
+        offsets, members, dists, parents = topology.csr().radius_batch_flat(
+            radii, threads=threads
+        )
     return NodeSearchTables(topology.num_nodes, offsets, members, dists, parents)
 
 

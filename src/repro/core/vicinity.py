@@ -114,6 +114,7 @@ def compute_vicinities(
     size: int | None = None,
     scale: float = 1.0,
     workers: int | None = None,
+    threads: int | None = None,
 ) -> list[VicinityTable]:
     """Compute every node's vicinity.
 
@@ -128,12 +129,18 @@ def compute_vicinities(
         Opt-in multiprocessing fan-out for the (embarrassingly parallel)
         per-node searches; ``None`` or ``1`` runs the serial batched driver.
         Results are identical either way.
+    threads:
+        Opt-in in-kernel thread fan-out (see
+        :func:`repro.graphs.csr.kernel_threads`): the per-node searches go
+        down in one batched C call and, like the worker path, come back as
+        slab-backed views.  Ignored when ``workers`` already selected the
+        process pool; byte-identical results for any width.
 
     Returns
     -------
     list
         Indexed by node id.  The serial paths return
-        :class:`VicinityTable` objects; the fan-out path returns
+        :class:`VicinityTable` objects; the fan-out paths return
         slab-backed :class:`~repro.core.tables.VicinityView` stand-ins
         (same read API) so workers ship four flat typed arrays per chunk
         instead of pickling every vicinity as two dicts, and the parent
@@ -144,13 +151,20 @@ def compute_vicinities(
         size = vicinity_size(topology.num_nodes, scale=scale)
     require_positive("size", size)
     if get_engine() == "csr":
-        if workers is not None and workers > 1:
+        if (workers is not None and workers > 1) or (
+            threads is not None and threads != 0
+        ):
             from repro.core.tables import NodeSearchTables, VicinityView
             from repro.graphs.csr import parallel_k_nearest_flat
 
-            offsets, members, dists, parents = parallel_k_nearest_flat(
-                topology, size, workers=workers
-            )
+            if workers is not None and workers > 1:
+                offsets, members, dists, parents = parallel_k_nearest_flat(
+                    topology, size, workers=workers
+                )
+            else:
+                offsets, members, dists, parents = (
+                    topology.csr().k_nearest_batch_flat(size, threads=threads)
+                )
             tables = NodeSearchTables(
                 topology.num_nodes, offsets, members, dists, parents
             )

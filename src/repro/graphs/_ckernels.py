@@ -29,7 +29,7 @@ import subprocess
 import sys
 import tempfile
 
-__all__ = ["load_kernels", "build_error"]
+__all__ = ["load_kernels", "build_error", "warn_if_unavailable"]
 
 _SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_kernels.c")
 
@@ -81,6 +81,45 @@ _BFS_ARGTYPES = [
     _PI64, _I64, _PU8,       # targets, num_targets, tflag
 ]
 
+# The batched entry points share a common prefix: graph slabs, kernel
+# selector (0 heap / 1 dial / 2 bfs) with the dial parameters, and the
+# source array.  Each thread builds its own scratch arena in C, so none of
+# the per-search arena pointers appear here.
+_BATCH_COMMON = [
+    _I64,                    # n
+    _PI64, _PI64, _PDBL,     # offsets, neighbors, weights
+    _I64,                    # kernel id
+    ctypes.c_double, _I64,   # quantum, num_slots
+    _PI64, _I64,             # sources, num_sources
+]
+
+_SPT_BATCH_ARGTYPES = _BATCH_COMMON + [
+    _PDBL, _PI64,            # dist_out, parent_out (num_sources * n rows)
+    ctypes.c_double,         # fill
+    _PDBL, _PI64,            # best_dist, best_landmark (NULL: no fold)
+    _I64,                    # threads
+]
+
+_KNEAREST_BATCH_ARGTYPES = _BATCH_COMMON + [
+    _I64,                    # k
+    _PI64, _PDBL, _PI64,     # members, dists, parents
+    _PI64,                   # row_ends
+    _I64,                    # threads
+]
+
+_RADIUS_BATCH_ARGTYPES = _BATCH_COMMON + [
+    _PDBL, _I64,             # radii, radius_mode
+    _PI64,                   # row_ends
+    ctypes.POINTER(_PI64), ctypes.POINTER(_PDBL), ctypes.POINTER(_PI64),
+    _I64,                    # threads
+]
+
+_TARGET_BATCH_ARGTYPES = _BATCH_COMMON + [
+    _PI64, _PI64,            # tgt_offsets, tgt_nodes
+    _PDBL,                   # dist_out (aligned with tgt_nodes)
+    _I64,                    # threads
+]
+
 
 def _compiler() -> str | None:
     for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
@@ -104,8 +143,14 @@ def _compile(source_path: str) -> str | None:
     if cc is None:
         _build_error = "no C compiler found (cc/gcc/clang)"
         return None
+    # REPRO_KERNEL_CFLAGS appends extra flags (e.g. -fsanitize=thread for
+    # the CI data-race leg); they join the cache key so instrumented and
+    # plain builds never collide.
+    extra_flags = os.environ.get("REPRO_KERNEL_CFLAGS", "").split()
     with open(source_path, "rb") as handle:
-        digest = hashlib.sha256(handle.read()).hexdigest()[:16]
+        hasher = hashlib.sha256(handle.read())
+    hasher.update(" ".join(extra_flags).encode())
+    digest = hasher.hexdigest()[:16]
     tag = f"_kernels-{digest}-{sys.implementation.cache_tag}.so"
     for directory in (_build_dir(), tempfile.gettempdir()):
         target = os.path.join(directory, tag)
@@ -121,7 +166,8 @@ def _compile(source_path: str) -> str | None:
             )
             os.close(fd)
             command = [
-                cc, "-O3", "-fPIC", "-shared",
+                cc, "-O3", "-fPIC", "-shared", "-pthread",
+                *extra_flags,
                 "-o", scratch, source_path,
             ]
             try:
@@ -188,6 +234,16 @@ def load_kernels() -> ctypes.CDLL | None:
         lib.dedup_edges.argtypes = [
             _I64, _I64, _PI64, _PI64, _PDBL, _PI64, _PI64, _PI64, _PI64,
         ]
+        lib.spt_rows_batch.restype = _I64
+        lib.spt_rows_batch.argtypes = _SPT_BATCH_ARGTYPES
+        lib.k_nearest_batch.restype = _I64
+        lib.k_nearest_batch.argtypes = _KNEAREST_BATCH_ARGTYPES
+        lib.radius_batch.restype = _I64
+        lib.radius_batch.argtypes = _RADIUS_BATCH_ARGTYPES
+        lib.target_distances_batch.restype = _I64
+        lib.target_distances_batch.argtypes = _TARGET_BATCH_ARGTYPES
+        lib.buffer_free.restype = None
+        lib.buffer_free.argtypes = [ctypes.c_void_p]
         _lib = lib
     except OSError as error:  # pragma: no cover - load failure is env-specific
         _build_error = f"load failed: {error}"
@@ -198,3 +254,32 @@ def load_kernels() -> ctypes.CDLL | None:
 def build_error() -> str | None:
     """Why the C tier is unavailable (``None`` when it loaded or not tried)."""
     return _build_error
+
+
+_warned = False
+
+
+def warn_if_unavailable(context: str) -> None:
+    """One-line stderr warning when the C tier was asked for but is absent.
+
+    Callers that *expect* the C kernels (the bench harness, a forced
+    ``--kernel``) invoke this so a silently failed compile shows up as::
+
+        warning: C kernel tier unavailable for <context>: <reason>; ...
+
+    instead of quietly benchmarking the pure-Python fallback.  Warns at
+    most once per process and stays silent when the Python tier was chosen
+    deliberately via ``REPRO_NO_CKERNELS=1``.
+    """
+    global _warned
+    if _warned or os.environ.get("REPRO_NO_CKERNELS"):
+        return
+    if load_kernels() is not None:
+        return
+    _warned = True
+    reason = _build_error or "unknown build failure"
+    print(
+        f"warning: C kernel tier unavailable for {context}: {reason}; "
+        "falling back to the pure-Python kernels (bit-identical, slower)",
+        file=sys.stderr,
+    )

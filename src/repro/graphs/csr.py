@@ -84,6 +84,7 @@ from __future__ import annotations
 import ctypes
 import heapq
 import math
+import os
 from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
@@ -101,6 +102,7 @@ __all__ = [
     "profile_weights",
     "DIAL_MAX_QUANTA",
     "KERNELS",
+    "kernel_threads",
     "parallel_k_nearest",
     "parallel_radius",
     "parallel_k_nearest_flat",
@@ -108,6 +110,28 @@ __all__ = [
 ]
 
 _INF = math.inf
+
+
+def kernel_threads(threads: int | None = None) -> int:
+    """Resolve the in-kernel batch fan-out width.
+
+    Precedence: an explicit positive ``threads`` argument, then the
+    ``REPRO_KERNEL_THREADS`` environment variable, then the machine's CPU
+    count.  Batched results are byte-identical for every width, so the
+    default only affects wall-clock time -- but bench reports record the
+    active width (see the ``host`` block) so runs remain comparable.
+    """
+    if threads is not None and threads > 0:
+        return threads
+    env = os.environ.get("REPRO_KERNEL_THREADS", "")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value > 0:
+            return value
+    return os.cpu_count() or 1
 
 #: Kernel names accepted by ``kernel=`` overrides (``None`` means auto).
 KERNELS = ("bfs", "bucket", "heap")
@@ -1450,6 +1474,258 @@ class CSRGraph:
             offsets.append(len(members))
         return offsets, members, dists, parents
 
+    # -- in-kernel batched drivers ------------------------------------------
+    #
+    # One FFI call per build phase: the source loop and (optionally) a
+    # pthread fan-out run inside _kernels.c, with one scratch arena per
+    # thread and structurally disjoint output -- byte-identical to the
+    # serial drivers for any thread count.  ``threads=None`` resolves via
+    # :func:`kernel_threads` (explicit > REPRO_KERNEL_THREADS > CPU count);
+    # ``threads=0`` forces the per-source serial loop, which is also the
+    # fallback on the Python tier or when the C side cannot allocate.
+
+    def _batch_prefix(self, p_sources, num_sources: int) -> tuple:
+        """Common leading arguments of the batched C entry points."""
+        arena = self._c_arena()
+        kernel_id = {"heap": 0, "bucket": 1, "bfs": 2}[self.kernel]
+        if self.kernel == "bucket":
+            quantum = self.profile.quantum
+            slots = (self.profile.max_quanta or 0) + 1
+        else:
+            quantum, slots = 0.0, 0
+        return (
+            self.num_nodes,
+            arena["p_offsets"],
+            arena["p_neighbors"],
+            arena["p_weights"],
+            kernel_id,
+            quantum,
+            slots,
+            p_sources,
+            num_sources,
+        )
+
+    def _check_sources(self, sources: array) -> None:
+        if sources and not 0 <= min(sources) <= max(sources) < self.num_nodes:
+            bad = min(sources) if min(sources) < 0 else max(sources)
+            raise ValueError(
+                f"node {bad} out of range for graph with "
+                f"{self.num_nodes} nodes"
+            )
+
+    def spt_rows_batch_into(
+        self,
+        sources: Sequence[int],
+        dist_out,
+        parent_out,
+        *,
+        fill: float = 0.0,
+        closest_dist=None,
+        closest_landmark=None,
+        threads: int | None = None,
+    ) -> None:
+        """Dense SPT rows for every source, one kernel call for the batch.
+
+        ``dist_out`` / ``parent_out`` are writable buffers of
+        ``len(sources) * n`` entries (row ``i`` belongs to ``sources[i]``);
+        contents are bit-identical to :meth:`spt_rows_into` per source.
+        When ``closest_dist`` / ``closest_landmark`` are given (length-``n``
+        writable buffers seeded ``+inf`` / ``-1``), the closest-landmark
+        fold of ascending-id sources runs in the same pass -- sources must
+        then be in ascending order, as the substrate build's are.
+        """
+        src = sources if isinstance(sources, array) else array("q", sources)
+        self._check_sources(src)
+        n = self.num_nodes
+        if not src:
+            return
+        if self.tier == "c" and threads != 0:
+            total = len(src) * n
+            p_sources = (ctypes.c_int64 * len(src)).from_buffer(src)
+            p_dist = (ctypes.c_double * total).from_buffer(dist_out)
+            p_parent = (ctypes.c_int64 * total).from_buffer(parent_out)
+            if closest_dist is not None and closest_landmark is not None:
+                p_best_d = (ctypes.c_double * n).from_buffer(closest_dist)
+                p_best_l = (ctypes.c_int64 * n).from_buffer(closest_landmark)
+            else:
+                p_best_d = p_best_l = None
+            status = self._clib.spt_rows_batch(
+                *self._batch_prefix(p_sources, len(src)),
+                p_dist,
+                p_parent,
+                fill,
+                p_best_d,
+                p_best_l,
+                kernel_threads(threads),
+            )
+            if status == 0:
+                return
+        # Serial fallback: per-source rows plus a Python ascending fold.
+        dist_mv = memoryview(dist_out)
+        parent_mv = memoryview(parent_out)
+        for index, source in enumerate(src):
+            row = dist_mv[index * n : (index + 1) * n]
+            self.spt_rows_into(
+                source, row, parent_mv[index * n : (index + 1) * n], fill=fill
+            )
+            if closest_dist is not None and closest_landmark is not None:
+                for node in range(n):
+                    d = row[node]
+                    if d < closest_dist[node]:
+                        closest_dist[node] = d
+                        closest_landmark[node] = source
+
+    def k_nearest_batch_into(
+        self,
+        k: int,
+        sources: Sequence[int],
+        members,
+        dists,
+        parents,
+        offsets: array,
+        *,
+        base: int = 0,
+        threads: int | None = None,
+    ) -> int:
+        """One-call, optionally threaded :meth:`k_nearest_into`.
+
+        Source ``i`` provisionally owns the slab range starting at
+        ``base + i * min(k, n)`` -- the buffers must hold
+        ``base + len(sources) * min(k, n)`` entries (exactly the capacity
+        the substrate build preallocates) -- and rows are compacted left
+        after the join, reproducing the serial append layout.  Falls back
+        to :meth:`k_nearest_into` when the capacity contract cannot hold.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        src = sources if isinstance(sources, array) else array("q", sources)
+        self._check_sources(src)
+        if not src:
+            return base
+        cap = min(k, self.num_nodes)
+        needed = base + len(src) * cap
+        if (
+            self.tier == "c"
+            and threads != 0
+            and memoryview(members).nbytes >= 8 * needed
+        ):
+            p_sources = (ctypes.c_int64 * len(src)).from_buffer(src)
+            span = len(src) * cap
+            p_members = (ctypes.c_int64 * span).from_buffer(members, 8 * base)
+            p_dists = (ctypes.c_double * span).from_buffer(dists, 8 * base)
+            p_parents = (ctypes.c_int64 * span).from_buffer(parents, 8 * base)
+            row_ends = array("q", bytes(8 * len(src)))
+            p_row_ends = (ctypes.c_int64 * len(src)).from_buffer(row_ends)
+            total = self._clib.k_nearest_batch(
+                *self._batch_prefix(p_sources, len(src)),
+                k,
+                p_members,
+                p_dists,
+                p_parents,
+                p_row_ends,
+                kernel_threads(threads),
+            )
+            if total >= 0:
+                offsets.extend(
+                    array("q", [base + end for end in row_ends])
+                    if base
+                    else row_ends
+                )
+                return base + total
+        return self.k_nearest_into(
+            k, src, members, dists, parents, offsets, base=base
+        )
+
+    def k_nearest_batch_flat(
+        self,
+        k: int,
+        nodes: Iterable[int] | None = None,
+        *,
+        threads: int | None = None,
+    ) -> tuple[array, array, array, array]:
+        """One-call, optionally threaded :meth:`batched_k_nearest_flat`.
+
+        Allocates the provisional slab capacity itself and trims to the
+        actual fill; layout and contents match the serial flat driver.
+        """
+        sources = range(self.num_nodes) if nodes is None else nodes
+        src = sources if isinstance(sources, array) else array("q", sources)
+        capacity = min(k, self.num_nodes) * len(src)
+        members = array("q", bytes(8 * capacity))
+        dists = array("d", bytes(8 * capacity))
+        parents = array("q", bytes(8 * capacity))
+        offsets = array("q", [0])
+        position = self.k_nearest_batch_into(
+            k, src, members, dists, parents, offsets, threads=threads
+        )
+        if position < capacity:
+            members = members[:position]
+            dists = dists[:position]
+            parents = parents[:position]
+        return offsets, members, dists, parents
+
+    def radius_batch_flat(
+        self,
+        radii: Sequence[float],
+        nodes: Sequence[int] | None = None,
+        *,
+        inclusive: bool = False,
+        threads: int | None = None,
+    ) -> tuple[array, array, array, array]:
+        """One-call, optionally threaded :meth:`batched_radius_flat`.
+
+        Row sizes are unknown upfront, so each kernel thread grows a
+        private buffer for its contiguous source chunk and the chunks are
+        concatenated in task order after the join -- the same deterministic
+        merge as the process pool's, performed in C.
+        """
+        sources = range(self.num_nodes) if nodes is None else nodes
+        if len(radii) != len(sources):
+            raise ValueError(
+                f"radii must have exactly {len(sources)} entries, "
+                f"got {len(radii)}"
+            )
+        if self.tier != "c" or threads == 0 or not len(radii):
+            return self.batched_radius_flat(radii, nodes, inclusive=inclusive)
+        src = array("q", sources)
+        self._check_sources(src)
+        radii_arr = radii if isinstance(radii, array) else array("d", radii)
+        if min(radii_arr) < 0:
+            raise ValueError(f"radius must be >= 0, got {min(radii_arr)}")
+        p_sources = (ctypes.c_int64 * len(src)).from_buffer(src)
+        p_radii = (ctypes.c_double * len(src)).from_buffer(radii_arr)
+        row_ends = array("q", bytes(8 * len(src)))
+        p_row_ends = (ctypes.c_int64 * len(src)).from_buffer(row_ends)
+        out_members = ctypes.POINTER(ctypes.c_int64)()
+        out_dists = ctypes.POINTER(ctypes.c_double)()
+        out_parents = ctypes.POINTER(ctypes.c_int64)()
+        total = self._clib.radius_batch(
+            *self._batch_prefix(p_sources, len(src)),
+            p_radii,
+            _RADIUS_INCLUSIVE if inclusive else _RADIUS_STRICT,
+            p_row_ends,
+            ctypes.byref(out_members),
+            ctypes.byref(out_dists),
+            ctypes.byref(out_parents),
+            kernel_threads(threads),
+        )
+        if total < 0:
+            return self.batched_radius_flat(radii, nodes, inclusive=inclusive)
+        try:
+            members = array("q")
+            members.frombytes(ctypes.string_at(out_members, 8 * total))
+            dists = array("d")
+            dists.frombytes(ctypes.string_at(out_dists, 8 * total))
+            parents = array("q")
+            parents.frombytes(ctypes.string_at(out_parents, 8 * total))
+        finally:
+            self._clib.buffer_free(out_members)
+            self._clib.buffer_free(out_dists)
+            self._clib.buffer_free(out_parents)
+        offsets = array("q", [0])
+        offsets.extend(row_ends)
+        return offsets, members, dists, parents
+
     # -- batched drivers ----------------------------------------------------
 
     def batched_spt(
@@ -1505,18 +1781,66 @@ class CSRGraph:
         return results
 
     def batched_target_distances(
-        self, pairs: Iterable[tuple[int, int]]
+        self, pairs: Iterable[tuple[int, int]], *, threads: int | None = None
     ) -> dict[tuple[int, int], float]:
         """Shortest distances for source-destination pairs.
 
         Pairs are grouped by source; each distinct source runs one
-        early-stopping search over the shared arena.  Raises ``ValueError``
-        if any target is unreachable from its source.
+        early-stopping search.  On the C tier the grouped batch goes down
+        in a single ``target_distances_batch`` call (sources fanned over
+        kernel threads, each with its own arena); ``threads=0`` or the
+        Python tier fall back to the serial per-source loop over the
+        shared arena.  Raises ``ValueError`` if any target is unreachable
+        from its source.
         """
         by_source: dict[int, set[int]] = {}
         for source, target in pairs:
             by_source.setdefault(source, set()).add(target)
-        result: dict[tuple[int, int], float] = {}
+        n = self.num_nodes
+        if (
+            self.tier == "c"
+            and threads != 0
+            and by_source
+            and all(
+                0 <= source < n and all(0 <= t < n for t in targets)
+                for source, targets in by_source.items()
+            )
+        ):
+            grouped = sorted(by_source)
+            src = array("q", grouped)
+            tgt_offsets = array("q", [0])
+            tgt_nodes = array("q")
+            for source in grouped:
+                tgt_nodes.extend(sorted(by_source[source]))
+                tgt_offsets.append(len(tgt_nodes))
+            dist_out = array("d", bytes(8 * len(tgt_nodes)))
+            p_sources = (ctypes.c_int64 * len(src)).from_buffer(src)
+            status = self._clib.target_distances_batch(
+                *self._batch_prefix(p_sources, len(src)),
+                (ctypes.c_int64 * len(tgt_offsets)).from_buffer(tgt_offsets),
+                (ctypes.c_int64 * len(tgt_nodes)).from_buffer(tgt_nodes),
+                (ctypes.c_double * len(tgt_nodes)).from_buffer(dist_out),
+                kernel_threads(threads),
+            )
+            if status == 0:
+                flat = 0
+                result = {}
+                for index, source in enumerate(grouped):
+                    for _ in range(tgt_offsets[index], tgt_offsets[index + 1]):
+                        result[(source, tgt_nodes[flat])] = dist_out[flat]
+                        flat += 1
+                return result
+            if status <= -2:
+                flat = -status - 2
+                from bisect import bisect_right
+
+                source = grouped[bisect_right(tgt_offsets, flat) - 1]
+                raise ValueError(
+                    f"node {tgt_nodes[flat]} unreachable from {source}; "
+                    "topology must be connected"
+                )
+            # status == -1: allocation failure; run the serial loop below.
+        result = {}
         c_tier = self.tier == "c"
         for source, targets in by_source.items():
             self._search(source, targets=targets)

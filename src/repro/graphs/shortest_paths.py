@@ -244,13 +244,18 @@ def path_length(topology: Topology, path: Sequence[int]) -> float:
 
 
 def all_pairs_sampled_distances(
-    topology: Topology, pairs: Iterable[tuple[int, int]]
+    topology: Topology,
+    pairs: Iterable[tuple[int, int]],
+    *,
+    threads: int | None = None,
 ) -> dict[tuple[int, int], float]:
     """Return shortest distances for the given source-destination pairs.
 
     Sources are grouped so each distinct source runs a single early-stopping
-    search; on the CSR engine all searches share one scratch arena
-    (:meth:`CSRGraph.batched_target_distances`).  Used as the stretch
+    search; on the CSR engine's C tier the whole grouped batch goes down
+    in one ``target_distances_batch`` kernel call, its sources fanned over
+    ``threads`` in-kernel threads (:meth:`CSRGraph.batched_target_distances`;
+    ``0`` pins the serial per-source loop).  Used as the stretch
     denominator for sampled pairs on large topologies, as in §5.1.
 
     Raises
@@ -259,5 +264,5 @@ def all_pairs_sampled_distances(
         If any target is unreachable from its source.
     """
     if get_engine() == "csr":
-        return topology.csr().batched_target_distances(pairs)
+        return topology.csr().batched_target_distances(pairs, threads=threads)
     return _reference_paths.all_pairs_sampled_distances(topology, pairs)

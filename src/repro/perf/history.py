@@ -189,7 +189,11 @@ def compare_reports(a: dict, b: dict) -> dict:
 
     Comparing a ``--quick`` run against a full run is allowed but flagged
     (``quick_mismatch``): the workloads differ, so ``after_ratio`` is not
-    meaningful there, only the speedup columns are.
+    meaningful there, only the speedup columns are.  Runs whose recorded
+    in-kernel thread fan-out differs (``host.kernel_threads``) are flagged
+    the same way (``thread_mismatch``, with both counts in
+    ``thread_counts``): results are byte-identical for any width, but the
+    threaded families' wall clocks are then not like-for-like.
     """
     bench_a = a.get("benchmarks", {})
     bench_b = b.get("benchmarks", {})
@@ -215,9 +219,17 @@ def compare_reports(a: dict, b: dict) -> dict:
                 ),
             }
         )
+    threads_a = (a.get("host") or {}).get("kernel_threads")
+    threads_b = (b.get("host") or {}).get("kernel_threads")
     return {
         "common": common,
         "only_a": sorted(set(bench_a) - set(bench_b)),
         "only_b": sorted(set(bench_b) - set(bench_a)),
         "quick_mismatch": bool(a.get("quick")) != bool(b.get("quick")),
+        "thread_counts": [threads_a, threads_b],
+        "thread_mismatch": (
+            threads_a is not None
+            and threads_b is not None
+            and threads_a != threads_b
+        ),
     }

@@ -25,7 +25,11 @@ regression in any kernel shows up in the family that exercises it.  The
 ``kernel_scaling/*`` family adds per-kernel n-curves (Python tier vs C
 tier at n = 2^10 .. 2^17) and the ``ingest/*`` family times streaming
 file-to-CSR ingestion against the dict-mediated read path and a warm
-content-addressed artifact attach.  Passing ``kernel=`` ("heap",
+content-addressed artifact attach.  ``substrate_build_threads/*`` sweeps
+the in-kernel pthread fan-out of the batched entry points against the
+pinned serial per-source loop (every entry byte-compared against the
+serial slabs), and ``churn_scaling/*`` extends the churn engine's
+event-vs-replay comparison to an n-curve.  Passing ``kernel=`` ("heap",
 "bucket", or "bfs") forces that kernel on the CSR side wherever the
 weight profile allows it, which is how ``repro bench --kernel`` A/Bs
 the kernels on the same workload.
@@ -84,8 +88,13 @@ def host_metadata() -> dict:
     Recorded in every ``BENCH_kernels.json`` so numbers measured on
     different machines (CPU model, core count, Python build, kernel tier)
     can be compared with eyes open rather than assumed equivalent.
+    ``kernel_threads`` is the resolved in-kernel thread fan-out the run's
+    batched entry points used (``REPRO_KERNEL_THREADS``, else the CPU
+    count); ``repro bench compare`` flags runs whose counts differ, since
+    the threaded families are then not like-for-like.
     """
     from repro.graphs import _ckernels
+    from repro.graphs.csr import kernel_threads
 
     return {
         "cpu_model": _cpu_model(),
@@ -95,6 +104,8 @@ def host_metadata() -> dict:
         "python": platform.python_version(),
         "python_implementation": platform.python_implementation(),
         "kernel_tier": "c" if _ckernels.load_kernels() is not None else "python",
+        "kernel_threads": kernel_threads(),
+        "kernel_threads_env": os.environ.get("REPRO_KERNEL_THREADS") or None,
     }
 
 
@@ -369,10 +380,12 @@ def bench_kernels(
         )
         _ingest_case(results, quick=quick)
         _substrate_build_case(results, quick=quick, workers=workers)
+        _substrate_build_threads_case(results, quick=quick)
         _measurement_batch_case(results, quick=quick, repeats=repeats)
         _measurement_scaling_case(results, quick=quick)
         _resolution_scaling_case(results, quick=quick)
         _churn_case(results, quick=quick, repeats=2)
+        _churn_scaling_case(results, quick=quick)
         _scenario_suite_case(
             results, quick=quick, workers=workers, repeats=1 if quick else 2
         )
@@ -722,6 +735,161 @@ def _substrate_build_case(
                 )
             ),
             repeats=1,
+            results=results,
+        )
+
+
+def _substrate_build_threads_case(
+    results: dict[str, dict], *, quick: bool
+) -> None:
+    """In-kernel thread fan-out vs the pinned serial per-source loop.
+
+    The workload is the slab-direct NDDisco substrate build at the largest
+    ``substrate_build/*`` size, repeated across thread counts:
+
+    * **before** -- ``threads=0``: the historical serial per-source Python
+      loop over the same C kernels (the differential anchor every other
+      path is tested against);
+    * **after** -- ``threads=T``: the batched C entry points
+      (``spt_rows_batch`` / ``k_nearest_batch``) looping sources inside
+      the kernel, fanned over ``T`` in-kernel pthreads with the GIL
+      released for the whole call.
+
+    Every entry's slabs are compared byte-for-byte against the serial
+    build (``byte_identical_to_serial`` in params) -- thread fan-out is
+    a pure scheduling change, never a results change.  On a machine
+    without a C compiler the threaded path falls back to the serial loop
+    and the entries degenerate to a canary at ~1x.  Thread counts beyond
+    the CPU count are recorded anyway: oversubscription must still be
+    byte-identical, and the curve shows where the machine stops paying.
+    """
+    from repro.addressing.labels import LabelCodec
+    from repro.core.landmarks import select_landmarks
+    from repro.core.substrate_build import build_substrate_tables
+
+    n = 1024 if quick else 32768
+    thread_counts = (1, 2) if quick else (1, 2, 4, 8)
+    topology = gnm_random_graph(n, seed=3, average_degree=8.0)
+    landmarks = select_landmarks(n, seed=1)
+    codec = LabelCodec(topology)
+    csr = topology.csr()  # shared by every side, outside the timers
+
+    serial_start = time.perf_counter()
+    serial = build_substrate_tables(
+        topology, landmarks, codec=codec, threads=0
+    )
+    serial_s = time.perf_counter() - serial_start
+    serial_slabs = {
+        name: memoryview(slab).cast("B")
+        for name, _, slab in serial.slab_items()
+    }
+
+    for threads in thread_counts:
+        start = time.perf_counter()
+        tables = build_substrate_tables(
+            topology, landmarks, codec=codec, threads=threads
+        )
+        threaded_s = time.perf_counter() - start
+        identical = all(
+            serial_slabs[name] == memoryview(slab).cast("B")
+            for name, _, slab in tables.slab_items()
+        ) and len(serial_slabs) == len(tables.slab_items())
+        del tables
+        results[f"substrate_build_threads/gnm-{n}-threads-{threads}"] = {
+            "params": {
+                "family": "gnm",
+                "n": n,
+                "landmarks": len(landmarks),
+                "vicinity_k": vicinity_size(n),
+                "kernel": csr.kernel,
+                "tier": csr.tier,
+                "threads": threads,
+                "byte_identical_to_serial": identical,
+                "comparison": "pinned serial per-source loop (threads=0) "
+                "vs in-kernel batched entry points fanned over "
+                f"{threads} pthread(s)",
+            },
+            "before_s": round(serial_s, 6),
+            "after_s": round(threaded_s, 6),
+            "speedup": round(serial_s / threaded_s, 3)
+            if threaded_s > 0
+            else math.inf,
+        }
+
+
+def _churn_scaling_case(results: dict[str, dict], *, quick: bool) -> None:
+    """Churn-engine n-curve: event-driven maintenance vs the replay oracle.
+
+    The ``churn/*`` family pins the engine at one Fig. 8-scale size; this
+    family extends it to an n-curve (n = 2^10 .. 2^15 in full mode) so a
+    complexity regression in the incremental repair paths -- a repair
+    quietly reconverging the world, a diff walking state it did not touch
+    -- bends the curve instead of hiding at one point.  Per size:
+
+    * **before** -- the replay oracle: rebuild a fully reconverged
+      :class:`NDDiscoRouting` after every event and diff the states
+      (:func:`~repro.dynamics.maintenance.maintenance_cost`);
+    * **after** -- one :class:`~repro.dynamics.engine.ChurnEngine`
+      convergence plus incremental per-event repairs (the one-time
+      convergence stays inside the timer, so the ratio is end-to-end
+      honest).
+
+    Both sides produce bit-identical per-event bills (pinned by
+    ``tests/test_dynamics_incremental.py``).  Event counts shrink with n
+    to bound the replay side's wall clock -- the oracle pays a full
+    reconvergence plus a full-state diff per event -- and the ``events``
+    param records them.
+    """
+    from repro.core.landmarks import select_landmarks
+    from repro.core.nddisco import NDDiscoRouting
+    from repro.dynamics import (
+        ChurnEngine,
+        events_from_workload,
+        generate_churn_workload,
+        maintenance_cost,
+    )
+    from repro.dynamics.churn import apply_event
+
+    seed = 3
+    sizes = [1024] if quick else [2**p for p in range(10, 16)]
+    for n in sizes:
+        num_events = 4 if quick else (8 if n <= 4096 else (4 if n <= 16384 else 2))
+        topology = gnm_random_graph(n, seed=seed, average_degree=8.0)
+        landmarks = select_landmarks(n, seed=seed)
+        workload = generate_churn_workload(
+            topology, num_events=num_events, seed=seed + 17
+        )
+        events = events_from_workload(workload.events)
+
+        def before(topology=topology, landmarks=landmarks, workload=workload) -> None:
+            current = topology
+            state = NDDiscoRouting(current, seed=seed, landmarks=landmarks)
+            for event in workload.events:
+                current = apply_event(current, event)
+                next_state = NDDiscoRouting(
+                    current, seed=seed, landmarks=landmarks
+                )
+                maintenance_cost(state, next_state)
+                state = next_state
+
+        def after(topology=topology, landmarks=landmarks, events=events) -> None:
+            engine = ChurnEngine(topology, seed=seed, landmarks=landmarks)
+            engine.run(events)
+
+        _entry(
+            f"churn_scaling/gnm-{n}-events-{num_events}",
+            {
+                "family": "gnm",
+                "n": n,
+                "events": num_events,
+                "landmarks": len(landmarks),
+                "comparison": "per-event full reconvergence + state diff "
+                "(replay oracle) vs event-driven incremental engine "
+                "(including its one-time convergence), one size per entry",
+            },
+            before,
+            after,
+            repeats=1 if n >= 8192 else 2,
             results=results,
         )
 

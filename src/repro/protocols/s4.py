@@ -85,6 +85,10 @@ class S4Routing(RoutingScheme):
         Opt-in multiprocessing fan-out for the landmark SPTs (own-substrate
         builds) and the per-node cluster ("ball") searches; ``None`` or
         ``1`` runs the serial batched drivers.
+    threads:
+        In-kernel thread fan-out for the same phases when no worker pool
+        is requested (``0`` pins the serial per-source loop); results are
+        byte-identical for every width.
     storage:
         Slab placement for an own-substrate build (``None``, ``"mmap"``,
         or a directory path -- see
@@ -104,6 +108,7 @@ class S4Routing(RoutingScheme):
         resolve_first_packet: bool = True,
         substrate: "object | None" = None,
         workers: int | None = None,
+        threads: int | None = None,
         storage: "str | None" = None,
     ) -> None:
         super().__init__(topology)
@@ -155,6 +160,7 @@ class S4Routing(RoutingScheme):
                     codec=self._codec,
                     include_vicinity=False,
                     workers=workers,
+                    threads=threads,
                     storage=storage,
                 )
             else:
@@ -193,7 +199,9 @@ class S4Routing(RoutingScheme):
             # members slab -- every row starts with its owner, so the
             # historical "member != node" exclusion is the minus-one in
             # cluster_sizes_from_members.
-            self._balls = build_ball_tables(topology, radii, workers=workers)
+            self._balls = build_ball_tables(
+                topology, radii, workers=workers, threads=threads
+            )
             self._ball_distances = [
                 self._balls.distance_map(node) for node in range(n)
             ]

@@ -188,6 +188,76 @@ def test_ball_tables_match_dict_transport(workers):
     assert bytes(expected.parents) == bytes(actual.parents)
 
 
+# -- in-kernel thread fan-out ------------------------------------------------
+# The batched C entry points loop sources inside the kernel and fan them
+# over a pthread pool; every width must reproduce the pinned serial
+# per-source loop (threads=0) byte for byte, on RAM arrays and on
+# file-backed slab directories alike, and agree with the process-pool
+# oracle that partitions the same work across OS processes instead.
+
+
+@pytest.fixture(scope="module")
+def thread_oracles():
+    family, topology = FAMILIES[0]
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    codec = LabelCodec(topology)
+    serial = build_substrate_tables(
+        topology, landmarks, codec=codec, threads=0
+    )
+    pool = build_substrate_tables(
+        topology, landmarks, codec=codec, workers=2
+    )
+    return topology, landmarks, codec, serial, pool
+
+
+@pytest.mark.parametrize("storage", ["array", "mmap-dir"])
+@pytest.mark.parametrize("threads", [1, 2, 8])
+def test_threaded_build_matches_serial_and_pool(
+    threads, storage, thread_oracles, tmp_path
+):
+    topology, landmarks, codec, serial, pool = thread_oracles
+    kwargs = {}
+    if storage == "mmap-dir":
+        kwargs["storage"] = str(tmp_path / f"slabs-{threads}")
+    actual = build_substrate_tables(
+        topology, landmarks, codec=codec, threads=threads, **kwargs
+    )
+    _assert_identical_slabs(serial, actual)
+    _assert_identical_slabs(pool, actual)
+    if storage == "mmap-dir":
+        attached = SubstrateTables.from_mmap(kwargs["storage"])
+        _assert_identical_slabs(serial, attached)
+
+
+@pytest.mark.parametrize("family,topology", FAMILIES, ids=[f for f, _ in FAMILIES])
+def test_threaded_build_matches_dict_path(family, topology):
+    """threads=2 against the dict-mediated oracle, once per kernel family."""
+    landmarks = select_landmarks(topology.num_nodes, seed=2)
+    codec = LabelCodec(topology)
+    expected = _oracle(topology, landmarks, codec)
+    actual = build_substrate_tables(
+        topology, landmarks, codec=codec, threads=2
+    )
+    _assert_identical_slabs(expected, actual)
+
+
+@pytest.mark.parametrize("threads", [1, 2, 8])
+def test_ball_tables_threads_match_dict_transport(threads):
+    family, topology = FAMILIES[2]
+    n = topology.num_nodes
+    landmarks = select_landmarks(n, seed=2)
+    spts = landmark_spts(topology, landmarks)
+    _, closest_dist = closest_landmarks(spts, n)
+    radii = list(closest_dist)
+    searches = parallel_radius(topology, radii, workers=1)
+    expected = NodeSearchTables.from_searches(searches)
+    actual = build_ball_tables(topology, radii, threads=threads)
+    assert bytes(expected.offsets) == bytes(actual.offsets)
+    assert bytes(expected.members) == bytes(actual.members)
+    assert bytes(expected.dists) == bytes(actual.dists)
+    assert bytes(expected.parents) == bytes(actual.parents)
+
+
 def test_cluster_sizes_match_membership_double_loop():
     family, topology = FAMILIES[0]
     n = topology.num_nodes
